@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Each benchmark module reproduces one table/figure of the paper: it runs
+the experiment at a meaningful trial count, prints the reproduced table
+next to the paper's reference values, asserts the *shape* criteria
+(who wins, rough factors, monotonicities), and times the experiment's
+computational kernel with pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks print reproduction tables; force -s style output so the
+    # tables are visible in the default invocation.
+    config.option.capture = "no"

@@ -1,0 +1,16 @@
+"""Bench EXP-A3 — step-4 amplitude estimate vs joint least squares."""
+
+from repro.experiments import ablation_amplitude
+
+
+def test_ablation_amplitude(benchmark):
+    result = ablation_amplitude.run(trials=50)
+    print()
+    print(result.render())
+
+    # The paper's trade: for separated responses the cheap step-4
+    # estimate is as good as least squares.
+    plain_separated = result.metric("plain_rmse_separated").measured
+    assert plain_separated < 0.05
+
+    benchmark(ablation_amplitude.run, trials=2, seed=9)

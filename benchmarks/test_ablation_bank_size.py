@@ -1,0 +1,18 @@
+"""Bench EXP-A2 — Ablation: ID accuracy vs template-bank size."""
+
+import numpy as np
+
+from repro.experiments import ablation_bank
+
+
+def test_ablation_bank_size(benchmark):
+    result = ablation_bank.run(trials=60)
+    print()
+    print(result.render())
+
+    # Shape: the paper's 3-shape operating point is near-perfect; the
+    # table shows how accuracy behaves as shapes pack tighter.
+    assert result.metric("accuracy_3_shapes").measured > 0.95
+
+    rng = np.random.default_rng(3)
+    benchmark(ablation_bank.classification_accuracy, 3, 5, 30.0, rng)

@@ -1,0 +1,17 @@
+"""Bench EXP-A1 — Ablation: detectors vs response separation."""
+
+from repro.experiments import ablation_detectors
+
+
+def test_ablation_detectors(benchmark):
+    result = ablation_detectors.run(trials=80)
+    print()
+    print(result.render())
+
+    search = result.metric("mean_search_rate_overlapping").measured
+    threshold = result.metric("mean_threshold_rate_overlapping").measured
+    # Shape: search-and-subtract dominates in the overlapping regime.
+    assert search > threshold
+    assert search > 0.85
+
+    benchmark(ablation_detectors.run, trials=2, seed=1)

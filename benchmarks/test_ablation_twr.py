@@ -1,0 +1,17 @@
+"""Bench EXP-A4 — TWR scheme comparison under clock drift."""
+
+from repro.experiments import ablation_twr
+
+
+def test_ablation_twr(benchmark):
+    result = ablation_twr.run(trials=300)
+    print()
+    print(result.render())
+
+    # Shape: compensated SS-TWR sits in the paper's cm band; plain
+    # SS-TWR carries a visible drift bias.
+    assert result.metric("ss_compensated_std_m").measured < 0.04
+    assert result.metric("ds_std_m").measured < 0.04
+    assert result.metric("ss_raw_abs_bias_m").measured > 0.01
+
+    benchmark(ablation_twr.run, trials=10, seed=2)

@@ -1,0 +1,15 @@
+"""Bench EXP-A5 — FFT upsampling factor ablation (Sect. IV step 1)."""
+
+from repro.experiments import ablation_upsampling
+
+
+def test_ablation_upsampling(benchmark):
+    result = ablation_upsampling.run(trials=80)
+    print()
+    print(result.render())
+
+    # Shape: upsampling buys a clear ToA precision improvement.
+    assert result.metric("improvement_1x_to_8x").measured > 1.5
+
+    benchmark(ablation_upsampling.toa_precision, 8, 5,
+              __import__("numpy").random.default_rng(1))

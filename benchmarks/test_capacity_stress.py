@@ -1,0 +1,16 @@
+"""Bench EXP-S9 — identification rate as the Fig. 8 scheme fills up."""
+
+from repro.experiments import capacity_stress
+
+
+def test_capacity_stress(benchmark):
+    result = capacity_stress.run(trials=30)
+    print()
+    print(result.render())
+
+    # Shape: high identification through the paper's 9-responder point,
+    # graceful (not cliff-edge) behaviour at full capacity.
+    assert result.metric("id_rate_9").measured > 0.9
+    assert result.metric("id_rate_12_full").measured > 0.85
+
+    benchmark(capacity_stress._identification_rate, 6, 2, 5)

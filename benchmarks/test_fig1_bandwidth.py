@@ -1,0 +1,16 @@
+"""Bench EXP-F1 — Fig. 1b: multipath resolvability vs bandwidth."""
+
+from repro.experiments import fig1_bandwidth
+
+
+def test_fig1_bandwidth(benchmark):
+    result = fig1_bandwidth.run()
+    print()
+    print(result.render())
+
+    # Shape criteria: nearly all MPCs resolve at 900 MHz, (almost) none
+    # at 50 MHz, and the wideband edge is an order of magnitude steeper.
+    assert result.metric("resolved_900MHz").measured >= 4
+    assert result.metric("resolved_50MHz").measured <= 1
+
+    benchmark(fig1_bandwidth.received_waveform, 900e6)

@@ -1,0 +1,15 @@
+"""Bench EXP-F2 — Fig. 2: exemplary estimated CIR."""
+
+from repro.experiments import fig2_cir
+
+
+def test_fig2_cir(benchmark):
+    result = fig2_cir.run()
+    print()
+    print(result.render())
+
+    # Shape criteria: dominant LOS plus five resolvable reflections.
+    assert result.metric("detected_components").measured == 6
+    assert result.metric("snr_db").measured > 20
+
+    benchmark(fig2_cir.capture_example_cir)

@@ -1,0 +1,20 @@
+"""Bench EXP-F3 — Fig. 3 / Sect. III: frame timing budget."""
+
+import pytest
+
+from repro.experiments import fig3_timing
+from repro.protocol.messages import INIT_PAYLOAD_BYTES
+from repro.radio.frame import RadioConfig, min_response_delay_s
+
+
+def test_fig3_timing(benchmark):
+    result = fig3_timing.run()
+    print()
+    print(result.render())
+
+    # The paper's exact numbers: 178.5 us minimum, 290 us chosen.
+    assert result.metric("min_delay_us").measured == pytest.approx(178.5, abs=0.5)
+    assert result.metric("chosen_delta_resp_us").measured == 290.0
+
+    config = RadioConfig()
+    benchmark(min_response_delay_s, config, INIT_PAYLOAD_BYTES)

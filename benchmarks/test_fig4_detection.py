@@ -1,0 +1,25 @@
+"""Bench EXP-F4 — Fig. 4: response detection at 3/6/10 m."""
+
+import pytest
+
+from repro.experiments import fig4_detection
+from repro.protocol.concurrent import ConcurrentRangingSession
+
+
+def test_fig4_detection(benchmark):
+    result = fig4_detection.run(trials=120)
+    print()
+    print(result.render())
+
+    # Shape criteria: all three responders detected almost always; mean
+    # distances land on 3/6/10 m (quantisation jitter averages out).
+    assert result.metric("all_three_detected_rate").measured > 0.85
+    for i, expected in enumerate((3.0, 6.0, 10.0), start=1):
+        assert result.metric(f"mean_distance_resp{i}_m").measured == pytest.approx(
+            expected, abs=0.4
+        )
+
+    session = ConcurrentRangingSession.build(
+        responder_distances_m=[3.0, 6.0, 10.0], n_shapes=3, seed=99
+    )
+    benchmark(session.run_round)

@@ -1,0 +1,15 @@
+"""Bench EXP-F5 — Fig. 5: pulse shapes vs TC_PGDELAY."""
+
+from repro.experiments import fig5_pulse_shapes
+from repro.signal.pulses import dw1000_pulse
+
+
+def test_fig5_pulse_shapes(benchmark):
+    result = fig5_pulse_shapes.run()
+    print()
+    print(result.render())
+
+    assert result.metric("width_monotone_in_register").measured == 1.0
+    assert result.metric("supported_shapes").measured == 108
+
+    benchmark(dw1000_pulse, 0xC8, 0.1252e-9)

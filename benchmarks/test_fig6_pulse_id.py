@@ -1,0 +1,14 @@
+"""Bench EXP-F6 — Fig. 6: identifying two responders by pulse shape."""
+
+from repro.experiments import fig6_pulse_id
+
+
+def test_fig6_pulse_id(benchmark):
+    result = fig6_pulse_id.run(trials=150)
+    print()
+    print(result.render())
+
+    assert result.metric("both_detected_rate").measured > 0.95
+    assert result.metric("both_identified_rate").measured > 0.95
+
+    benchmark(fig6_pulse_id.run, trials=3, seed=123)

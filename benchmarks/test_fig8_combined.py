@@ -1,0 +1,18 @@
+"""Bench EXP-F8 — Fig. 8: nine responders via RPM x pulse shaping."""
+
+from repro.experiments import fig8_combined
+
+
+def test_fig8_combined(benchmark):
+    result = fig8_combined.run(trials=60)
+    print()
+    print(result.render())
+
+    # Shape criteria: essentially all nine responders identified per
+    # round, from a 12-capacity scheme, as the paper's figure depicts.
+    assert result.metric("mean_identified_of_9").measured > 8.2
+    assert result.metric("capacity").measured == 12
+    assert result.metric("median_abs_error_m").measured < 0.3
+
+    session = fig8_combined.build_session(seed=7)
+    benchmark(session.run_round)

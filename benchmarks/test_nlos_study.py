@@ -1,0 +1,18 @@
+"""Bench EXP-N1 — NLOS study (the paper's declared future work)."""
+
+from repro.experiments import nlos_study
+
+
+def test_nlos_study(benchmark):
+    result = nlos_study.run(trials=50)
+    print()
+    print(result.render())
+
+    los = result.metric("id_rate_los").measured
+    nlos = result.metric("id_rate_nlos").measured
+    # Expected shape: near-perfect under LOS, clearly degraded when the
+    # direct path is blocked.
+    assert los > 0.9
+    assert nlos < los
+
+    benchmark(nlos_study.run, trials=2, seed=3)

@@ -1,0 +1,26 @@
+"""Bench EXP-S5 — Sect. V: SS-TWR precision per pulse shape.
+
+Paper: sigma = 0.0228 / 0.0221 / 0.0283 m for s1 / s2 / s3 over 5000
+exchanges; the default here runs 800 per shape.
+"""
+
+TRIALS = 800
+
+import numpy as np
+
+from repro.experiments import sect5_precision
+
+
+def test_sect5_ranging_precision(benchmark):
+    result = sect5_precision.run(trials=TRIALS)
+    print()
+    print(result.render())
+
+    # Shape criteria: every sigma inside the paper's 2-3 cm band, and
+    # the spread across shapes below 2x (pulse shaping is "free").
+    for name in ("sigma_s1_m", "sigma_s2_m", "sigma_s3_m"):
+        sigma = result.metric(name).measured
+        assert 0.015 < sigma < 0.04, f"{name} = {sigma:.4f} m"
+    assert result.metric("max_over_min_sigma").measured < 2.0
+
+    benchmark(sect5_precision.twr_errors, 0x93, 25, 7)

@@ -1,0 +1,24 @@
+"""Bench EXP-S8 — Sect. VIII: scalability and message cost."""
+
+from repro.experiments import sect8_scalability
+from repro.protocol.scheduling import concurrent_round_cost, scheduled_round_cost
+
+
+def test_sect8_scalability(benchmark):
+    result = sect8_scalability.run()
+    print()
+    print(result.render())
+
+    # The paper's exact claims.
+    assert result.metric("n_rpm_75m").measured == 4
+    assert result.metric("n_max_20m").measured >= 1500
+    assert result.metric("scheduled_messages_n100").measured == 9900
+    assert result.metric("concurrent_messages_n100").measured == 200
+    assert result.metric("energy_gain_n100").measured > 1.0
+
+    def sweep():
+        for n in (2, 10, 50, 100):
+            scheduled_round_cost(n)
+            concurrent_round_cost(n)
+
+    benchmark(sweep)

@@ -1,0 +1,26 @@
+"""Bench EXP-T1 — Table I: pulse-shape identification accuracy.
+
+The paper runs 1000 trials per cell; the default here uses 150 per cell
+to keep the suite fast — raise ``TRIALS`` for a full-fidelity run.
+"""
+
+TRIALS = 150
+
+from repro.experiments import table1_pulse_id
+
+
+def test_table1_pulse_id_accuracy(benchmark):
+    result = table1_pulse_id.run(trials=TRIALS)
+    print()
+    print(result.render())
+
+    # Shape criterion: high accuracy in every cell (paper: >= 99.2 %).
+    for comparison in result.comparisons:
+        assert comparison.measured > 90.0, (
+            f"{comparison.name}: {comparison.measured:.1f} % "
+            f"(paper {comparison.paper} %)"
+        )
+
+    benchmark(
+        table1_pulse_id._identification_rate, 8.0, 0xC8, 3, 42
+    )

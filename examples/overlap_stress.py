@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Overlapping-response stress test — Sect. VI, interactively.
+
+Two forklifts carry tags at exactly the same distance from the gateway,
+so their responses collide in the CIR.  This example sweeps the true
+response separation and shows where the threshold baseline loses the
+second tag while search-and-subtract keeps resolving it.
+
+Run:  python examples/overlap_stress.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.constants import CIR_SAMPLING_PERIOD_S
+from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
+from repro.core.threshold import ThresholdConfig, ThresholdDetector
+from repro.signal.pulses import dw1000_pulse
+from repro.signal.sampling import place_pulse
+
+TRIALS = 120
+SNR_DB = 28.0
+
+
+def both_found(detections, truths, tolerance=1.5):
+    available = list(detections)
+    for truth in truths:
+        best, best_err = None, tolerance
+        for det in available:
+            err = abs(det.index - truth)
+            if err <= best_err:
+                best, best_err = det, err
+        if best is None:
+            return False
+        available.remove(best)
+    return True
+
+
+def main():
+    rng = np.random.default_rng(2024)
+    pulse = dw1000_pulse()
+    search = SearchAndSubtract(
+        pulse, SearchAndSubtractConfig(max_responses=2, upsample_factor=8)
+    )
+    threshold = ThresholdDetector(
+        pulse, ThresholdConfig(max_responses=2, upsample_factor=8)
+    )
+    amplitude = 10 ** (SNR_DB / 20.0)
+
+    table = Table(
+        ["separation [ns]", "search&subtract [%]", "threshold [%]"],
+        title=f"both-tag detection rate ({TRIALS} trials per row)",
+    )
+    for separation_ns in (0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0):
+        wins = {"search": 0, "threshold": 0}
+        for _ in range(TRIALS):
+            positions = (
+                400.0,
+                400.0 + separation_ns * 1e-9 / CIR_SAMPLING_PERIOD_S,
+            )
+            cir = np.zeros(1016, dtype=complex)
+            for position in positions:
+                phase = np.exp(1j * rng.uniform(0, 2 * np.pi))
+                place_pulse(
+                    cir, pulse.samples.astype(complex), position, amplitude * phase
+                )
+            cir += (
+                rng.standard_normal(1016) + 1j * rng.standard_normal(1016)
+            ) / np.sqrt(2)
+            if both_found(
+                search.detect(cir, CIR_SAMPLING_PERIOD_S, 1.0), positions
+            ):
+                wins["search"] += 1
+            if both_found(
+                threshold.detect(cir, CIR_SAMPLING_PERIOD_S, 1.0), positions
+            ):
+                wins["threshold"] += 1
+        table.add_row(
+            [
+                separation_ns,
+                100.0 * wins["search"] / TRIALS,
+                100.0 * wins["threshold"] / TRIALS,
+            ]
+        )
+    table.print()
+    print(
+        "\nPaper reference (responders at the same 4 m distance, only "
+        "overlapping trials): search-and-subtract 92.6 %, threshold 48 %."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: one concurrent ranging round, end to end.
+
+Three responders at 3, 6, and 10 m (the paper's Fig. 4 layout) answer a
+single broadcast; the initiator reads all three distances and identities
+out of one channel impulse response.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.protocol.concurrent import ConcurrentRangingSession
+
+
+def ascii_cir(magnitude, width=72, height=8):
+    """A tiny ASCII rendering of the CIR magnitude."""
+    import numpy as np
+
+    bins = np.array_split(magnitude, width)
+    levels = np.array([chunk.max() for chunk in bins])
+    levels = levels / levels.max()
+    rows = []
+    for row in range(height, 0, -1):
+        threshold = row / height
+        rows.append(
+            "".join("#" if level >= threshold else " " for level in levels)
+        )
+    return "\n".join(rows)
+
+
+def main():
+    session = ConcurrentRangingSession.build(
+        responder_distances_m=[3.0, 6.0, 10.0],
+        n_shapes=3,  # one pulse shape per responder -> identifiable
+        seed=42,
+        # Assume a transceiver without the DW1000's ~8 ns delayed-TX
+        # quantisation (the paper's "next-generation" remark); set to
+        # False for faithful DW1000 behaviour.
+        compensate_tx_quantization=True,
+    )
+
+    result = session.run_round()
+
+    print("Captured CIR (normalized magnitude):")
+    print(ascii_cir(result.capture.normalized()[:300]))
+    print()
+    print(f"Anchor distance from SS-TWR (Eq. 2): {result.d_twr_m:.3f} m")
+    print()
+    print("Decoded responders:")
+    for outcome in result.outcomes:
+        status = "OK " if outcome.identified else "?? "
+        estimate = (
+            f"{outcome.estimated_distance_m:6.3f} m"
+            if outcome.estimated_distance_m is not None
+            else "   -   "
+        )
+        print(
+            f"  {status} responder {outcome.responder_id} "
+            f"(slot {outcome.assigned_slot}, shape {outcome.assigned_shape}): "
+            f"estimated {estimate}, true {outcome.true_distance_m:.3f} m"
+        )
+    print()
+    trace = result.trace.summary()
+    print(
+        f"Cost of the round: {trace['messages']:.0f} transmissions, "
+        f"{trace['airtime_s'] * 1e6:.0f} us total airtime, "
+        f"{trace['utilization'] * 100:.0f} % channel utilization."
+    )
+    print(
+        "A scheduled SS-TWR round for the same three distances would need "
+        "6 messages in 6 sequential channel slots."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Warehouse asset tracking at scale — the Sect. VIII argument, end to end.
+
+A warehouse gateway needs the distance to every tagged asset in radio
+range.  This example (i) sizes the combined RPM x pulse-shaping scheme
+for a 20 m operating range, (ii) runs an actual 9-responder concurrent
+round through the full simulator, and (iii) compares network cost
+(messages, airtime, energy, duration) against scheduled SS-TWR as the
+fleet grows.
+
+Run:  python examples/warehouse_scalability.py
+"""
+
+from repro.analysis.tables import Table
+from repro.core.rpm import SlotPlan, paper_slot_count, safe_slot_count
+from repro.experiments.fig8_combined import build_session
+from repro.protocol.scheduling import concurrent_round_cost, scheduled_round_cost
+
+
+def scheme_sizing():
+    print("== Scheme sizing for a 20 m warehouse cell ==")
+    table = Table(
+        ["pulse shapes", "slots (paper)", "slots (safe)",
+         "capacity (paper)", "capacity (safe)"]
+    )
+    for n_shapes in (3, 10, 50, 100):
+        table.add_row(
+            [
+                n_shapes,
+                paper_slot_count(20.0),
+                safe_slot_count(20.0),
+                paper_slot_count(20.0) * n_shapes,
+                safe_slot_count(20.0) * n_shapes,
+            ]
+        )
+    table.print()
+    print(
+        "\nThe paper's >1500 figure is the 'paper' column at ~100 shapes; "
+        "the 'safe' column applies the round-trip slot sizing."
+    )
+
+
+def live_round():
+    print("\n== One live 9-asset round (4 slots x 3 shapes) ==")
+    session = build_session(seed=21)
+    result = session.run_round()
+    identified = sum(outcome.identified for outcome in result.outcomes)
+    print(f"identified {identified}/9 assets from a single CIR:")
+    for outcome in result.outcomes:
+        estimate = (
+            f"{outcome.estimated_distance_m:5.2f} m"
+            if outcome.estimated_distance_m is not None
+            else "  -  "
+        )
+        print(
+            f"  asset {outcome.responder_id}: slot {outcome.assigned_slot}, "
+            f"shape s{outcome.assigned_shape + 1}, distance {estimate} "
+            f"(true {outcome.true_distance_m:.2f} m)"
+        )
+
+
+def fleet_costs():
+    print("\n== Network cost vs fleet size (full network ranging) ==")
+    table = Table(
+        ["assets", "sched msgs", "conc msgs", "sched dur [s]",
+         "conc dur [s]", "sched energy [J]", "conc energy [J]"]
+    )
+    for n in (5, 10, 25, 50, 100):
+        scheduled = scheduled_round_cost(n)
+        concurrent = concurrent_round_cost(n)
+        table.add_row(
+            [
+                n,
+                scheduled.messages,
+                concurrent.messages,
+                round(scheduled.duration_s, 3),
+                round(concurrent.duration_s, 3),
+                round(scheduled.energy_j, 3),
+                round(concurrent.energy_j, 3),
+            ]
+        )
+    table.print()
+    n = 100
+    print(
+        f"\nAt {n} assets, concurrent ranging cuts messages by "
+        f"{scheduled_round_cost(n).messages / concurrent_round_cost(n).messages:.0f}x "
+        f"and round duration by "
+        f"{scheduled_round_cost(n).duration_s / concurrent_round_cost(n).duration_s:.0f}x."
+    )
+
+
+def main():
+    scheme_sizing()
+    live_round()
+    fleet_costs()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Result analysis: error metrics, CIR features, and ASCII tables."""
+
+from repro.analysis.metrics import (
+    rmse,
+    mae,
+    bias,
+    std,
+    percentile_error,
+    detection_rate,
+    identification_rate,
+    summarize_errors,
+)
+from repro.analysis.cir_features import (
+    estimate_noise_std,
+    peak_to_noise_ratio,
+    rise_time_s,
+    significant_peaks,
+)
+from repro.analysis.tables import Table
+
+__all__ = [
+    "rmse",
+    "mae",
+    "bias",
+    "std",
+    "percentile_error",
+    "detection_rate",
+    "identification_rate",
+    "summarize_errors",
+    "estimate_noise_std",
+    "peak_to_noise_ratio",
+    "rise_time_s",
+    "significant_peaks",
+    "Table",
+]

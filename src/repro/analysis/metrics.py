@@ -1,0 +1,86 @@
+"""Error and success-rate metrics used across the experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+
+def _as_errors(
+    estimates: Sequence[float], truths: Sequence[float] | float
+) -> np.ndarray:
+    estimates = np.asarray(estimates, dtype=float)
+    truths_arr = np.asarray(truths, dtype=float)
+    if truths_arr.ndim == 0:
+        truths_arr = np.full_like(estimates, float(truths_arr))
+    if estimates.shape != truths_arr.shape:
+        raise ValueError(
+            f"shape mismatch: {estimates.shape} estimates vs "
+            f"{truths_arr.shape} truths"
+        )
+    if estimates.size == 0:
+        raise ValueError("cannot compute metrics over zero samples")
+    return estimates - truths_arr
+
+
+def rmse(estimates: Sequence[float], truths: Sequence[float] | float) -> float:
+    """Root-mean-square error."""
+    errors = _as_errors(estimates, truths)
+    return float(np.sqrt(np.mean(errors**2)))
+
+
+def mae(estimates: Sequence[float], truths: Sequence[float] | float) -> float:
+    """Mean absolute error."""
+    return float(np.mean(np.abs(_as_errors(estimates, truths))))
+
+
+def bias(estimates: Sequence[float], truths: Sequence[float] | float) -> float:
+    """Mean signed error."""
+    return float(np.mean(_as_errors(estimates, truths)))
+
+
+def std(estimates: Sequence[float], truths: Sequence[float] | float) -> float:
+    """Standard deviation of the error — the paper's precision metric
+    for SS-TWR (Sect. V: sigma_1..sigma_3)."""
+    return float(np.std(_as_errors(estimates, truths)))
+
+
+def percentile_error(
+    estimates: Sequence[float],
+    truths: Sequence[float] | float,
+    q: float = 95.0,
+) -> float:
+    """q-th percentile of the absolute error."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(np.abs(_as_errors(estimates, truths)), q))
+
+
+def detection_rate(successes: Iterable[bool]) -> float:
+    """Fraction of trials in which all expected responses were found —
+    the metric of the paper's Sect. VI comparison."""
+    flags = [bool(s) for s in successes]
+    if not flags:
+        raise ValueError("cannot compute a rate over zero trials")
+    return sum(flags) / len(flags)
+
+
+def identification_rate(successes: Iterable[bool]) -> float:
+    """Fraction of trials with a correctly decoded responder ID —
+    the metric of the paper's Table I."""
+    return detection_rate(successes)
+
+
+def summarize_errors(
+    estimates: Sequence[float], truths: Sequence[float] | float
+) -> Dict[str, float]:
+    """All headline error statistics in one dictionary."""
+    return {
+        "n": float(len(np.atleast_1d(estimates))),
+        "bias_m": bias(estimates, truths),
+        "std_m": std(estimates, truths),
+        "rmse_m": rmse(estimates, truths),
+        "mae_m": mae(estimates, truths),
+        "p95_m": percentile_error(estimates, truths, 95.0),
+    }

@@ -1,0 +1,65 @@
+"""Plain-text result tables.
+
+Every benchmark prints the table/figure it reproduces in the same row
+layout as the paper, side by side with the paper's numbers.  This module
+is the one place that knows how to format those tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class Table:
+    """A small fixed-width ASCII table builder."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self._rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [self._format(v) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self._rows.append(row)
+
+    @staticmethod
+    def _format(value: object) -> str:
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "-"
+            if abs(value) >= 1000 or (abs(value) < 1e-3 and value != 0.0):
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        """The table as a multi-line string."""
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        separator = "-+-".join("-" * w for w in widths)
+        parts = []
+        if self.title:
+            parts.append(self.title)
+        parts.append(line(self.headers))
+        parts.append(separator)
+        parts.extend(line(row) for row in self._rows)
+        return "\n".join(parts)
+
+    def print(self) -> None:
+        print(self.render())

@@ -1,0 +1,40 @@
+"""UWB propagation-channel models.
+
+The paper's experiments run in office and hallway environments whose
+multipath structure drives all five of its challenges.  This subpackage
+supplies that environment in software:
+
+* :mod:`repro.channel.cir` — the tapped-delay-line channel of the paper's
+  Eq. 1: deterministic specular taps plus a diffuse tail.
+* :mod:`repro.channel.geometry` — 2-D rooms with image-source first-order
+  reflections (paper Fig. 1a).
+* :mod:`repro.channel.stochastic` — Saleh–Valenzuela-style random channel
+  realisations for Monte-Carlo experiments.
+* :mod:`repro.channel.propagation` — path loss (Friis / log-distance with
+  shadowing) and propagation delays.
+"""
+
+from repro.channel.cir import ChannelTap, ChannelRealization, DIFFUSE_DECAY_NS
+from repro.channel.geometry import Point, Room, image_source_taps
+from repro.channel.propagation import (
+    friis_path_gain,
+    log_distance_path_gain,
+    propagation_delay_s,
+    PathLossModel,
+)
+from repro.channel.stochastic import SalehValenzuelaModel, IndoorEnvironment
+
+__all__ = [
+    "ChannelTap",
+    "ChannelRealization",
+    "DIFFUSE_DECAY_NS",
+    "Point",
+    "Room",
+    "image_source_taps",
+    "friis_path_gain",
+    "log_distance_path_gain",
+    "propagation_delay_s",
+    "PathLossModel",
+    "SalehValenzuelaModel",
+    "IndoorEnvironment",
+]

@@ -1,0 +1,263 @@
+"""2-D room geometry and image-source multipath computation.
+
+Reproduces the deterministic part of the paper's Fig. 1a: a rectangular
+floor plan with a transmitter and receiver, where the line-of-sight path
+and the four first-order wall reflections (MPC1–MPC4) are derived with
+the image-source method.  Obstacles model attenuated/blocked LOS for the
+NLOS scenarios the paper lists as challenge IV and future work.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.channel.cir import ChannelTap
+from repro.channel.propagation import PathLossModel, propagation_delay_s
+from repro.constants import SPEED_OF_LIGHT
+
+#: Default amplitude reflection coefficient of a plasterboard/concrete wall
+#: (order of magnitude used in multipath-assisted localisation work,
+#: paper refs. [8], [9]).
+DEFAULT_REFLECTION_COEFFICIENT = 0.55
+
+#: DW1000 channel-7 carrier frequency [Hz], used for the deterministic
+#: phase of each specular path.
+CHANNEL7_CARRIER_HZ = 6.4896e9
+
+
+@dataclass(frozen=True)
+class Point:
+    """A position in the 2-D floor plan [m]."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """An axis-aligned rectangular obstacle that attenuates paths.
+
+    ``attenuation`` is the amplitude factor applied to any path crossing
+    the obstacle (0 blocks the path entirely).
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+    attenuation: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.x_min >= self.x_max or self.y_min >= self.y_max:
+            raise ValueError("obstacle must have positive extent")
+        if not 0.0 <= self.attenuation <= 1.0:
+            raise ValueError(
+                f"attenuation must be an amplitude factor in [0, 1], "
+                f"got {self.attenuation}"
+            )
+
+    def intersects_segment(self, a: Point, b: Point) -> bool:
+        """Whether the segment ``a -> b`` passes through the obstacle.
+
+        Uses the Liang–Barsky parametric clipping test.
+        """
+        dx = b.x - a.x
+        dy = b.y - a.y
+        t0, t1 = 0.0, 1.0
+        for p, q in (
+            (-dx, a.x - self.x_min),
+            (dx, self.x_max - a.x),
+            (-dy, a.y - self.y_min),
+            (dy, self.y_max - a.y),
+        ):
+            if p == 0.0:
+                if q < 0.0:
+                    return False  # parallel and outside
+                continue
+            t = q / p
+            if p < 0.0:
+                t0 = max(t0, t)
+            else:
+                t1 = min(t1, t)
+            if t0 > t1:
+                return False
+        return True
+
+
+class Room:
+    """A rectangular room with its lower-left corner at the origin.
+
+    The four walls are named ``left`` (x = 0), ``right`` (x = width),
+    ``bottom`` (y = 0), and ``top`` (y = height).  Obstacles can be added
+    to attenuate or block paths for NLOS experiments.
+    """
+
+    WALLS = ("left", "right", "bottom", "top")
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        reflection_coefficient: float = DEFAULT_REFLECTION_COEFFICIENT,
+        obstacles: Sequence[Obstacle] = (),
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"room must have positive size, got {width}x{height}")
+        if not 0.0 <= reflection_coefficient <= 1.0:
+            raise ValueError(
+                "reflection coefficient must be an amplitude factor in [0, 1]"
+            )
+        self.width = float(width)
+        self.height = float(height)
+        self.reflection_coefficient = float(reflection_coefficient)
+        self.obstacles: List[Obstacle] = list(obstacles)
+
+    def contains(self, point: Point) -> bool:
+        return 0.0 <= point.x <= self.width and 0.0 <= point.y <= self.height
+
+    def _require_inside(self, point: Point, label: str) -> None:
+        if not self.contains(point):
+            raise ValueError(
+                f"{label} {point} lies outside the {self.width}x{self.height} room"
+            )
+
+    def mirror(self, point: Point, wall: str) -> Point:
+        """The image of ``point`` mirrored across a wall."""
+        if wall == "left":
+            return Point(-point.x, point.y)
+        if wall == "right":
+            return Point(2.0 * self.width - point.x, point.y)
+        if wall == "bottom":
+            return Point(point.x, -point.y)
+        if wall == "top":
+            return Point(point.x, 2.0 * self.height - point.y)
+        raise ValueError(f"unknown wall {wall!r}; use one of {self.WALLS}")
+
+    def reflection_point(self, tx: Point, rx: Point, wall: str) -> Point | None:
+        """Where the first-order reflection off ``wall`` hits the wall,
+        or ``None`` if the specular point lies outside the wall segment.
+        """
+        image = self.mirror(tx, wall)
+        dx = rx.x - image.x
+        dy = rx.y - image.y
+        if wall in ("left", "right"):
+            wall_x = 0.0 if wall == "left" else self.width
+            if dx == 0.0:
+                return None
+            t = (wall_x - image.x) / dx
+            point = Point(wall_x, image.y + t * dy)
+            valid = 0.0 <= point.y <= self.height
+        else:
+            wall_y = 0.0 if wall == "bottom" else self.height
+            if dy == 0.0:
+                return None
+            t = (wall_y - image.y) / dy
+            point = Point(image.x + t * dx, wall_y)
+            valid = 0.0 <= point.x <= self.width
+        if not (0.0 < t < 1.0) or not valid:
+            return None
+        return point
+
+    def path_obstruction(self, a: Point, b: Point) -> float:
+        """Combined amplitude attenuation from obstacles on segment a->b."""
+        factor = 1.0
+        for obstacle in self.obstacles:
+            if obstacle.intersects_segment(a, b):
+                factor *= obstacle.attenuation
+        return factor
+
+
+def _carrier_phase(path_length_m: float, carrier_hz: float) -> complex:
+    """Deterministic unit phasor of a path at the carrier frequency."""
+    phase = -2.0 * math.pi * carrier_hz * path_length_m / SPEED_OF_LIGHT
+    return cmath.exp(1j * phase)
+
+
+def image_source_taps(
+    room: Room,
+    tx: Point,
+    rx: Point,
+    path_loss: PathLossModel | None = None,
+    carrier_hz: float = CHANNEL7_CARRIER_HZ,
+    include_los: bool = True,
+) -> List[ChannelTap]:
+    """Deterministic taps (LOS + first-order reflections) for a TX/RX pair.
+
+    Implements the geometry of the paper's Fig. 1a: one LOS tap plus up to
+    four first-order wall reflections (MPC1–MPC4).  Amplitudes combine the
+    path-loss model, per-bounce reflection loss, obstacle attenuation, and
+    the deterministic carrier phase of each path.
+
+    Paths fully blocked by obstacles (attenuation 0) are omitted; an
+    attenuated LOS is kept with reduced amplitude, reproducing the paper's
+    "attenuated direct path" NLOS discussion.
+    """
+    room._require_inside(tx, "transmitter")
+    room._require_inside(rx, "receiver")
+    if path_loss is None:
+        path_loss = PathLossModel.friis(carrier_hz)
+
+    taps: List[ChannelTap] = []
+    if include_los:
+        d_los = tx.distance_to(rx)
+        obstruction = room.path_obstruction(tx, rx)
+        if obstruction > 0.0:
+            amplitude = (
+                path_loss.amplitude_gain(d_los)
+                * obstruction
+                * _carrier_phase(d_los, carrier_hz)
+            )
+            taps.append(
+                ChannelTap(
+                    delay_s=propagation_delay_s(d_los),
+                    amplitude=amplitude,
+                    kind="los",
+                    order=0,
+                )
+            )
+
+    for wall in Room.WALLS:
+        bounce = room.reflection_point(tx, rx, wall)
+        if bounce is None:
+            continue
+        length = room.mirror(tx, wall).distance_to(rx)
+        obstruction = room.path_obstruction(tx, bounce) * room.path_obstruction(
+            bounce, rx
+        )
+        if obstruction == 0.0:
+            continue
+        amplitude = (
+            path_loss.amplitude_gain(length)
+            * room.reflection_coefficient
+            * obstruction
+            * _carrier_phase(length, carrier_hz)
+        )
+        taps.append(
+            ChannelTap(
+                delay_s=propagation_delay_s(length),
+                amplitude=amplitude,
+                kind="reflection",
+                order=1,
+            )
+        )
+    if not taps:
+        raise ValueError(
+            "no propagation path between transmitter and receiver "
+            "(all paths blocked)"
+        )
+    return taps

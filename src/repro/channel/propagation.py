@@ -1,0 +1,128 @@
+"""Path loss and propagation delay models.
+
+The paper criticises the idealised Friis equation (challenge IV): real
+UWB deployments see shadowing and obstructed paths, so detection must not
+rely on absolute amplitudes.  We therefore provide both the idealised
+Friis model *and* a log-distance model with log-normal shadowing, and the
+experiments use the latter to stress amplitude-independence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT
+
+#: Reference distance for the log-distance model [m].
+REFERENCE_DISTANCE_M = 1.0
+
+#: Typical indoor LOS path-loss exponent (IEEE 802.15.4a channel models
+#: CM1/CM3 report 1.6–2.0 for LOS office/residential).
+DEFAULT_PATH_LOSS_EXPONENT = 1.8
+
+#: Typical indoor shadowing standard deviation [dB].
+DEFAULT_SHADOWING_SIGMA_DB = 2.0
+
+
+def propagation_delay_s(distance_m: float) -> float:
+    """One-way propagation delay over a distance [s]."""
+    if distance_m < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_m}")
+    return distance_m / SPEED_OF_LIGHT
+
+
+def friis_path_gain(distance_m: float, carrier_hz: float) -> float:
+    """Free-space *amplitude* gain per the Friis equation.
+
+    Returns ``c / (4 pi d f)``, the amplitude scaling of an isotropic
+    link; the power gain is this value squared.  ``distance_m`` below
+    1 cm is clamped to avoid the near-field singularity.
+    """
+    if carrier_hz <= 0:
+        raise ValueError(f"carrier frequency must be positive, got {carrier_hz}")
+    distance_m = max(distance_m, 0.01)
+    wavelength = SPEED_OF_LIGHT / carrier_hz
+    return wavelength / (4.0 * math.pi * distance_m)
+
+
+def log_distance_path_gain(
+    distance_m: float,
+    carrier_hz: float,
+    exponent: float = DEFAULT_PATH_LOSS_EXPONENT,
+    shadowing_db: float = 0.0,
+) -> float:
+    """Log-distance *amplitude* gain with an explicit shadowing term.
+
+    Anchored to the Friis gain at the 1 m reference distance; beyond it
+    the power decays with ``distance ** exponent`` and ``shadowing_db``
+    adds a (signed) deviation in dB.
+    """
+    distance_m = max(distance_m, 0.01)
+    reference_gain = friis_path_gain(REFERENCE_DISTANCE_M, carrier_hz)
+    power_ratio = (REFERENCE_DISTANCE_M / distance_m) ** exponent
+    shadow = 10.0 ** (shadowing_db / 20.0)
+    return reference_gain * math.sqrt(power_ratio) * shadow
+
+
+@dataclass
+class PathLossModel:
+    """A configured path-loss law mapping distance to amplitude gain.
+
+    Use :meth:`friis` for the idealised model or :meth:`log_distance` for
+    the realistic one; :meth:`sample_amplitude_gain` additionally draws a
+    random shadowing term per call (for Monte-Carlo channels), while
+    :meth:`amplitude_gain` is deterministic.
+    """
+
+    carrier_hz: float
+    exponent: float = DEFAULT_PATH_LOSS_EXPONENT
+    shadowing_sigma_db: float = 0.0
+    use_friis: bool = False
+
+    @classmethod
+    def friis(cls, carrier_hz: float) -> "PathLossModel":
+        """The idealised free-space model (no shadowing)."""
+        return cls(carrier_hz=carrier_hz, exponent=2.0, use_friis=True)
+
+    @classmethod
+    def log_distance(
+        cls,
+        carrier_hz: float,
+        exponent: float = DEFAULT_PATH_LOSS_EXPONENT,
+        shadowing_sigma_db: float = DEFAULT_SHADOWING_SIGMA_DB,
+    ) -> "PathLossModel":
+        """The realistic indoor model with log-normal shadowing."""
+        return cls(
+            carrier_hz=carrier_hz,
+            exponent=exponent,
+            shadowing_sigma_db=shadowing_sigma_db,
+        )
+
+    def amplitude_gain(self, distance_m: float) -> float:
+        """Deterministic (median) amplitude gain at a distance."""
+        if self.use_friis:
+            return friis_path_gain(distance_m, self.carrier_hz)
+        return log_distance_path_gain(
+            distance_m, self.carrier_hz, exponent=self.exponent
+        )
+
+    def sample_amplitude_gain(
+        self, distance_m: float, rng: np.random.Generator
+    ) -> float:
+        """Amplitude gain with a random shadowing draw."""
+        shadowing_db = (
+            float(rng.normal(0.0, self.shadowing_sigma_db))
+            if self.shadowing_sigma_db > 0.0
+            else 0.0
+        )
+        if self.use_friis:
+            return friis_path_gain(distance_m, self.carrier_hz)
+        return log_distance_path_gain(
+            distance_m,
+            self.carrier_hz,
+            exponent=self.exponent,
+            shadowing_db=shadowing_db,
+        )

@@ -1,0 +1,157 @@
+"""Command-line interface: run paper experiments from the shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro run table1 --trials 1000
+    python -m repro run fig7 sect5
+    python -m repro run all --trials 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ablation_amplitude,
+    ablation_bank,
+    ablation_detectors,
+    ablation_twr,
+    ablation_upsampling,
+    capacity_stress,
+    fig1_bandwidth,
+    fig2_cir,
+    fig3_timing,
+    fig4_detection,
+    fig5_pulse_shapes,
+    fig6_pulse_id,
+    fig7_overlap,
+    fig8_combined,
+    localization_exp,
+    nlos_study,
+    sect5_precision,
+    sect8_scalability,
+    table1_pulse_id,
+)
+
+#: name -> (module, accepts-trials?) registry.
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig1": (fig1_bandwidth, False),
+    "fig2": (fig2_cir, False),
+    "fig3": (fig3_timing, False),
+    "fig4": (fig4_detection, True),
+    "fig5": (fig5_pulse_shapes, False),
+    "fig6": (fig6_pulse_id, True),
+    "fig7": (fig7_overlap, True),
+    "fig8": (fig8_combined, True),
+    "table1": (table1_pulse_id, True),
+    "sect5": (sect5_precision, True),
+    "sect8": (sect8_scalability, False),
+    "nlos": (nlos_study, True),
+    "ablation-detectors": (ablation_detectors, True),
+    "ablation-bank": (ablation_bank, True),
+    "ablation-amplitude": (ablation_amplitude, True),
+    "ablation-twr": (ablation_twr, True),
+    "ablation-upsampling": (ablation_upsampling, True),
+    "capacity-stress": (capacity_stress, True),
+    "localization": (localization_exp, False),
+}
+
+
+def _run_one(name: str, trials: int | None) -> None:
+    module, takes_trials = EXPERIMENTS[name]
+    if takes_trials and trials is not None:
+        result = module.run(trials=trials)
+    else:
+        result = module.run()
+    print(result.render())
+    print()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of 'Concurrent "
+        "Ranging with Ultra-Wideband Radios' (ICDCS 2018).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    report_parser = subparsers.add_parser(
+        "report", help="render experiments into a markdown report"
+    )
+    report_parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (default: all)",
+    )
+    report_parser.add_argument(
+        "--trials", type=int, default=None, help="trial-count override"
+    )
+    report_parser.add_argument(
+        "-o", "--output", default=None,
+        help="write to a file instead of stdout",
+    )
+
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names (see 'list'), or 'all'",
+    )
+    run_parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="Monte-Carlo trial count for experiments that accept one "
+        "(default: each experiment's quick default; the paper's counts "
+        "are 1000-5000)",
+    )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "report":
+        from repro.analysis.reporting import generate_report
+
+        names = args.experiments or None
+        try:
+            report = generate_report(names=names, trials=args.trials)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(report)
+            print(f"wrote {args.output}")
+        else:
+            print(report)
+        return 0
+
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (module, takes_trials) in EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            flag = " [--trials]" if takes_trials else ""
+            print(f"{name.ljust(width)}  {doc}{flag}")
+        return 0
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)} — "
+            f"run 'python -m repro list'",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        _run_one(name, args.trials)
+    return 0

@@ -1,0 +1,143 @@
+"""Physical and DW1000 hardware constants used throughout the library.
+
+All values that originate from the paper or from the Decawave DW1000
+datasheet/user manual are annotated with their source.  Times are in
+seconds, distances in meters, frequencies in hertz unless a suffix says
+otherwise.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Physics
+# --------------------------------------------------------------------------
+
+#: Propagation speed of radio waves in air [m/s].  The paper's Eq. 2 uses
+#: ``c`` for the speed of propagation in air; the deviation from the vacuum
+#: value is far below UWB ranging resolution, so the vacuum value is used.
+SPEED_OF_LIGHT = 299_792_458.0
+
+# --------------------------------------------------------------------------
+# DW1000 time base (DW1000 User Manual v2.10, quoted in the paper Sect. II)
+# --------------------------------------------------------------------------
+
+#: DW1000 system/timestamp clock frequency [Hz]: 499.2 MHz * 128 = 63.8976 GHz.
+DW1000_TIMESTAMP_CLOCK_HZ = 63.8976e9
+
+#: Resolution of a DW1000 RX timestamp [s] (one tick of the 63.8976 GHz
+#: clock, i.e. ~15.65 ps; the paper quotes 15.65 ps / 4.69 mm).
+DW1000_TIMESTAMP_RESOLUTION_S = 1.0 / DW1000_TIMESTAMP_CLOCK_HZ
+
+#: Distance equivalent of one DW1000 timestamp tick [m] (~4.69 mm).
+DW1000_TIMESTAMP_RESOLUTION_M = DW1000_TIMESTAMP_RESOLUTION_S * SPEED_OF_LIGHT
+
+#: Number of low-order bits of the delayed-transmit time value that the
+#: DW1000 ignores (DW1000 User Manual p. 26, quoted in the paper Sect. III).
+DW1000_DELAYED_TX_IGNORED_BITS = 9
+
+#: Granularity of the delayed-transmission start time [s]:
+#: 2**9 ticks of the 63.8976 GHz clock ~= 8.013 ns ("approximately 8 ns"
+#: in the paper).
+DW1000_DELAYED_TX_RESOLUTION_S = (
+    (1 << DW1000_DELAYED_TX_IGNORED_BITS) / DW1000_TIMESTAMP_CLOCK_HZ
+)
+
+# --------------------------------------------------------------------------
+# DW1000 CIR accumulator (paper Sect. VII)
+# --------------------------------------------------------------------------
+
+#: Number of CIR taps provided by the DW1000 accumulator at PRF = 64 MHz.
+CIR_LENGTH_PRF64 = 1016
+
+#: Number of CIR taps at PRF = 16 MHz.
+CIR_LENGTH_PRF16 = 992
+
+#: CIR sampling period [s] at PRF = 64 MHz (paper Sect. VII: 1.0016 ns).
+#: One tap is half a chip at 499.2 MHz chipping rate.
+CIR_SAMPLING_PERIOD_S = 1.0016e-9
+
+#: Maximum additional response-position-modulation offset [s] that still
+#: fits in the CIR (paper Sect. VII: delta_max ~= 1017 ns).
+RPM_MAX_OFFSET_S = CIR_LENGTH_PRF64 * CIR_SAMPLING_PERIOD_S
+
+#: Maximum distance offset representable in the CIR [m] (~305 m; the paper
+#: rounds to ~307 m).
+RPM_MAX_OFFSET_M = RPM_MAX_OFFSET_S * SPEED_OF_LIGHT
+
+# --------------------------------------------------------------------------
+# TC_PGDELAY pulse-shaping register (paper Sect. V)
+# --------------------------------------------------------------------------
+
+#: Default TC_PGDELAY register value for channel 7 (paper Fig. 5: 0x93).
+TC_PGDELAY_DEFAULT = 0x93
+
+#: Highest TC_PGDELAY register value (8-bit register).
+TC_PGDELAY_MAX = 0xFF
+
+#: Number of distinct usable pulse shapes: the paper states "up to 108
+#: different pulse shapes" starting from the default value 0x93.
+NUM_PULSE_SHAPES = TC_PGDELAY_MAX - TC_PGDELAY_DEFAULT  # 108
+
+# --------------------------------------------------------------------------
+# Radio currents and supply (paper Sect. I / III)
+# --------------------------------------------------------------------------
+
+#: DW1000 current draw in receive mode [A] (paper: "up to 155 mA").
+RX_CURRENT_A = 0.155
+
+#: DW1000 current draw in transmit mode [A] (paper: "90 mA").
+TX_CURRENT_A = 0.090
+
+#: DW1000 idle current draw [A] (datasheet order of magnitude).
+IDLE_CURRENT_A = 0.018
+
+#: Deep-sleep current draw [A].
+SLEEP_CURRENT_A = 1e-6
+
+#: Nominal supply voltage [V].
+SUPPLY_VOLTAGE_V = 3.3
+
+# --------------------------------------------------------------------------
+# IEEE 802.15.4 UWB PHY timing (used to derive the paper's 178.5 us)
+# --------------------------------------------------------------------------
+
+#: Fundamental UWB chipping frequency [Hz].
+CHIP_FREQUENCY_HZ = 499.2e6
+
+#: Chip duration [s] (~2.0032 ns).
+CHIP_DURATION_S = 1.0 / CHIP_FREQUENCY_HZ
+
+#: Preamble symbol duration at PRF = 16 MHz [s]: length-31 code, spreading
+#: factor L = 16 -> 31 * 16 chips = 993.59 ns.
+PREAMBLE_SYMBOL_PRF16_S = 31 * 16 * CHIP_DURATION_S
+
+#: Preamble symbol duration at PRF = 64 MHz [s]: length-127 code, L = 4
+#: -> 127 * 4 chips = 1017.63 ns.
+PREAMBLE_SYMBOL_PRF64_S = 127 * 4 * CHIP_DURATION_S
+
+#: Response delay used by the paper's concurrent ranging scheme [s]
+#: (Sect. III: 178.5 us minimum + <100 us turnaround + safety gap).
+DELTA_RESP_S = 290e-6
+
+#: Experimentally evaluated upper bound for the DW1000 RX->TX turnaround [s]
+#: (paper Sect. III: "less than 100 us").
+RX_TX_TURNAROUND_S = 100e-6
+
+# --------------------------------------------------------------------------
+# Paper reference results (used in EXPERIMENTS.md comparisons)
+# --------------------------------------------------------------------------
+
+#: Sect. V: std-dev of SS-TWR error for pulse shapes s1, s2, s3 [m].
+PAPER_SIGMA_TWR_M = {"s1": 0.0228, "s2": 0.0221, "s3": 0.0283}
+
+#: Sect. VI: detection rate of both overlapping responses.
+PAPER_OVERLAP_DETECTION = {"search_and_subtract": 0.926, "threshold": 0.48}
+
+#: Table I: pulse-shape identification accuracy [%] per distance and shape.
+PAPER_TABLE1 = {
+    "s2": {6: 99.9, 7: 99.5, 8: 99.8, 9: 100.0, 10: 99.8},
+    "s3": {6: 99.2, 7: 99.7, 8: 99.9, 9: 100.0, 10: 100.0},
+}
+
+#: Sect. III: minimum response delay at DR=6.8 Mbps, PRF=64 MHz, PSR=128 [s].
+PAPER_MIN_DELTA_RESP_S = 178.5e-6

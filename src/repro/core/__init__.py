@@ -1,0 +1,60 @@
+"""The paper's primary contribution: practical concurrent ranging.
+
+* :mod:`repro.core.matched_filter` — the matched filter of Sect. IV
+  (Eq. 3), aligned so output indices coincide with pulse-peak positions.
+* :mod:`repro.core.detection` — the *search-and-subtract* response
+  detector (Sect. IV, steps 1-7).
+* :mod:`repro.core.threshold` — the threshold-based baseline detector
+  (Falsi et al., used as comparison in Sect. VI).
+* :mod:`repro.core.pulse_id` — responder identification from pulse shape
+  (Sect. V): a template-bank matched-filter classifier.
+* :mod:`repro.core.ranging` — SS-TWR (Eq. 2) and CIR-relative (Eq. 4)
+  distance computation.
+* :mod:`repro.core.alignment` — CIR-to-distance alignment using d_TWR
+  (Sect. IV, step 1).
+* :mod:`repro.core.rpm` — response position modulation (Sect. VII).
+* :mod:`repro.core.scheme` — RPM x pulse shaping combined scheme
+  (Sect. VIII).
+"""
+
+from repro.core.matched_filter import matched_filter
+from repro.core.detection import (
+    DetectedResponse,
+    SearchAndSubtract,
+    SearchAndSubtractConfig,
+)
+from repro.core.threshold import ThresholdDetector, ThresholdConfig
+from repro.core.pulse_id import PulseShapeClassifier, ClassifiedResponse
+from repro.core.ranging import (
+    twr_distance,
+    twr_distance_compensated,
+    ds_twr_distance,
+    concurrent_distances,
+    sort_responses,
+)
+from repro.core.alignment import distance_axis, align_responses_to_distance
+from repro.core.rpm import SlotPlan, paper_slot_count, safe_slot_count
+from repro.core.scheme import CombinedScheme, ResponderAssignment
+
+__all__ = [
+    "matched_filter",
+    "DetectedResponse",
+    "SearchAndSubtract",
+    "SearchAndSubtractConfig",
+    "ThresholdDetector",
+    "ThresholdConfig",
+    "PulseShapeClassifier",
+    "ClassifiedResponse",
+    "twr_distance",
+    "twr_distance_compensated",
+    "ds_twr_distance",
+    "concurrent_distances",
+    "sort_responses",
+    "distance_axis",
+    "align_responses_to_distance",
+    "SlotPlan",
+    "paper_slot_count",
+    "safe_slot_count",
+    "CombinedScheme",
+    "ResponderAssignment",
+]

@@ -1,0 +1,157 @@
+"""Distance computation: SS-TWR (Eq. 2) and concurrent ranging (Eq. 4).
+
+Equation 2 gives the anchor distance from the one decodable response's
+timestamps; equation 4 then places every other responder *relative* to
+that anchor using the peak-delay differences read out of the CIR, halved
+because the extra delay accrues on both the INIT and the RESP leg.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.core.detection import DetectedResponse
+
+
+def twr_distance(
+    t_tx_init_s: float,
+    t_rx_init_s: float,
+    t_rx_resp_s: float,
+    t_tx_resp_s: float,
+) -> float:
+    """Single-sided two-way ranging distance (paper Eq. 2).
+
+    Parameters follow Fig. 3: ``t_tx_init``/``t_rx_init`` are the
+    initiator's transmit/receive timestamps (its clock), and
+    ``t_rx_resp``/``t_tx_resp`` the responder's receive/transmit
+    timestamps (its clock).
+
+        d = ((t_rx,init - t_tx,init) - (t_tx,resp - t_rx,resp)) / 2 * c
+    """
+    t_round = t_rx_init_s - t_tx_init_s
+    t_reply = t_tx_resp_s - t_rx_resp_s
+    if t_round < 0:
+        raise ValueError(f"negative round-trip time {t_round}")
+    if t_reply < 0:
+        raise ValueError(f"negative reply time {t_reply}")
+    return (t_round - t_reply) / 2.0 * SPEED_OF_LIGHT
+
+
+def twr_distance_compensated(
+    t_tx_init_s: float,
+    t_rx_init_s: float,
+    t_rx_resp_s: float,
+    t_tx_resp_s: float,
+    relative_drift_ppm: float,
+) -> float:
+    """SS-TWR with clock-drift compensation.
+
+    ``relative_drift_ppm`` is the responder clock rate relative to the
+    initiator's, as estimated from the carrier frequency offset on real
+    DW1000s.  The responder-measured reply time is rescaled into
+    initiator clock units before applying Eq. 2; without this correction
+    a 290 µs reply delay and a few ppm of crystal offset would bias the
+    distance by tens of centimetres.
+    """
+    t_reply = (t_tx_resp_s - t_rx_resp_s) / (1.0 + relative_drift_ppm * 1e-6)
+    t_round = t_rx_init_s - t_tx_init_s
+    return (t_round - t_reply) / 2.0 * SPEED_OF_LIGHT
+
+
+def ds_twr_distance(
+    t_round1_s: float,
+    t_reply1_s: float,
+    t_round2_s: float,
+    t_reply2_s: float,
+) -> float:
+    """Asymmetric double-sided two-way ranging distance.
+
+    DS-TWR adds a third message (FINAL) so both sides measure one round
+    trip and one reply delay; the asymmetric combination
+
+        tof = (t_round1 * t_round2 - t_reply1 * t_reply2)
+              / (t_round1 + t_round2 + t_reply1 + t_reply2)
+
+    cancels clock drift to first order *without* a carrier-frequency-
+    offset estimate.  Included as the standard drift-immune baseline the
+    UWB community uses when a third message is affordable — concurrent
+    ranging's whole point is avoiding exactly that extra traffic.
+    """
+    for name, value in (
+        ("t_round1", t_round1_s),
+        ("t_reply1", t_reply1_s),
+        ("t_round2", t_round2_s),
+        ("t_reply2", t_reply2_s),
+    ):
+        if value < 0:
+            raise ValueError(f"{name} must be non-negative, got {value}")
+    denominator = t_round1_s + t_round2_s + t_reply1_s + t_reply2_s
+    if denominator <= 0:
+        raise ValueError("degenerate DS-TWR exchange (all durations zero)")
+    tof = (t_round1_s * t_round2_s - t_reply1_s * t_reply2_s) / denominator
+    return tof * SPEED_OF_LIGHT
+
+
+def sort_responses(
+    responses: Iterable[DetectedResponse],
+) -> List[DetectedResponse]:
+    """Order responses by delay ascending, independent of amplitude —
+    the paper's step 7, which makes ranging amplitude-agnostic."""
+    return sorted(responses, key=lambda response: response.delay_s)
+
+
+def concurrent_distances(
+    d_twr_m: float,
+    responses: Sequence[DetectedResponse],
+) -> List[float]:
+    """Distances of all responders from one CIR (paper Eq. 4).
+
+    The first (earliest) response belongs to the anchor responder at
+    distance ``d_twr_m``; every later response ``i`` lies at
+
+        d_i = d_TWR + c * (tau_i - tau_1) / 2
+
+    because its extra CIR delay accumulates over both the INIT and the
+    RESP propagation.
+
+    Returns one distance per response, in response order after sorting
+    by delay (the first entry equals ``d_twr_m``).
+    """
+    if d_twr_m < 0:
+        raise ValueError(f"anchor distance must be non-negative, got {d_twr_m}")
+    ordered = sort_responses(responses)
+    if len(ordered) == 0:
+        return []
+    tau_1 = ordered[0].delay_s
+    return [
+        d_twr_m + SPEED_OF_LIGHT * (response.delay_s - tau_1) / 2.0
+        for response in ordered
+    ]
+
+
+@dataclass(frozen=True)
+class RangingResult:
+    """Outcome of one concurrent ranging round.
+
+    ``distances_m[i]`` corresponds to ``responses[i]`` (delay-ascending);
+    ``responder_ids[i]`` is ``None`` when identification was not enabled
+    (plain Sect. IV operation) or could not be decoded.
+    """
+
+    d_twr_m: float
+    responses: tuple
+    distances_m: tuple
+    responder_ids: tuple
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    def distance_of(self, responder_id: int) -> float:
+        """Distance estimate for a responder ID; raises ``KeyError`` when
+        that ID was not decoded in this round."""
+        for rid, distance in zip(self.responder_ids, self.distances_m):
+            if rid == responder_id:
+                return distance
+        raise KeyError(f"responder {responder_id} not found in this result")

@@ -1,0 +1,14 @@
+"""Paper experiments: one module per table/figure.
+
+Every experiment module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.common.ExperimentResult` that knows the paper's
+reference numbers, the measured numbers, and how to print itself as the
+paper's table.  The benchmark suite calls these; so can users::
+
+    from repro.experiments import table1_pulse_id
+    print(table1_pulse_id.run(trials=200).render())
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,127 @@
+"""EXP-A1 — Ablation: detector performance vs response separation & SNR.
+
+Extends the paper's single-point Sect. VI comparison into full curves:
+sweep the true separation between two responses (0-6 ns) and the CIR
+SNR, and measure both detectors' both-found rates.  Expected shape: the
+threshold detector collapses below one pulse window of separation, while
+search-and-subtract keeps working down to a fraction of a pulse width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import detection_rate
+from repro.analysis.tables import Table
+from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
+from repro.core.threshold import ThresholdConfig, ThresholdDetector
+from repro.constants import CIR_SAMPLING_PERIOD_S
+from repro.experiments.common import ExperimentResult
+from repro.signal.pulses import dw1000_pulse
+from repro.signal.sampling import place_pulse
+
+CIR_LENGTH = 1016
+BASE_POSITION = 200.0
+MATCH_TOLERANCE_SAMPLES = 2.0
+
+SEPARATIONS_NS = (0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0)
+SNR_DB = 30.0
+
+
+def _trial(
+    separation_ns: float,
+    snr_db: float,
+    rng: np.random.Generator,
+    search: SearchAndSubtract,
+    threshold: ThresholdDetector,
+    template,
+) -> tuple[bool, bool]:
+    """One synthetic two-pulse CIR; returns (search_ok, threshold_ok)."""
+    amplitude = 10.0 ** (snr_db / 20.0)
+    noise_std = 1.0
+    cir = np.zeros(CIR_LENGTH, dtype=complex)
+    positions = (
+        BASE_POSITION,
+        BASE_POSITION + separation_ns * 1e-9 / CIR_SAMPLING_PERIOD_S,
+    )
+    for position in positions:
+        phase = np.exp(1j * rng.uniform(0, 2 * np.pi))
+        place_pulse(
+            cir, template.samples.astype(complex), position, amplitude * phase
+        )
+    cir += noise_std * (
+        rng.standard_normal(CIR_LENGTH) + 1j * rng.standard_normal(CIR_LENGTH)
+    ) / np.sqrt(2.0)
+
+    def both_found(detections) -> bool:
+        available = list(detections)
+        for truth in positions:
+            best, best_err = None, MATCH_TOLERANCE_SAMPLES
+            for det in available:
+                err = abs(det.index - truth)
+                if err <= best_err:
+                    best, best_err = det, err
+            if best is None:
+                return False
+            available.remove(best)
+        return True
+
+    search_detections = search.detect(
+        cir, CIR_SAMPLING_PERIOD_S, noise_std=noise_std
+    )
+    threshold_detections = threshold.detect(
+        cir, CIR_SAMPLING_PERIOD_S, noise_std=noise_std
+    )
+    return both_found(search_detections), both_found(threshold_detections)
+
+
+def run(trials: int = 100, seed: int = 37) -> ExperimentResult:
+    """Sweep separation at fixed SNR."""
+    rng = np.random.default_rng(seed)
+    template = dw1000_pulse()
+    search = SearchAndSubtract(
+        template, SearchAndSubtractConfig(max_responses=2, upsample_factor=8)
+    )
+    threshold = ThresholdDetector(
+        template, ThresholdConfig(max_responses=2, upsample_factor=8)
+    )
+
+    result = ExperimentResult(
+        experiment_id="Ablation A1",
+        description="detector success vs response separation",
+    )
+    table = Table(
+        ["separation [ns]", "search&subtract", "threshold"],
+        title=f"both-found rate over {trials} trials at {SNR_DB:.0f} dB SNR",
+    )
+    search_rates = []
+    threshold_rates = []
+    for separation in SEPARATIONS_NS:
+        outcomes = [
+            _trial(separation, SNR_DB, rng, search, threshold, template)
+            for _ in range(trials)
+        ]
+        s_rate = detection_rate([s for s, _ in outcomes])
+        t_rate = detection_rate([t for _, t in outcomes])
+        search_rates.append(s_rate)
+        threshold_rates.append(t_rate)
+        table.add_row([separation, s_rate, t_rate])
+    result.add_table(table)
+
+    # Headline: mean advantage over the overlapping regime (< 4 ns).
+    overlap_idx = [i for i, s in enumerate(SEPARATIONS_NS) if 0 < s < 4.0]
+    result.compare(
+        "mean_search_rate_overlapping",
+        float(np.mean([search_rates[i] for i in overlap_idx])),
+        paper=0.926,
+    )
+    result.compare(
+        "mean_threshold_rate_overlapping",
+        float(np.mean([threshold_rates[i] for i in overlap_idx])),
+        paper=0.48,
+    )
+    result.note(
+        "the paper reports one operating point (92.6 % vs 48 %); the sweep "
+        "shows where each detector breaks down"
+    )
+    return result

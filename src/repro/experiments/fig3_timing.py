@@ -1,0 +1,55 @@
+"""EXP-F3 — Fig. 3 / Sect. III: frame timing and the response delay.
+
+Checks the paper's arithmetic: with DR = 6.8 Mbps, PRF = 64 MHz,
+PSR = 128, the minimum RMARKER-to-RMARKER response delay (INIT PHR +
+payload, plus RESP preamble + SFD) is 178.5 us; adding the <100 us
+turnaround and a safety gap, the paper sets DELTA_RESP = 290 us.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.constants import DELTA_RESP_S, PAPER_MIN_DELTA_RESP_S
+from repro.experiments.common import ExperimentResult
+from repro.protocol.messages import INIT_PAYLOAD_BYTES
+from repro.radio.frame import (
+    RadioConfig,
+    frame_duration,
+    min_response_delay_s,
+)
+
+
+def run() -> ExperimentResult:
+    """Recompute the Sect. III timing budget from the PHY model."""
+    result = ExperimentResult(
+        experiment_id="Fig. 3 / Sect. III",
+        description="frame structure timing and minimum response delay",
+    )
+    config = RadioConfig()  # the paper's defaults
+    init = frame_duration(config, INIT_PAYLOAD_BYTES)
+    resp = frame_duration(config, 0)
+
+    table = Table(["frame section", "duration [us]"], title="frame timing budget")
+    table.add_row(["INIT PHR", init.phr_s * 1e6])
+    table.add_row([f"INIT payload ({INIT_PAYLOAD_BYTES} B)", init.payload_s * 1e6])
+    table.add_row(["RESP preamble (PSR=128)", resp.preamble_s * 1e6])
+    table.add_row(["RESP SFD", resp.sfd_s * 1e6])
+    minimum = init.after_rmarker_s + resp.shr_s
+    table.add_row(["minimum RMARKER-to-RMARKER", minimum * 1e6])
+    result.add_table(table)
+
+    with_turnaround = min_response_delay_s(config, INIT_PAYLOAD_BYTES)
+    result.compare(
+        "min_delay_us", minimum * 1e6, paper=PAPER_MIN_DELTA_RESP_S * 1e6, unit="us"
+    )
+    result.compare(
+        "with_turnaround_us", with_turnaround * 1e6, paper=278.5, unit="us"
+    )
+    result.compare(
+        "chosen_delta_resp_us", DELTA_RESP_S * 1e6, paper=290.0, unit="us"
+    )
+    result.note(
+        "DELTA_RESP (290 us) must exceed the turnaround-inclusive minimum; "
+        "the margin is the paper's 'safety gap'"
+    )
+    return result

@@ -1,0 +1,124 @@
+"""EXP-F8 — Fig. 8: nine responders via RPM x pulse shaping.
+
+The paper's capstone figure: N_RPM = 4 slots and N_PS = 3 shapes carry
+nine concurrent responders (capacity 12).  Every responder's slot comes
+from ``ID % 4`` and its shape from its ID; the initiator decodes all nine
+identities and distances from a single CIR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import detection_rate
+from repro.analysis.tables import Table
+from repro.channel.stochastic import IndoorEnvironment
+from repro.core.detection import SearchAndSubtractConfig
+from repro.core.rpm import SlotPlan
+from repro.core.scheme import CombinedScheme
+from repro.experiments.common import ExperimentResult
+from repro.netsim.medium import Medium
+from repro.netsim.node import Node
+from repro.protocol.concurrent import ConcurrentRangingSession
+from repro.signal.templates import TemplateBank
+
+N_SLOTS = 4
+N_SHAPES = 3
+N_RESPONDERS = 9
+
+#: Responder distances [m]; spread inside a 12 m operating range so that
+#: same-slot responders differ by pulse shape, as in the paper's sketch.
+DISTANCES_M = (3.0, 4.5, 6.0, 7.5, 9.0, 10.5, 12.0, 5.0, 8.0)
+
+
+def build_session(
+    seed: int = 31, compensate_tx_quantization: bool = True
+) -> ConcurrentRangingSession:
+    """The Fig. 8 topology: 9 responders on distinct bearings."""
+    rng = np.random.default_rng(seed)
+    medium = Medium(environment=IndoorEnvironment.hallway(), rng=rng)
+    initiator = Node.at(0, 0.0, 0.0, rng=rng)
+    responders = []
+    for i, distance in enumerate(DISTANCES_M):
+        angle = 2.0 * np.pi * i / len(DISTANCES_M)
+        responders.append(
+            Node.at(
+                i + 1,
+                float(distance * np.cos(angle)),
+                float(distance * np.sin(angle)),
+                rng=rng,
+            )
+        )
+    medium.add_nodes([initiator] + responders)
+    bank = TemplateBank.paper_bank(N_SHAPES)
+    # Slot width sized for the experiment's <= 15 m operating range.
+    plan = SlotPlan.for_range(15.0, mode="safe", n_slots=N_SLOTS)
+    scheme = CombinedScheme(plan, bank)
+    return ConcurrentRangingSession(
+        medium=medium,
+        initiator=initiator,
+        responders=responders,
+        scheme=scheme,
+        detector_config=SearchAndSubtractConfig(
+            max_responses=N_RESPONDERS, upsample_factor=8
+        ),
+        compensate_tx_quantization=compensate_tx_quantization,
+        rng=rng,
+    )
+
+
+def run(trials: int = 100, seed: int = 31) -> ExperimentResult:
+    """Monte-Carlo reproduction of the Fig. 8 decode."""
+    session = build_session(seed)
+    identified_counts = []
+    per_responder_hits = np.zeros(N_RESPONDERS)
+    errors = []
+    for _ in range(trials):
+        outcome = session.run_round()
+        identified = [o.identified for o in outcome.outcomes]
+        identified_counts.append(sum(identified))
+        for i, ok in enumerate(identified):
+            per_responder_hits[i] += ok
+        errors.extend(
+            abs(o.error_m)
+            for o in outcome.outcomes
+            if o.identified and o.error_m is not None
+        )
+
+    result = ExperimentResult(
+        experiment_id="Fig. 8",
+        description="combined RPM x pulse shaping with 9 responders",
+    )
+    table = Table(
+        ["responder ID", "slot (ID % 4)", "shape", "true dist [m]",
+         "identified rate"],
+        title=f"Fig. 8 reproduction ({trials} rounds)",
+    )
+    for i in range(N_RESPONDERS):
+        assignment = session.scheme.assignment(i)
+        table.add_row(
+            [
+                i,
+                assignment.slot,
+                assignment.shape_name,
+                DISTANCES_M[i],
+                per_responder_hits[i] / trials,
+            ]
+        )
+    result.add_table(table)
+
+    result.compare(
+        "mean_identified_of_9", float(np.mean(identified_counts)), paper=9.0
+    )
+    result.compare(
+        "capacity", float(session.scheme.capacity), paper=12.0, unit="responders"
+    )
+    if errors:
+        result.compare(
+            "median_abs_error_m", float(np.median(errors)), paper=None, unit="m"
+        )
+    result.note(
+        "paper illustrates one round with all nine responders decoded; "
+        "capacity N_max = N_RPM * N_PS = 12"
+    )
+    return result

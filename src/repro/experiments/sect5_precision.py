@@ -1,0 +1,69 @@
+"""EXP-S5 — Sect. V: pulse shaping does not hurt ranging precision.
+
+The paper places two nodes 3 m apart in an office, runs 5000 SS-TWR
+exchanges per pulse shape (s1, s2, s3), and reports the standard
+deviation of the ranging error: 0.0228 m, 0.0221 m, 0.0283 m — i.e. all
+shapes land in the same 2-3 cm band, so pulse shaping is free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import std, summarize_errors
+from repro.analysis.tables import Table
+from repro.channel.stochastic import IndoorEnvironment
+from repro.constants import PAPER_SIGMA_TWR_M
+from repro.experiments.common import ExperimentResult
+from repro.netsim.medium import Medium
+from repro.netsim.node import Node
+from repro.protocol.twr import SsTwr
+from repro.radio.frame import RadioConfig
+
+DISTANCE_M = 3.0
+SHAPE_REGISTERS = {"s1": 0x93, "s2": 0xC8, "s3": 0xE6}
+
+
+def twr_errors(
+    register: int, trials: int, seed: int
+) -> np.ndarray:
+    """Ranging errors of ``trials`` SS-TWR exchanges with one shape."""
+    rng = np.random.default_rng(seed)
+    medium = Medium(environment=IndoorEnvironment.office(), rng=rng)
+    config = RadioConfig(tc_pgdelay=register)
+    initiator = Node.at(0, 0.0, 0.0, rng=rng, config=config)
+    responder = Node.at(1, DISTANCE_M, 0.0, rng=rng, config=config)
+    medium.add_nodes([initiator, responder])
+    twr = SsTwr(medium, initiator, responder)
+    distances = twr.run_many(trials, rng)
+    return distances - DISTANCE_M
+
+
+def run(trials: int = 1000, seed: int = 29) -> ExperimentResult:
+    """Reproduce the Sect. V precision comparison (paper: 5000 trials)."""
+    result = ExperimentResult(
+        experiment_id="Sect. V precision",
+        description="SS-TWR error std per pulse shape (2 nodes, 3 m apart)",
+    )
+    table = Table(
+        ["shape", "register", "sigma measured [m]", "sigma paper [m]"],
+        title=f"Sect. V reproduction ({trials} SS-TWR exchanges per shape)",
+    )
+    sigmas = {}
+    for name, register in SHAPE_REGISTERS.items():
+        errors = twr_errors(register, trials, seed + register)
+        sigma = float(np.std(errors))
+        sigmas[name] = sigma
+        table.add_row([name, f"0x{register:02X}", sigma, PAPER_SIGMA_TWR_M[name]])
+        result.compare(
+            f"sigma_{name}_m", sigma, paper=PAPER_SIGMA_TWR_M[name], unit="m"
+        )
+    result.add_table(table)
+
+    spread = max(sigmas.values()) / min(sigmas.values())
+    result.compare("max_over_min_sigma", spread, paper=0.0283 / 0.0221)
+    result.note(
+        "shape criterion: all three sigmas in the 2-3 cm band -> pulse "
+        "shaping has negligible impact on ranging precision"
+    )
+    return result

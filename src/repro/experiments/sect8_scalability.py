@@ -1,0 +1,102 @@
+"""EXP-S8 — Sect. VIII: scalability of the combined scheme.
+
+Three claims are checked:
+
+1. RPM alone supports only ``N_RPM = delta_max * c / r_max`` responders
+   (~4 at r_max = 75 m).
+2. Combining RPM with ~100 pulse shapes at r_max = 20 m supports more
+   than 1500 responders.
+3. Message cost for full-network ranging drops from ``N (N - 1)``
+   (scheduled SS-TWR) to ``N``-order (concurrent), with corresponding
+   energy and channel-utilization gains.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.constants import RPM_MAX_OFFSET_M
+from repro.core.rpm import paper_slot_count, safe_slot_count
+from repro.experiments.common import ExperimentResult
+from repro.protocol.scheduling import network_sweep
+
+#: Pulse-shape count the paper assumes for the >1500-responder claim.
+PAPER_SHAPE_COUNT = 100
+
+NETWORK_SIZES = (2, 5, 10, 20, 50, 100)
+
+
+def run() -> ExperimentResult:
+    """Recompute every Sect. VIII scalability number."""
+    result = ExperimentResult(
+        experiment_id="Sect. VIII",
+        description="scalability: slots, capacity, and message cost",
+    )
+
+    # -- claim 1 and 2: slots and capacity -------------------------------
+    capacity = Table(
+        ["r_max [m]", "N_RPM (paper formula)", "N_RPM (safe)",
+         "N_max = N_RPM x 100 shapes"],
+        title="responder capacity vs communication range",
+    )
+    for r_max in (75.0, 50.0, 20.0, 10.0):
+        n_paper = paper_slot_count(r_max)
+        capacity.add_row(
+            [r_max, n_paper, safe_slot_count(r_max), n_paper * PAPER_SHAPE_COUNT]
+        )
+    result.add_table(capacity)
+
+    result.compare("delta_max_distance_m", RPM_MAX_OFFSET_M, paper=307.0, unit="m")
+    result.compare(
+        "n_rpm_75m", float(paper_slot_count(75.0)), paper=4.0, unit="slots"
+    )
+    result.compare(
+        "n_max_20m",
+        float(paper_slot_count(20.0) * PAPER_SHAPE_COUNT),
+        paper=1500.0,
+        unit="responders",
+    )
+
+    # -- claim 3: message/energy cost ------------------------------------
+    costs = Table(
+        [
+            "N nodes",
+            "scheduled msgs (N(N-1))",
+            "concurrent msgs",
+            "scheduled energy [mJ]",
+            "concurrent energy [mJ]",
+            "duration ratio",
+        ],
+        title="full-network ranging cost",
+    )
+    for scheduled, concurrent in network_sweep(NETWORK_SIZES):
+        costs.add_row(
+            [
+                scheduled.n_nodes,
+                scheduled.messages,
+                concurrent.messages,
+                scheduled.energy_j * 1e3,
+                concurrent.energy_j * 1e3,
+                scheduled.duration_s / concurrent.duration_s,
+            ]
+        )
+    result.add_table(costs)
+
+    scheduled_100, concurrent_100 = network_sweep([100])[0]
+    result.compare(
+        "scheduled_messages_n100",
+        float(scheduled_100.messages),
+        paper=float(100 * 99),
+    )
+    result.compare(
+        "concurrent_messages_n100", float(concurrent_100.messages), paper=200.0
+    )
+    result.compare(
+        "energy_gain_n100",
+        scheduled_100.energy_j / concurrent_100.energy_j,
+        paper=None,
+    )
+    result.note(
+        "paper counts the aggregated concurrent response as one message: "
+        "N(N-1) -> order-N; energy and duration gains scale the same way"
+    )
+    return result

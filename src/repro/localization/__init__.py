@@ -1,0 +1,36 @@
+"""Anchor-based localization on top of concurrent ranging.
+
+The paper's stated future work: "use concurrent ranging to build an
+efficient cooperative or anchor-based localization system".  This
+subpackage implements the anchor-based variant: a mobile tag initiates a
+single concurrent ranging round towards fixed anchors and multilaterates
+its own position from the decoded (anchor ID, distance) pairs.
+"""
+
+from repro.localization.multilateration import (
+    multilaterate,
+    multilaterate_robust,
+    MultilaterationResult,
+    gdop,
+)
+from repro.localization.anchors import AnchorNetwork, PositionFix
+from repro.localization.tracking import ConstantVelocityTracker, TrackState
+from repro.localization.cooperative import (
+    RangeMeasurement,
+    CooperativeResult,
+    solve_cooperative,
+)
+
+__all__ = [
+    "multilaterate",
+    "multilaterate_robust",
+    "MultilaterationResult",
+    "gdop",
+    "AnchorNetwork",
+    "PositionFix",
+    "RangeMeasurement",
+    "CooperativeResult",
+    "solve_cooperative",
+    "ConstantVelocityTracker",
+    "TrackState",
+]

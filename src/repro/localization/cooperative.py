@@ -1,0 +1,181 @@
+"""Cooperative localization: joint position estimation over a graph.
+
+The paper's future work names "an efficient cooperative *or*
+anchor-based localization system"; :mod:`repro.localization.anchors`
+covers the anchor-based half, this module the cooperative half.  Tags
+measure ranges not only to anchors but also to *each other* (each tag's
+concurrent-ranging round picks up every responding neighbour), and all
+unknown positions are solved jointly: inter-tag ranges couple the
+estimates, so tags with poor anchor geometry borrow information from
+better-placed neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.geometry import Point
+
+MAX_ITERATIONS = 100
+CONVERGENCE_M = 1e-6
+
+
+@dataclass(frozen=True)
+class RangeMeasurement:
+    """One measured distance between two nodes (either may be a tag)."""
+
+    node_a: int
+    node_b: int
+    distance_m: float
+
+    def __post_init__(self) -> None:
+        if self.node_a == self.node_b:
+            raise ValueError(f"self-range on node {self.node_a}")
+        if self.distance_m < 0:
+            raise ValueError(f"negative range {self.distance_m}")
+
+
+@dataclass(frozen=True)
+class CooperativeResult:
+    """Joint solution for all unknown nodes."""
+
+    positions: Dict[int, Point]
+    iterations: int
+    converged: bool
+    rms_residual_m: float
+
+
+def _node_position(
+    node: int,
+    anchors: Dict[int, Point],
+    estimates: Dict[int, np.ndarray],
+) -> np.ndarray:
+    if node in anchors:
+        return np.array([anchors[node].x, anchors[node].y])
+    return estimates[node]
+
+
+def solve_cooperative(
+    anchors: Dict[int, Point],
+    measurements: Sequence[RangeMeasurement],
+    unknowns: Sequence[int],
+    initial: Dict[int, Point] | None = None,
+) -> CooperativeResult:
+    """Jointly estimate all unknown node positions by Gauss-Newton.
+
+    Parameters
+    ----------
+    anchors:
+        Known positions keyed by node id.
+    measurements:
+        Ranges between any two nodes; measurements between two anchors
+        are ignored (they carry no information about the unknowns).
+    unknowns:
+        Node ids to solve for.  Every unknown must appear in at least
+        two measurements for the 2-D problem to be (locally) solvable.
+    initial:
+        Optional starting positions; default is the anchor centroid,
+        jittered slightly per node so co-initialised tags can separate.
+
+    Raises
+    ------
+    ValueError
+        On unknown/anchor id overlap, missing measurements, or an
+        unknown mentioned in no measurement.
+    """
+    unknowns = list(unknowns)
+    if not unknowns:
+        raise ValueError("no unknown nodes to solve for")
+    overlap = set(unknowns) & set(anchors)
+    if overlap:
+        raise ValueError(f"nodes {sorted(overlap)} are both anchor and unknown")
+    useful = [
+        m
+        for m in measurements
+        if m.node_a in unknowns or m.node_b in unknowns
+    ]
+    if not useful:
+        raise ValueError("no measurement involves an unknown node")
+    mentioned = {m.node_a for m in useful} | {m.node_b for m in useful}
+    missing = [u for u in unknowns if u not in mentioned]
+    if missing:
+        raise ValueError(f"unknown nodes {missing} appear in no measurement")
+    for m in useful:
+        for node in (m.node_a, m.node_b):
+            if node not in anchors and node not in unknowns:
+                raise ValueError(
+                    f"measurement references node {node} that is neither "
+                    f"anchor nor unknown"
+                )
+
+    if anchors:
+        centroid = np.array(
+            [
+                np.mean([p.x for p in anchors.values()]),
+                np.mean([p.y for p in anchors.values()]),
+            ]
+        )
+    else:
+        centroid = np.zeros(2)
+    estimates: Dict[int, np.ndarray] = {}
+    for i, node in enumerate(unknowns):
+        if initial is not None and node in initial:
+            estimates[node] = np.array([initial[node].x, initial[node].y])
+        else:
+            # Deterministic per-node jitter so identical starts separate.
+            angle = 2.0 * np.pi * i / max(len(unknowns), 1)
+            estimates[node] = centroid + 0.5 * np.array(
+                [np.cos(angle), np.sin(angle)]
+            )
+
+    index_of = {node: i for i, node in enumerate(unknowns)}
+    n_params = 2 * len(unknowns)
+
+    converged = False
+    iteration = 0
+    for iteration in range(1, MAX_ITERATIONS + 1):
+        residuals = np.zeros(len(useful))
+        jacobian = np.zeros((len(useful), n_params))
+        for row, m in enumerate(useful):
+            pa = _node_position(m.node_a, anchors, estimates)
+            pb = _node_position(m.node_b, anchors, estimates)
+            delta = pa - pb
+            predicted = max(float(np.linalg.norm(delta)), 1e-9)
+            residuals[row] = m.distance_m - predicted
+            gradient = delta / predicted
+            if m.node_a in index_of:
+                jacobian[row, 2 * index_of[m.node_a] : 2 * index_of[m.node_a] + 2] = (
+                    gradient
+                )
+            if m.node_b in index_of:
+                jacobian[row, 2 * index_of[m.node_b] : 2 * index_of[m.node_b] + 2] = (
+                    -gradient
+                )
+        try:
+            step, *_ = np.linalg.lstsq(jacobian, -residuals, rcond=None)
+        except np.linalg.LinAlgError:
+            break
+        for node, i in index_of.items():
+            estimates[node] = estimates[node] - step[2 * i : 2 * i + 2]
+        if np.linalg.norm(step) < CONVERGENCE_M:
+            converged = True
+            break
+
+    final_residuals = []
+    for m in useful:
+        pa = _node_position(m.node_a, anchors, estimates)
+        pb = _node_position(m.node_b, anchors, estimates)
+        final_residuals.append(m.distance_m - float(np.linalg.norm(pa - pb)))
+    rms = float(np.sqrt(np.mean(np.square(final_residuals))))
+    return CooperativeResult(
+        positions={
+            node: Point(float(p[0]), float(p[1]))
+            for node, p in estimates.items()
+        },
+        iterations=iteration,
+        converged=converged,
+        rms_residual_m=rms,
+    )

@@ -1,0 +1,175 @@
+"""Position estimation from anchor distances.
+
+Gauss-Newton nonlinear least squares over the range residuals, with an
+optional Huber-weighted robust variant that tolerates one or two grossly
+wrong ranges (e.g. a responder whose ID was mis-decoded or whose direct
+path was blocked).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.channel.geometry import Point
+
+#: Convergence threshold on the position update [m].
+CONVERGENCE_M = 1e-6
+
+#: Default Huber clipping width [m] for the robust variant.
+HUBER_DELTA_M = 0.5
+
+MAX_ITERATIONS = 50
+
+
+@dataclass(frozen=True)
+class MultilaterationResult:
+    """Estimated position plus fit diagnostics."""
+
+    position: Point
+    residuals_m: tuple
+    iterations: int
+    converged: bool
+
+    @property
+    def rms_residual_m(self) -> float:
+        res = np.asarray(self.residuals_m)
+        return float(np.sqrt(np.mean(res**2))) if len(res) else 0.0
+
+
+def _initial_guess(anchors: Sequence[Point]) -> np.ndarray:
+    """Centroid of the anchors — a safe, geometry-agnostic start."""
+    xs = np.array([a.x for a in anchors])
+    ys = np.array([a.y for a in anchors])
+    return np.array([xs.mean(), ys.mean()])
+
+
+def _gauss_newton(
+    anchors: Sequence[Point],
+    distances_m: Sequence[float],
+    weights_fn,
+    initial: np.ndarray | None,
+) -> MultilaterationResult:
+    positions = np.array([[a.x, a.y] for a in anchors], dtype=float)
+    measured = np.asarray(distances_m, dtype=float)
+    estimate = (
+        initial.copy() if initial is not None else _initial_guess(anchors)
+    )
+
+    converged = False
+    iteration = 0
+    for iteration in range(1, MAX_ITERATIONS + 1):
+        deltas = estimate[None, :] - positions
+        predicted = np.linalg.norm(deltas, axis=1)
+        predicted = np.maximum(predicted, 1e-9)
+        residuals = measured - predicted
+        weights = weights_fn(residuals)
+        # Jacobian of predicted distance wrt position.
+        jacobian = deltas / predicted[:, None]
+        w = np.sqrt(weights)
+        try:
+            step, *_ = np.linalg.lstsq(
+                jacobian * w[:, None], -residuals * w, rcond=None
+            )
+        except np.linalg.LinAlgError:
+            break
+        estimate = estimate - step
+        if np.linalg.norm(step) < CONVERGENCE_M:
+            converged = True
+            break
+
+    deltas = estimate[None, :] - positions
+    final_residuals = measured - np.linalg.norm(deltas, axis=1)
+    return MultilaterationResult(
+        position=Point(float(estimate[0]), float(estimate[1])),
+        residuals_m=tuple(float(r) for r in final_residuals),
+        iterations=iteration,
+        converged=converged,
+    )
+
+
+def multilaterate(
+    anchors: Sequence[Point],
+    distances_m: Sequence[float],
+    initial: Point | None = None,
+) -> MultilaterationResult:
+    """Least-squares position from >= 3 anchor distances.
+
+    Raises ``ValueError`` with fewer than three anchors (the 2-D problem
+    is under-determined) or mismatched input lengths.
+    """
+    if len(anchors) != len(distances_m):
+        raise ValueError(
+            f"{len(anchors)} anchors but {len(distances_m)} distances"
+        )
+    if len(anchors) < 3:
+        raise ValueError(
+            f"2-D multilateration needs >= 3 anchors, got {len(anchors)}"
+        )
+    if any(d < 0 for d in distances_m):
+        raise ValueError("distances must be non-negative")
+    start = np.array([initial.x, initial.y]) if initial is not None else None
+    return _gauss_newton(
+        anchors, distances_m, lambda r: np.ones_like(r), start
+    )
+
+
+def multilaterate_robust(
+    anchors: Sequence[Point],
+    distances_m: Sequence[float],
+    initial: Point | None = None,
+    huber_delta_m: float = HUBER_DELTA_M,
+) -> MultilaterationResult:
+    """Huber-weighted multilateration.
+
+    Residuals beyond ``huber_delta_m`` are down-weighted (IRLS), which
+    keeps one badly wrong range (mis-identified responder, NLOS bias)
+    from dragging the fix.
+    """
+    if huber_delta_m <= 0:
+        raise ValueError(f"huber_delta_m must be positive, got {huber_delta_m}")
+    if len(anchors) != len(distances_m):
+        raise ValueError(
+            f"{len(anchors)} anchors but {len(distances_m)} distances"
+        )
+    if len(anchors) < 3:
+        raise ValueError(
+            f"2-D multilateration needs >= 3 anchors, got {len(anchors)}"
+        )
+
+    def huber_weights(residuals: np.ndarray) -> np.ndarray:
+        magnitude = np.abs(residuals)
+        weights = np.ones_like(magnitude)
+        outliers = magnitude > huber_delta_m
+        weights[outliers] = huber_delta_m / magnitude[outliers]
+        return weights
+
+    start = np.array([initial.x, initial.y]) if initial is not None else None
+    return _gauss_newton(anchors, distances_m, huber_weights, start)
+
+
+def gdop(anchors: Sequence[Point], position: Point) -> float:
+    """Geometric dilution of precision of an anchor layout at a point.
+
+    Smaller is better; values explode when the anchors are (nearly)
+    collinear as seen from the position.
+    """
+    if len(anchors) < 3:
+        raise ValueError(f"GDOP needs >= 3 anchors, got {len(anchors)}")
+    rows = []
+    for anchor in anchors:
+        dx = position.x - anchor.x
+        dy = position.y - anchor.y
+        r = math.hypot(dx, dy)
+        if r < 1e-9:
+            raise ValueError("position coincides with an anchor")
+        rows.append([dx / r, dy / r])
+    geometry = np.asarray(rows)
+    try:
+        covariance = np.linalg.inv(geometry.T @ geometry)
+    except np.linalg.LinAlgError:
+        return float("inf")
+    return float(math.sqrt(np.trace(covariance)))

@@ -1,0 +1,137 @@
+"""Constant-velocity Kalman tracking over concurrent-ranging fixes.
+
+A mobile tag produces one position fix per concurrent-ranging round;
+consecutive fixes are physically correlated through the tag's motion.
+This module adds the standard constant-velocity Kalman filter a deployed
+localization system would run on top of the per-round fixes, smoothing
+the centimetre-scale measurement noise (and riding out occasional bad
+fixes when gating is enabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.channel.geometry import Point
+
+#: Default process noise: white acceleration with this std [m/s^2].
+DEFAULT_ACCEL_STD = 0.5
+
+#: Default measurement noise std of one concurrent-ranging fix [m].
+DEFAULT_MEASUREMENT_STD = 0.08
+
+#: Innovation gate in Mahalanobis sigmas; measurements farther out are
+#: rejected as bad fixes (mis-identified anchor, NLOS bias).
+DEFAULT_GATE_SIGMA = 4.0
+
+
+@dataclass(frozen=True)
+class TrackState:
+    """Filtered kinematic state at one update."""
+
+    position: Point
+    velocity: tuple
+    time_s: float
+    accepted: bool
+
+    @property
+    def speed_mps(self) -> float:
+        return float(np.hypot(*self.velocity))
+
+
+class ConstantVelocityTracker:
+    """2-D constant-velocity Kalman filter over position fixes."""
+
+    def __init__(
+        self,
+        accel_std: float = DEFAULT_ACCEL_STD,
+        measurement_std: float = DEFAULT_MEASUREMENT_STD,
+        gate_sigma: float = DEFAULT_GATE_SIGMA,
+    ) -> None:
+        if accel_std <= 0 or measurement_std <= 0:
+            raise ValueError("noise parameters must be positive")
+        if gate_sigma <= 0:
+            raise ValueError("gate must be positive")
+        self.accel_std = float(accel_std)
+        self.measurement_std = float(measurement_std)
+        self.gate_sigma = float(gate_sigma)
+        self._state: np.ndarray | None = None  # [x, y, vx, vy]
+        self._covariance: np.ndarray | None = None
+        self._last_time: float | None = None
+
+    @property
+    def initialized(self) -> bool:
+        return self._state is not None
+
+    def _transition(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
+        f = np.eye(4)
+        f[0, 2] = f[1, 3] = dt
+        # White-acceleration process noise.
+        q_scalar = self.accel_std**2
+        g = np.array([[0.5 * dt**2, 0], [0, 0.5 * dt**2], [dt, 0], [0, dt]])
+        q = q_scalar * (g @ g.T)
+        return f, q
+
+    def update(self, measurement: Point, time_s: float) -> TrackState:
+        """Fold one position fix into the track.
+
+        The first call initialises the filter at the measurement with
+        zero velocity and large uncertainty.  Later calls predict to the
+        measurement time, gate the innovation, and correct.
+        """
+        z = np.array([measurement.x, measurement.y])
+        r = self.measurement_std**2 * np.eye(2)
+        h = np.zeros((2, 4))
+        h[0, 0] = h[1, 1] = 1.0
+
+        if self._state is None:
+            self._state = np.array([z[0], z[1], 0.0, 0.0])
+            self._covariance = np.diag(
+                [r[0, 0], r[1, 1], 4.0, 4.0]
+            )
+            self._last_time = time_s
+            return self._snapshot(time_s, accepted=True)
+
+        dt = time_s - self._last_time
+        if dt < 0:
+            raise ValueError(
+                f"measurements must be time-ordered (dt = {dt})"
+            )
+        f, q = self._transition(dt)
+        state = f @ self._state
+        covariance = f @ self._covariance @ f.T + q
+
+        innovation = z - h @ state
+        s = h @ covariance @ h.T + r
+        mahalanobis = float(np.sqrt(innovation @ np.linalg.solve(s, innovation)))
+        accepted = mahalanobis <= self.gate_sigma
+        if accepted:
+            gain = covariance @ h.T @ np.linalg.inv(s)
+            state = state + gain @ innovation
+            covariance = (np.eye(4) - gain @ h) @ covariance
+
+        self._state = state
+        self._covariance = covariance
+        self._last_time = time_s
+        return self._snapshot(time_s, accepted=accepted)
+
+    def _snapshot(self, time_s: float, accepted: bool) -> TrackState:
+        return TrackState(
+            position=Point(float(self._state[0]), float(self._state[1])),
+            velocity=(float(self._state[2]), float(self._state[3])),
+            time_s=time_s,
+            accepted=accepted,
+        )
+
+    def track(
+        self, measurements: List[Point], interval_s: float = 0.1
+    ) -> List[TrackState]:
+        """Filter a uniformly-sampled sequence of fixes."""
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        return [
+            self.update(m, i * interval_s) for i, m in enumerate(measurements)
+        ]

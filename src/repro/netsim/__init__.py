@@ -1,0 +1,25 @@
+"""Discrete-event network simulator with UWB signal superposition.
+
+* :mod:`repro.netsim.engine` — a minimal, deterministic event queue.
+* :mod:`repro.netsim.node` — positioned nodes owning a DW1000 radio.
+* :mod:`repro.netsim.medium` — the wireless medium: per-link channel
+  realisations, propagation delays, and delivery of (possibly
+  overlapping) frames to receivers.
+* :mod:`repro.netsim.trace` — structured event traces for debugging and
+  for the energy/airtime accounting of the scalability benchmarks.
+"""
+
+from repro.netsim.engine import EventQueue, Event
+from repro.netsim.node import Node
+from repro.netsim.medium import Medium, FrameTransmission
+from repro.netsim.trace import TraceRecorder, TraceEvent
+
+__all__ = [
+    "EventQueue",
+    "Event",
+    "Node",
+    "Medium",
+    "FrameTransmission",
+    "TraceRecorder",
+    "TraceEvent",
+]

@@ -1,0 +1,120 @@
+"""A minimal deterministic discrete-event engine.
+
+The protocol simulations are choreographies of a handful of events
+(transmissions, receptions, turnarounds), but their *order* matters and
+several can coincide — concurrent ranging exists precisely because many
+RESP frames hit the initiator at (almost) the same instant.  The engine
+orders events by (time, sequence number), so simultaneous events run in
+scheduling order and every run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled event.
+
+    Ordering is by time, then by insertion sequence (stable for ties).
+    The callback and payload do not participate in ordering.
+    """
+
+    time_s: float
+    sequence: int
+    callback: Callable[["EventQueue", Any], None] = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    label: str = field(compare=False, default="")
+
+
+class EventQueue:
+    """A deterministic event queue with simulated time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet executed."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(
+        self,
+        time_s: float,
+        callback: Callable[["EventQueue", Any], None],
+        payload: Any = None,
+        label: str = "",
+    ) -> Event:
+        """Schedule a callback at an absolute simulated time.
+
+        Scheduling in the past (before the current simulated time) is an
+        error — it would make event order ambiguous.
+        """
+        if time_s < self._now:
+            raise ValueError(
+                f"cannot schedule at {time_s} before current time {self._now}"
+            )
+        event = Event(
+            time_s=time_s,
+            sequence=next(self._counter),
+            callback=callback,
+            payload=payload,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay_s: float,
+        callback: Callable[["EventQueue", Any], None],
+        payload: Any = None,
+        label: str = "",
+    ) -> Event:
+        """Schedule a callback ``delay_s`` after the current time."""
+        if delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        return self.schedule(self._now + delay_s, callback, payload, label)
+
+    def step(self) -> Event | None:
+        """Execute the next event; returns it, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._now = event.time_s
+        self._processed += 1
+        event.callback(self, event.payload)
+        return event
+
+    def run(self, until_s: float | None = None, max_events: int = 1_000_000) -> int:
+        """Run events until the queue drains, ``until_s`` is passed, or
+        ``max_events`` have executed.  Returns the number executed."""
+        executed = 0
+        while self._heap and executed < max_events:
+            if until_s is not None and self._heap[0].time_s > until_s:
+                break
+            self.step()
+            executed += 1
+        if executed >= max_events and self._heap:
+            raise RuntimeError(
+                f"event budget of {max_events} exhausted with "
+                f"{len(self._heap)} events pending — likely a scheduling loop"
+            )
+        return executed

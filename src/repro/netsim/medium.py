@@ -1,0 +1,149 @@
+"""The wireless medium: per-link channels and frame delivery.
+
+The medium owns the channel model.  For every (transmitter, receiver)
+pair it draws a :class:`~repro.channel.cir.ChannelRealization` — either
+from a stochastic indoor environment (Monte-Carlo experiments) or from a
+geometric room model (deterministic figures).  Links are reciprocal
+within one coherence interval: the INIT and RESP legs of a ranging
+exchange see the same taps, as they do physically within a channel
+coherence time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.channel.cir import ChannelRealization
+from repro.channel.geometry import Room, image_source_taps
+from repro.channel.stochastic import IndoorEnvironment
+from repro.netsim.node import Node
+from repro.radio.dw1000 import SignalArrival
+from repro.signal.pulses import Pulse
+
+
+@dataclass(frozen=True)
+class FrameTransmission:
+    """A frame on the air: who sent it, when, with which pulse shape.
+
+    ``payload`` carries protocol data (e.g. embedded timestamps); the
+    medium never interprets it.
+    """
+
+    tx_node_id: int
+    tx_time_s: float
+    pulse: Pulse
+    payload: object = None
+    airtime_s: float = 0.0
+
+
+class Medium:
+    """Connects nodes through a channel model.
+
+    Parameters
+    ----------
+    environment:
+        Stochastic channel generator used for links (ignored when a
+        ``room`` is given).
+    room:
+        Optional geometric room; when set, deterministic image-source
+        taps are used instead of the stochastic environment.
+    rng:
+        Random generator for channel draws and noise.
+    """
+
+    def __init__(
+        self,
+        environment: IndoorEnvironment | None = None,
+        room: Room | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.environment = environment or IndoorEnvironment.office()
+        self.room = room
+        self.rng = rng or np.random.default_rng()
+        self._nodes: Dict[int, Node] = {}
+        self._links: Dict[Tuple[int, int], ChannelRealization] = {}
+
+    # -- topology ----------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    def node(self, node_id: int) -> Node:
+        return self._nodes[node_id]
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    # -- channels ----------------------------------------------------------
+
+    def _link_key(self, a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def channel_between(self, a_id: int, b_id: int) -> ChannelRealization:
+        """The channel realization of a link (reciprocal, cached for the
+        current coherence interval; see :meth:`new_coherence_interval`)."""
+        if a_id == b_id:
+            raise ValueError(f"node {a_id} cannot have a channel to itself")
+        key = self._link_key(a_id, b_id)
+        if key not in self._links:
+            self._links[key] = self._draw_channel(a_id, b_id)
+        return self._links[key]
+
+    def _draw_channel(self, a_id: int, b_id: int) -> ChannelRealization:
+        node_a = self._nodes[a_id]
+        node_b = self._nodes[b_id]
+        if self.room is not None:
+            taps = image_source_taps(
+                self.room, node_a.position, node_b.position
+            )
+            return ChannelRealization(taps)
+        distance = node_a.distance_to(node_b)
+        return self.environment.realize(distance, self.rng)
+
+    def new_coherence_interval(self) -> None:
+        """Forget cached channels: the next draw is a fresh realization.
+
+        Call between Monte-Carlo trials; within one ranging round the
+        channel stays coherent.
+        """
+        self._links.clear()
+
+    # -- delivery ----------------------------------------------------------
+
+    def arrival_at(
+        self, transmission: FrameTransmission, rx_node_id: int
+    ) -> SignalArrival:
+        """The signal a receiver sees from one transmission."""
+        if rx_node_id == transmission.tx_node_id:
+            raise ValueError("a node does not receive its own transmission")
+        channel = self.channel_between(transmission.tx_node_id, rx_node_id)
+        return SignalArrival(
+            channel=channel,
+            pulse=transmission.pulse,
+            tx_time_s=transmission.tx_time_s,
+            source_id=transmission.tx_node_id,
+        )
+
+    def arrivals_at(
+        self, transmissions: Iterable[FrameTransmission], rx_node_id: int
+    ) -> List[SignalArrival]:
+        """All arrivals of a set of (overlapping) transmissions at one
+        receiver — the superposition a concurrent-ranging initiator
+        captures in a single CIR."""
+        return [self.arrival_at(tx, rx_node_id) for tx in transmissions]
+
+    def first_arrival_time(
+        self, transmission: FrameTransmission, rx_node_id: int
+    ) -> float:
+        """Global arrival time of the first path of a transmission."""
+        return self.arrival_at(transmission, rx_node_id).first_path_arrival_s

@@ -1,0 +1,47 @@
+"""Ranging protocols: SS-TWR, scheduled ranging, and concurrent ranging.
+
+* :mod:`repro.protocol.messages` — INIT/RESP message definitions with
+  realistic on-air sizes.
+* :mod:`repro.protocol.twr` — single-sided two-way ranging (Fig. 3 left)
+  with clock drift, timestamp quantisation, and drift compensation.
+* :mod:`repro.protocol.concurrent` — the concurrent ranging round
+  (Fig. 3 right): broadcast INIT, simultaneous RESP, CIR capture,
+  detection, identification, and distance decoding.
+* :mod:`repro.protocol.scheduling` — message/energy/airtime accounting
+  for scheduled vs. concurrent ranging (Sect. VIII scalability).
+"""
+
+from repro.protocol.messages import InitMessage, RespMessage, INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES
+from repro.protocol.twr import SsTwr, TwrOutcome, DsTwr, DsTwrOutcome
+from repro.protocol.concurrent import (
+    ConcurrentRangingSession,
+    ConcurrentRoundResult,
+    ResponderOutcome,
+)
+from repro.protocol.campaign import RangingCampaign, CampaignResult
+from repro.protocol.scheduling import (
+    RoundCost,
+    scheduled_round_cost,
+    concurrent_round_cost,
+    network_sweep,
+)
+
+__all__ = [
+    "InitMessage",
+    "RespMessage",
+    "INIT_PAYLOAD_BYTES",
+    "RESP_PAYLOAD_BYTES",
+    "SsTwr",
+    "TwrOutcome",
+    "DsTwr",
+    "DsTwrOutcome",
+    "ConcurrentRangingSession",
+    "ConcurrentRoundResult",
+    "ResponderOutcome",
+    "RangingCampaign",
+    "CampaignResult",
+    "RoundCost",
+    "scheduled_round_cost",
+    "concurrent_round_cost",
+    "network_sweep",
+]

@@ -1,0 +1,442 @@
+"""The concurrent ranging round (paper Fig. 3 right, Sect. III-VIII).
+
+One round:
+
+1. The initiator broadcasts ``INIT``.
+2. Every responder receives it, waits ``DELTA_RESP`` (plus its RPM slot
+   delay) on its own clock, and transmits ``RESP``; the programmed time
+   is floored to the ~8 ns delayed-TX grid as on real hardware.
+3. All RESP frames superpose at the initiator; the radio estimates one
+   CIR containing every responder's pulse.
+4. The initiator decodes the payload of the first-arriving response
+   (still possible per the paper / Corbalan & Picco) and computes the
+   anchor distance with Eq. 2.
+5. Search-and-subtract + pulse-shape classification extract every
+   response from the CIR; slot + shape decode responder IDs; Eq. 4 maps
+   delays to distances.
+
+The session supports three operating modes, matching the paper's
+narrative arc: plain detection (Sect. IV), pulse-shaping identification
+(Sect. V), and the combined RPM x pulse-shaping scheme (Sect. VIII) —
+choose by constructing with ``n_slots == 1`` / ``n_shapes == 1`` etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.channel.geometry import Point
+from repro.channel.stochastic import IndoorEnvironment
+from repro.constants import DELTA_RESP_S
+from repro.core.detection import SearchAndSubtractConfig
+from repro.core.pulse_id import ClassifiedResponse, PulseShapeClassifier
+from repro.core.ranging import RangingResult, twr_distance_compensated
+from repro.core.rpm import SlotPlan
+from repro.core.scheme import CombinedScheme
+from repro.netsim.medium import Medium
+from repro.netsim.node import Node
+from repro.netsim.trace import TraceRecorder
+from repro.protocol.messages import (
+    INIT_PAYLOAD_BYTES,
+    RESP_PAYLOAD_BYTES,
+    RespMessage,
+)
+from repro.protocol.twr import DEFAULT_CFO_ERROR_PPM
+from repro.radio.dw1000 import CirCapture, SignalArrival
+from repro.radio.frame import RadioConfig, frame_duration
+from repro.radio.timebase import quantize_timestamp_s
+from repro.signal.templates import TemplateBank
+
+
+@dataclass(frozen=True)
+class ResponderOutcome:
+    """Ground truth and per-responder decode outcome for one round."""
+
+    responder_id: int
+    true_distance_m: float
+    assigned_slot: int
+    assigned_shape: int
+    estimated_distance_m: float | None
+    decoded_id: int | None
+
+    @property
+    def detected(self) -> bool:
+        return self.estimated_distance_m is not None
+
+    @property
+    def identified(self) -> bool:
+        return self.decoded_id == self.responder_id
+
+    @property
+    def error_m(self) -> float | None:
+        if self.estimated_distance_m is None:
+            return None
+        return self.estimated_distance_m - self.true_distance_m
+
+
+@dataclass(frozen=True)
+class ConcurrentRoundResult:
+    """Everything produced by one concurrent ranging round."""
+
+    capture: CirCapture
+    d_twr_m: float
+    classified: tuple
+    ranging: RangingResult
+    outcomes: tuple
+    trace: TraceRecorder
+
+    @property
+    def distances_m(self) -> tuple:
+        return self.ranging.distances_m
+
+    @property
+    def detection_count(self) -> int:
+        return len(self.ranging)
+
+    def outcome_for(self, responder_id: int) -> ResponderOutcome:
+        for outcome in self.outcomes:
+            if outcome.responder_id == responder_id:
+                return outcome
+        raise KeyError(f"no responder with id {responder_id} in this round")
+
+
+class ConcurrentRangingSession:
+    """A fixed topology running concurrent ranging rounds.
+
+    Parameters
+    ----------
+    medium:
+        The wireless medium holding all nodes.
+    initiator:
+        The initiating node.
+    responders:
+        Responding nodes; responder IDs for the slot/shape mapping are
+        their positions in this list (0-based).
+    scheme:
+        Slot/shape assignment.  Use ``SlotPlan(n_slots=1, ...)`` plus a
+        single-template bank for plain Sect. IV operation.
+    detector_config:
+        Search-and-subtract configuration; ``max_responses`` defaults to
+        the number of responders.
+    compensate_tx_quantization:
+        When ``True``, responders transmit exactly at the programmed
+        instant instead of flooring to the ~8 ns grid — the
+        "next-generation transceiver" assumption the paper mentions when
+        declaring the artefact out of scope.  Default ``False``
+        (faithful DW1000 behaviour).
+    allow_duplicate_assignments:
+        Permit more responders than the scheme's capacity by wrapping
+        IDs (``assignment(id % capacity)``).  Used for anonymity
+        stress tests such as the paper's Sect. VI overlap experiment,
+        where two responders deliberately share slot and shape.
+    init_loss_probability:
+        Probability that a responder fails to decode the INIT broadcast
+        and therefore stays silent this round (frame loss, deep fade).
+        Missing responders simply do not appear in the CIR; pair with a
+        ``min_peak_snr`` detector gate so the detector does not invent
+        them.
+    """
+
+    def __init__(
+        self,
+        medium: Medium,
+        initiator: Node,
+        responders: Sequence[Node],
+        scheme: CombinedScheme,
+        detector_config: SearchAndSubtractConfig | None = None,
+        reply_delay_s: float = DELTA_RESP_S,
+        cfo_error_ppm: float = DEFAULT_CFO_ERROR_PPM,
+        compensate_tx_quantization: bool = False,
+        allow_duplicate_assignments: bool = False,
+        init_loss_probability: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if len(responders) == 0:
+            raise ValueError("need at least one responder")
+        if len(responders) > scheme.capacity and not allow_duplicate_assignments:
+            raise ValueError(
+                f"{len(responders)} responders exceed scheme capacity "
+                f"{scheme.capacity}"
+            )
+        self._wrap_assignments = bool(allow_duplicate_assignments)
+        if not 0.0 <= init_loss_probability < 1.0:
+            raise ValueError(
+                f"init_loss_probability must be in [0, 1), got "
+                f"{init_loss_probability}"
+            )
+        self.init_loss_probability = float(init_loss_probability)
+        self.medium = medium
+        self.initiator = initiator
+        self.responders = list(responders)
+        self.scheme = scheme
+        self.reply_delay_s = float(reply_delay_s)
+        self.cfo_error_ppm = float(cfo_error_ppm)
+        self.compensate_tx_quantization = bool(compensate_tx_quantization)
+        self.rng = rng or np.random.default_rng()
+        config = detector_config or SearchAndSubtractConfig()
+        if config.max_responses < len(responders):
+            config = SearchAndSubtractConfig(
+                max_responses=len(responders),
+                upsample_factor=config.upsample_factor,
+                min_peak_snr=config.min_peak_snr,
+                refine_subsample=config.refine_subsample,
+            )
+        self.classifier = PulseShapeClassifier(scheme.bank, config)
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        responder_distances_m: Sequence[float],
+        n_slots: int = 1,
+        n_shapes: int | None = None,
+        environment: IndoorEnvironment | None = None,
+        seed: int | None = None,
+        **kwargs,
+    ) -> "ConcurrentRangingSession":
+        """Convenience constructor: initiator at the origin, responders
+        on a line at the given distances (the paper's hallway layout).
+
+        ``n_shapes`` defaults to one shape per responder (up to the four
+        paper shapes) when identification is wanted, or pass 1 for plain
+        anonymous detection.
+        """
+        if len(responder_distances_m) == 0:
+            raise ValueError("need at least one responder distance")
+        rng = np.random.default_rng(seed)
+        medium = Medium(
+            environment=environment or IndoorEnvironment.hallway(), rng=rng
+        )
+        initiator = Node.at(0, 0.0, 0.0, rng=rng)
+        responders = [
+            Node.at(i + 1, float(d), 0.0, rng=rng)
+            for i, d in enumerate(responder_distances_m)
+        ]
+        medium.add_nodes([initiator] + responders)
+
+        if n_shapes is None:
+            n_shapes = min(len(responder_distances_m), 4)
+        bank = TemplateBank.paper_bank(min(n_shapes, 4)) if n_shapes <= 4 else (
+            TemplateBank.spread(n_shapes)
+        )
+        plan = SlotPlan.for_range(20.0, n_slots=n_slots)
+        scheme = CombinedScheme(plan, bank)
+        return cls(
+            medium=medium,
+            initiator=initiator,
+            responders=responders,
+            scheme=scheme,
+            rng=rng,
+            **kwargs,
+        )
+
+    def _assignment(self, responder_id: int):
+        """Slot/shape assignment, wrapping IDs when duplicates are allowed."""
+        if self._wrap_assignments:
+            responder_id = responder_id % self.scheme.capacity
+        return self.scheme.assignment(responder_id)
+
+    # -- the round ----------------------------------------------------------
+
+    def run_round(
+        self, start_time_s: float | None = None
+    ) -> ConcurrentRoundResult:
+        """Execute one full concurrent ranging round.
+
+        ``start_time_s`` defaults to a random instant so that the ~8 ns
+        delayed-TX quantisation error — which depends on where the
+        scheduled reply time falls on the hardware grid — varies between
+        rounds as it does on real hardware.  Pass an explicit time for
+        bit-reproducible single rounds.
+        """
+        rng = self.rng
+        if start_time_s is None:
+            start_time_s = float(rng.uniform(0.0, 1.0))
+        trace = TraceRecorder()
+        init_node = self.initiator
+        init_config = init_node.radio.config
+        init_airtime = frame_duration(init_config, INIT_PAYLOAD_BYTES).total_s
+        resp_airtime = frame_duration(init_config, RESP_PAYLOAD_BYTES).total_s
+
+        # 1. Broadcast INIT.
+        t_tx_init_global = start_time_s
+        t_tx_init_local = quantize_timestamp_s(
+            init_node.radio.clock.local_from_global(t_tx_init_global)
+        )
+        trace.record(t_tx_init_global, init_node.node_id, "tx", init_airtime, "INIT")
+        init_node.account_tx(init_airtime)
+
+        # 2. Responders receive and schedule their replies.
+        arrivals: List[SignalArrival] = []
+        messages: Dict[int, RespMessage] = {}
+        truth: Dict[int, float] = {}
+        for responder_id, node in enumerate(self.responders):
+            if (
+                self.init_loss_probability > 0.0
+                and rng.random() < self.init_loss_probability
+            ):
+                # Responder missed the INIT: it never learns about this
+                # round and stays silent.  Truth still records it so the
+                # evaluation counts the miss.
+                truth[responder_id] = init_node.distance_to(node)
+                continue
+            channel = self.medium.channel_between(
+                init_node.node_id, node.node_id
+            )
+            tof = channel.first_path.delay_s
+            t_rx_local = node.radio.timestamp_arrival(
+                t_tx_init_global + tof,
+                rng,
+                pulse_register=init_node.radio.pulse_register,
+            )
+            trace.record(
+                t_tx_init_global + tof, node.node_id, "rx", init_airtime, "INIT"
+            )
+            node.account_rx(init_airtime)
+
+            assignment = self._assignment(responder_id)
+            node.radio.set_pulse_register(assignment.register)
+            nominal_local = (
+                t_rx_local + self.reply_delay_s + assignment.extra_delay_s
+            )
+            if self.compensate_tx_quantization:
+                t_tx_local = nominal_local
+            else:
+                t_tx_local = node.radio.schedule_delayed_tx(nominal_local)
+            t_tx_global = node.radio.clock.global_from_local(t_tx_local)
+
+            messages[responder_id] = RespMessage(
+                responder_id=responder_id,
+                t_rx_local_s=t_rx_local,
+                t_tx_local_s=t_tx_local,
+            )
+            truth[responder_id] = init_node.distance_to(node)
+            arrivals.append(
+                SignalArrival(
+                    channel=channel,
+                    pulse=node.radio.transmit_pulse(),
+                    tx_time_s=t_tx_global,
+                    source_id=responder_id,
+                )
+            )
+            trace.record(t_tx_global, node.node_id, "tx", resp_airtime, "RESP")
+            node.account_tx(resp_airtime)
+
+        # 3. The initiator captures one CIR of the superposition.
+        if not arrivals:
+            raise RuntimeError(
+                "no responder decoded the INIT this round (frame loss); "
+                "the initiator's receive window times out"
+            )
+        capture = init_node.radio.capture_cir(arrivals, rng)
+        trace.record(
+            min(a.first_path_arrival_s for a in arrivals),
+            init_node.node_id,
+            "rx",
+            resp_airtime,
+            "RESP(aggregate)",
+        )
+        init_node.account_rx(resp_airtime)
+
+        # 4. Anchor distance from the first-arriving response's payload.
+        anchor_id = min(
+            range(len(arrivals)),
+            key=lambda i: arrivals[i].first_path_arrival_s,
+        )
+        anchor_source = arrivals[anchor_id].source_id
+        anchor_node = self.responders[anchor_source]
+        anchor_message = messages[anchor_source]
+        true_drift_ppm = anchor_node.radio.clock.relative_drift_ppm(
+            init_node.radio.clock
+        )
+        estimated_drift_ppm = true_drift_ppm + float(
+            rng.normal(0.0, self.cfo_error_ppm)
+        )
+        # The anchor's reply time must exclude its RPM slot delay, which
+        # the initiator knows from the anchor's (decoded) identity.
+        anchor_assignment = self._assignment(anchor_source)
+        d_twr = twr_distance_compensated(
+            t_tx_init_local,
+            capture.rx_timestamp_s,
+            anchor_message.t_rx_local_s,
+            anchor_message.t_tx_local_s - anchor_assignment.extra_delay_s,
+            relative_drift_ppm=estimated_drift_ppm,
+        )
+
+        # 5. Detect, classify, decode.
+        classified = self.classifier.classify(
+            capture.samples,
+            capture.sampling_period_s,
+            noise_std=capture.noise_std,
+        )
+        ranging = self.scheme.decode_responses(classified, d_twr)
+
+        outcomes = self._match_outcomes(ranging, truth)
+        self.medium.new_coherence_interval()
+        return ConcurrentRoundResult(
+            capture=capture,
+            d_twr_m=d_twr,
+            classified=tuple(classified),
+            ranging=ranging,
+            outcomes=tuple(outcomes),
+            trace=trace,
+        )
+
+    def _match_outcomes(
+        self,
+        ranging: RangingResult,
+        truth: Dict[int, float],
+    ) -> List[ResponderOutcome]:
+        """Pair decoded (id, distance) tuples with ground truth.
+
+        A decoded ID claims its ground-truth responder directly; decoded
+        responses with unknown/duplicate IDs are matched to the remaining
+        responder with the closest true distance (evaluation-only logic —
+        a deployment would simply report the decoded IDs).
+        """
+        decoded: Dict[int, float] = {}
+        leftovers: List[float] = []
+        for rid, distance in zip(ranging.responder_ids, ranging.distances_m):
+            if rid is not None and rid in truth and rid not in decoded:
+                decoded[rid] = distance
+            else:
+                leftovers.append(distance)
+
+        outcomes = []
+        for responder_id, true_distance in truth.items():
+            assignment = self._assignment(responder_id)
+            if responder_id in decoded:
+                outcomes.append(
+                    ResponderOutcome(
+                        responder_id=responder_id,
+                        true_distance_m=true_distance,
+                        assigned_slot=assignment.slot,
+                        assigned_shape=assignment.shape_index,
+                        estimated_distance_m=decoded[responder_id],
+                        decoded_id=responder_id,
+                    )
+                )
+                continue
+            # Nearest leftover estimate, if any.
+            estimate = None
+            if leftovers:
+                best = min(
+                    range(len(leftovers)),
+                    key=lambda i: abs(leftovers[i] - true_distance),
+                )
+                estimate = leftovers.pop(best)
+            outcomes.append(
+                ResponderOutcome(
+                    responder_id=responder_id,
+                    true_distance_m=true_distance,
+                    assigned_slot=assignment.slot,
+                    assigned_shape=assignment.shape_index,
+                    estimated_distance_m=estimate,
+                    decoded_id=None,
+                )
+            )
+        return outcomes

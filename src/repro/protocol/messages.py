@@ -1,0 +1,56 @@
+"""INIT and RESP message definitions.
+
+Sizes follow a minimal IEEE 802.15.4 MAC frame: the INIT is a broadcast
+with no ranging payload (14 bytes, which with the paper's PHY settings
+makes the minimum response delay come out at the 178.5 us of Sect. III);
+the RESP carries the two 40-bit timestamps of Fig. 3 plus the responder
+identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: INIT frame: FCF(2) + seq(1) + PAN(2) + dst(2) + src(2) + type(1) +
+#: round-id(2) + FCS(2) = 14 bytes.
+INIT_PAYLOAD_BYTES = 14
+
+#: RESP frame: FCF(2) + seq(1) + PAN(2) + dst(2) + src(2) + type(1) +
+#: t_rx(5) + t_tx(5) + FCS(2) = 22 bytes.
+RESP_PAYLOAD_BYTES = 22
+
+
+@dataclass(frozen=True)
+class InitMessage:
+    """The broadcast that opens a ranging round."""
+
+    initiator_id: int
+    round_id: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return INIT_PAYLOAD_BYTES
+
+
+@dataclass(frozen=True)
+class RespMessage:
+    """A responder's reply, carrying its local RX/TX timestamps.
+
+    ``t_rx_local_s`` is when the responder received the INIT RMARKER
+    and ``t_tx_local_s`` when its own RESP RMARKER left the antenna —
+    the two quantities Eq. 2 needs from the responder side.
+    """
+
+    responder_id: int
+    t_rx_local_s: float
+    t_tx_local_s: float
+    round_id: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return RESP_PAYLOAD_BYTES
+
+    @property
+    def reply_time_s(self) -> float:
+        """The responder-measured reply duration (t_tx,i - t_rx,i)."""
+        return self.t_tx_local_s - self.t_rx_local_s

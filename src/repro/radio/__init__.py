@@ -1,0 +1,80 @@
+"""Behavioural model of the Decawave DW1000 UWB transceiver.
+
+The paper's entire evaluation runs on DW1000 radios; this subpackage
+models every DW1000 behaviour the paper depends on:
+
+* :mod:`repro.radio.frame` — IEEE 802.15.4 UWB frame structure and
+  airtime computation (used to derive the 178.5 µs minimum response
+  delay of Sect. III).
+* :mod:`repro.radio.timebase` — the 63.8976 GHz timestamp clock, crystal
+  drift, 15.65 ps RX timestamp resolution, and the ~8 ns delayed-TX
+  quantisation that limits response concurrency (Sect. III).
+* :mod:`repro.radio.registers` — a small register file with the
+  ``TC_PGDELAY`` pulse-shaping register (Sect. V).
+* :mod:`repro.radio.energy` — charge/energy accounting from the paper's
+  current figures (155 mA RX / 90 mA TX).
+* :mod:`repro.radio.dw1000` — the transceiver itself: CIR accumulator
+  estimation from superposed arrivals, first-path detection, RX/TX
+  timestamping.
+"""
+
+from repro.radio.frame import (
+    DataRate,
+    Prf,
+    RadioConfig,
+    FrameTimings,
+    frame_duration,
+    preamble_symbol_duration_s,
+    min_response_delay_s,
+)
+from repro.radio.timebase import Clock, quantize_delayed_tx_s, quantize_timestamp_s
+from repro.radio.registers import RegisterFile
+from repro.radio.energy import EnergyMeter, RadioState
+from repro.radio.dw1000 import DW1000Radio, SignalArrival, CirCapture
+from repro.radio.preamble import (
+    m_sequence,
+    preamble_code,
+    periodic_autocorrelation,
+    estimate_cir_from_preamble,
+)
+from repro.radio.calibration import (
+    CalibrationReport,
+    calibrate_pair,
+    measure_bias_m,
+)
+from repro.radio.capture_io import (
+    save_capture,
+    save_dataset,
+    load_capture,
+    load_dataset,
+)
+
+__all__ = [
+    "DataRate",
+    "Prf",
+    "RadioConfig",
+    "FrameTimings",
+    "frame_duration",
+    "preamble_symbol_duration_s",
+    "min_response_delay_s",
+    "Clock",
+    "quantize_delayed_tx_s",
+    "quantize_timestamp_s",
+    "RegisterFile",
+    "EnergyMeter",
+    "RadioState",
+    "DW1000Radio",
+    "SignalArrival",
+    "CirCapture",
+    "m_sequence",
+    "preamble_code",
+    "periodic_autocorrelation",
+    "estimate_cir_from_preamble",
+    "CalibrationReport",
+    "calibrate_pair",
+    "measure_bias_m",
+    "save_capture",
+    "save_dataset",
+    "load_capture",
+    "load_dataset",
+]

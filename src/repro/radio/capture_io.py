@@ -1,0 +1,102 @@
+"""Persisting and loading CIR captures.
+
+Real concurrent-ranging research workflows (including the paper's own
+SMA-cable template campaign) revolve around *recorded* CIR traces that
+are post-processed offline.  This module serialises
+:class:`~repro.radio.dw1000.CirCapture` objects — singly or as datasets
+— to NumPy ``.npz`` archives so detection pipelines can run on stored
+traces, and so users can swap in captures logged from real DW1000s
+(convert the accumulator's complex int16 taps to the float array and
+fill in the metadata).
+
+Ground-truth arrival metadata is intentionally *not* serialised: a
+stored capture contains exactly what a real logged capture would
+(samples, sampling period, RX timestamp, noise estimate), which keeps
+offline experiments honest.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.radio.dw1000 import CirCapture
+
+#: Format marker stored in every archive.
+FORMAT_KEY = "repro_cir_format"
+FORMAT_VERSION = 1
+
+
+def save_capture(path: str | os.PathLike, capture: CirCapture) -> None:
+    """Write one capture to an ``.npz`` archive."""
+    save_dataset(path, [capture])
+
+
+def save_dataset(
+    path: str | os.PathLike, captures: Sequence[CirCapture]
+) -> None:
+    """Write a dataset of captures to one ``.npz`` archive.
+
+    All captures must share the CIR length and sampling period (as
+    captures from one radio configuration do).
+    """
+    if len(captures) == 0:
+        raise ValueError("cannot save an empty dataset")
+    lengths = {len(c) for c in captures}
+    periods = {c.sampling_period_s for c in captures}
+    if len(lengths) != 1 or len(periods) != 1:
+        raise ValueError(
+            "all captures in a dataset must share CIR length and "
+            "sampling period"
+        )
+    np.savez_compressed(
+        path,
+        **{
+            FORMAT_KEY: np.array(FORMAT_VERSION),
+            "samples": np.stack([c.samples for c in captures]),
+            "sampling_period_s": np.array(
+                [c.sampling_period_s for c in captures]
+            ),
+            "rx_timestamp_s": np.array([c.rx_timestamp_s for c in captures]),
+            "first_path_index": np.array(
+                [c.first_path_index for c in captures]
+            ),
+            "noise_std": np.array([c.noise_std for c in captures]),
+            "time_origin_s": np.array([c.time_origin_s for c in captures]),
+        },
+    )
+
+
+def load_dataset(path: str | os.PathLike) -> List[CirCapture]:
+    """Load all captures from an ``.npz`` archive."""
+    with np.load(path) as archive:
+        if FORMAT_KEY not in archive:
+            raise ValueError(
+                f"{path!s} is not a repro CIR archive (missing format marker)"
+            )
+        version = int(archive[FORMAT_KEY])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported CIR archive version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        samples = archive["samples"]
+        return [
+            CirCapture(
+                samples=samples[i],
+                sampling_period_s=float(archive["sampling_period_s"][i]),
+                rx_timestamp_s=float(archive["rx_timestamp_s"][i]),
+                first_path_index=float(archive["first_path_index"][i]),
+                noise_std=float(archive["noise_std"][i]),
+                time_origin_s=float(archive["time_origin_s"][i]),
+                arrivals=(),
+            )
+            for i in range(samples.shape[0])
+        ]
+
+
+def load_capture(path: str | os.PathLike) -> CirCapture:
+    """Load a single capture (the first entry of the archive)."""
+    return load_dataset(path)[0]

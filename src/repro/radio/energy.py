@@ -1,0 +1,95 @@
+"""Radio energy accounting.
+
+The paper's efficiency argument (Sect. I/III) is about current draw: the
+DW1000 takes up to 155 mA receiving and 90 mA transmitting, so cutting the
+message count from N·(N−1) to N is first and foremost an energy win.
+:class:`EnergyMeter` turns protocol traces into charge/energy numbers so
+the scalability benchmark can quantify that win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+from repro.constants import (
+    IDLE_CURRENT_A,
+    RX_CURRENT_A,
+    SLEEP_CURRENT_A,
+    SUPPLY_VOLTAGE_V,
+    TX_CURRENT_A,
+)
+
+
+class RadioState(Enum):
+    """Power states of the radio front end."""
+
+    TX = "tx"
+    RX = "rx"
+    IDLE = "idle"
+    SLEEP = "sleep"
+
+
+#: Current draw per state [A] (paper Sect. I for TX/RX).
+STATE_CURRENT_A: Dict[RadioState, float] = {
+    RadioState.TX: TX_CURRENT_A,
+    RadioState.RX: RX_CURRENT_A,
+    RadioState.IDLE: IDLE_CURRENT_A,
+    RadioState.SLEEP: SLEEP_CURRENT_A,
+}
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates time spent in each radio state and converts to energy.
+
+    Protocol code calls :meth:`account` with a state and a duration; the
+    meter integrates charge (A·s) and reports energy at the configured
+    supply voltage.
+    """
+
+    supply_voltage_v: float = SUPPLY_VOLTAGE_V
+    _durations_s: Dict[RadioState, float] = field(
+        default_factory=lambda: {state: 0.0 for state in RadioState}
+    )
+
+    def account(self, state: RadioState, duration_s: float) -> None:
+        """Add time spent in a state."""
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        self._durations_s[state] += duration_s
+
+    def duration_s(self, state: RadioState) -> float:
+        """Total time spent in a state."""
+        return self._durations_s[state]
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(self._durations_s.values())
+
+    @property
+    def charge_c(self) -> float:
+        """Total charge drawn [coulombs = ampere-seconds]."""
+        return sum(
+            STATE_CURRENT_A[state] * duration
+            for state, duration in self._durations_s.items()
+        )
+
+    @property
+    def energy_j(self) -> float:
+        """Total energy drawn [joules]."""
+        return self.charge_c * self.supply_voltage_v
+
+    def merged(self, other: "EnergyMeter") -> "EnergyMeter":
+        """Combined meter (e.g. summing all nodes of a network)."""
+        merged = EnergyMeter(supply_voltage_v=self.supply_voltage_v)
+        for state in RadioState:
+            merged._durations_s[state] = (
+                self._durations_s[state] + other._durations_s[state]
+            )
+        return merged
+
+    def reset(self) -> None:
+        for state in RadioState:
+            self._durations_s[state] = 0.0

@@ -1,0 +1,104 @@
+"""A miniature DW1000 register file.
+
+Only the registers the paper's techniques touch are modelled, with their
+real widths and reset values.  The point is to keep the public API honest
+about *where* each knob lives on the actual hardware: pulse shaping is a
+write to ``TC_PGDELAY``, delayed transmission programs ``DX_TIME``, and so
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.constants import TC_PGDELAY_DEFAULT
+
+
+@dataclass(frozen=True)
+class RegisterSpec:
+    """Width and reset value of one register."""
+
+    name: str
+    bits: int
+    reset: int
+    description: str
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.bits) - 1
+
+
+#: The registers the concurrent-ranging stack uses.
+REGISTER_SPECS: Dict[str, RegisterSpec] = {
+    spec.name: spec
+    for spec in (
+        RegisterSpec(
+            "TC_PGDELAY",
+            bits=8,
+            reset=TC_PGDELAY_DEFAULT,
+            description="Pulse generator delay: controls transmitted pulse "
+            "width / output bandwidth (paper Sect. V).",
+        ),
+        RegisterSpec(
+            "DX_TIME",
+            bits=40,
+            reset=0,
+            description="Delayed transmit/receive time, in 15.65 ps ticks; "
+            "the low 9 bits are ignored by the transmitter.",
+        ),
+        RegisterSpec(
+            "TX_ANTD",
+            bits=16,
+            reset=0x4015,
+            description="Transmit antenna delay used to adjust the TX "
+            "timestamp, in 15.65 ps ticks.",
+        ),
+        RegisterSpec(
+            "LDE_RXANTD",
+            bits=16,
+            reset=0x4015,
+            description="Receive antenna delay used by the leading-edge "
+            "detection algorithm, in 15.65 ps ticks.",
+        ),
+    )
+}
+
+
+class RegisterFile:
+    """Holds the current values of the modelled DW1000 registers."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = {
+            name: spec.reset for name, spec in REGISTER_SPECS.items()
+        }
+
+    def read(self, name: str) -> int:
+        """Read a register value; raises ``KeyError`` for unknown names."""
+        if name not in self._values:
+            raise KeyError(f"unknown register {name!r}")
+        return self._values[name]
+
+    def write(self, name: str, value: int) -> None:
+        """Write a register, enforcing its bit width."""
+        spec = REGISTER_SPECS.get(name)
+        if spec is None:
+            raise KeyError(f"unknown register {name!r}")
+        value = int(value)
+        if not 0 <= value <= spec.max_value:
+            raise ValueError(
+                f"{name} is a {spec.bits}-bit register; value {value:#x} "
+                f"out of range"
+            )
+        self._values[name] = value
+
+    def reset(self) -> None:
+        """Restore all registers to their reset values."""
+        for name, spec in REGISTER_SPECS.items():
+            self._values[name] = spec.reset
+
+    def describe(self, name: str) -> str:
+        spec = REGISTER_SPECS.get(name)
+        if spec is None:
+            raise KeyError(f"unknown register {name!r}")
+        return spec.description

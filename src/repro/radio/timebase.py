@@ -1,0 +1,123 @@
+"""DW1000 time base: timestamp clock, crystal drift, and quantisation.
+
+Models the three timing behaviours the paper leans on:
+
+* RX timestamps have 15.65 ps resolution (one tick of the 63.8976 GHz
+  clock; paper Sect. II),
+* delayed transmissions ignore the low-order 9 bits of the programmed
+  time, i.e. have ~8 ns granularity (paper Sect. III) — the reason
+  "concurrent" responses still jitter against each other,
+* each node's crystal runs at a slightly wrong rate (ppm-scale drift),
+  which SS-TWR implementations compensate with carrier-frequency-offset
+  measurements, leaving a small residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import (
+    DW1000_DELAYED_TX_IGNORED_BITS,
+    DW1000_TIMESTAMP_CLOCK_HZ,
+)
+
+#: DW1000 timestamps are 40-bit counters of 15.65 ps ticks; the counter
+#: wraps roughly every 17.2 s.
+TIMESTAMP_BITS = 40
+TIMESTAMP_WRAP_TICKS = 1 << TIMESTAMP_BITS
+
+#: Typical TCXO frequency tolerance for DW1000 designs [ppm].
+DEFAULT_DRIFT_PPM_RANGE = 2.0
+
+
+def seconds_to_ticks(t_s: float) -> int:
+    """Convert seconds to (unwrapped) DW1000 clock ticks."""
+    return int(round(t_s * DW1000_TIMESTAMP_CLOCK_HZ))
+
+
+def ticks_to_seconds(ticks: int) -> float:
+    """Convert DW1000 clock ticks to seconds."""
+    return ticks / DW1000_TIMESTAMP_CLOCK_HZ
+
+
+def quantize_timestamp_s(t_s: float) -> float:
+    """Quantise a time to the 15.65 ps RX-timestamp grid."""
+    return ticks_to_seconds(seconds_to_ticks(t_s))
+
+
+def quantize_delayed_tx_s(t_s: float) -> float:
+    """Quantise a delayed-TX time to the hardware grid the DW1000 honours.
+
+    The chip ignores the low-order 9 bits of the programmed 40-bit value
+    (DW1000 User Manual p. 26), so the effective granularity is
+    ``2**9 / 63.8976 GHz ~= 8.013 ns``, and the actual transmit instant is
+    *floored* to that grid.  This is the hardware artefact the paper
+    blames for the ±8 ns offset between "concurrent" responses.
+    """
+    # Floor to whole ticks first (the register takes an integer tick
+    # count), then clear the ignored low bits; both steps only ever move
+    # the transmit instant *earlier*.  The 1e-3-tick epsilon (~1.6e-14 s, far below any physical
+    # effect) absorbs float64 ulp error at tick counts of ~1e12 and keeps the
+    # floor idempotent for values that are already exact grid points but
+    # sit a float-rounding hair below their tick.
+    ticks = int(t_s * DW1000_TIMESTAMP_CLOCK_HZ + 1e-3)
+    mask = ~((1 << DW1000_DELAYED_TX_IGNORED_BITS) - 1)
+    return ticks_to_seconds(ticks & mask)
+
+
+@dataclass
+class Clock:
+    """A free-running node clock with constant frequency error.
+
+    ``drift_ppm`` is the crystal offset in parts per million; ``offset_s``
+    is the (unknown to the node) phase difference from global time.  The
+    conversions are exact inverses of each other, so protocol code can
+    freely move between the node-local and the global timeline.
+    """
+
+    drift_ppm: float = 0.0
+    offset_s: float = 0.0
+
+    @classmethod
+    def random(
+        cls,
+        rng: np.random.Generator,
+        drift_ppm_range: float = DEFAULT_DRIFT_PPM_RANGE,
+        offset_range_s: float = 1.0,
+    ) -> "Clock":
+        """A clock with uniform random drift and phase."""
+        return cls(
+            drift_ppm=float(rng.uniform(-drift_ppm_range, drift_ppm_range)),
+            offset_s=float(rng.uniform(0.0, offset_range_s)),
+        )
+
+    @property
+    def rate(self) -> float:
+        """Local-seconds per global-second (1 + drift)."""
+        return 1.0 + self.drift_ppm * 1e-6
+
+    def local_from_global(self, t_global_s: float) -> float:
+        """Node-local time corresponding to a global instant."""
+        return (t_global_s + self.offset_s) * self.rate
+
+    def global_from_local(self, t_local_s: float) -> float:
+        """Global instant corresponding to a node-local time."""
+        return t_local_s / self.rate - self.offset_s
+
+    def local_duration(self, duration_global_s: float) -> float:
+        """How long a global duration appears on this clock."""
+        return duration_global_s * self.rate
+
+    def global_duration(self, duration_local_s: float) -> float:
+        """How long a local duration really is in global time."""
+        return duration_local_s / self.rate
+
+    def relative_drift_ppm(self, other: "Clock") -> float:
+        """Frequency offset of this clock relative to another [ppm].
+
+        This is what a DW1000 estimates from the carrier frequency offset
+        (carrier integrator) and uses for SS-TWR drift compensation.
+        """
+        return (self.rate / other.rate - 1.0) * 1e6

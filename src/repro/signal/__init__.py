@@ -1,0 +1,51 @@
+"""Signal-level building blocks: UWB pulse synthesis and resampling.
+
+This subpackage models the *transmitted pulse* side of the paper:
+
+* :mod:`repro.signal.pulses` — analytic band-limited pulse templates whose
+  width is controlled by the DW1000 ``TC_PGDELAY`` register (paper Fig. 5).
+* :mod:`repro.signal.templates` — banks of unit-energy templates used by
+  the matched-filter detector and the pulse-shape classifier.
+* :mod:`repro.signal.sampling` — FFT-based upsampling and fractional
+  delays (step 1 of the paper's detection algorithm).
+* :mod:`repro.signal.spectrum` — bandwidth estimation and spectral-mask
+  checks used to argue that wider pulses stay within regulations.
+"""
+
+from repro.signal.pulses import (
+    Pulse,
+    dw1000_pulse,
+    narrowband_pulse,
+    pulse_bandwidth_hz,
+    pulse_width_factor,
+    raised_cosine_pulse,
+)
+from repro.signal.templates import TemplateBank
+from repro.signal.sampling import (
+    fft_upsample,
+    fractional_delay,
+    place_pulse,
+)
+from repro.signal.spectrum import (
+    estimate_bandwidth_3db,
+    estimate_bandwidth_10db,
+    power_spectrum,
+    occupies_mask,
+)
+
+__all__ = [
+    "Pulse",
+    "dw1000_pulse",
+    "narrowband_pulse",
+    "pulse_bandwidth_hz",
+    "pulse_width_factor",
+    "raised_cosine_pulse",
+    "TemplateBank",
+    "fft_upsample",
+    "fractional_delay",
+    "place_pulse",
+    "estimate_bandwidth_3db",
+    "estimate_bandwidth_10db",
+    "power_spectrum",
+    "occupies_mask",
+]

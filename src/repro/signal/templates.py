@@ -1,0 +1,175 @@
+"""Banks of pulse templates for matched filtering and ID classification.
+
+The paper's initiator knows the set of pulse shapes assigned to its
+responders (Sect. V: "Performing the algorithm described in Sect. IV with
+N_PS = 3 possible pulse templates").  A :class:`TemplateBank` holds that
+set, normalised to unit energy and all sampled at the same rate, and maps
+between bank indices, ``TC_PGDELAY`` register values, and human-readable
+shape names (``s1``, ``s2``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.constants import (
+    CIR_SAMPLING_PERIOD_S,
+    NUM_PULSE_SHAPES,
+    TC_PGDELAY_DEFAULT,
+    TC_PGDELAY_MAX,
+)
+from repro.signal.pulses import Pulse, dw1000_pulse
+
+#: The register values the paper uses in Fig. 5 for shapes s1..s4.
+PAPER_REGISTERS = (0x93, 0xC8, 0xE6, 0xF0)
+
+
+def evenly_spaced_registers(count: int) -> List[int]:
+    """Pick ``count`` register values evenly spread over the usable range.
+
+    The spread maximises the pairwise width difference between shapes,
+    which maximises the margin of the maximum-amplitude classifier in the
+    paper's Sect. V.  The default register (``0x93``) is always the first
+    entry, mirroring the paper where responder 1 uses the default shape.
+    """
+    if not 1 <= count <= NUM_PULSE_SHAPES:
+        raise ValueError(
+            f"count must be in [1, {NUM_PULSE_SHAPES}], got {count}"
+        )
+    if count == 1:
+        return [TC_PGDELAY_DEFAULT]
+    positions = np.linspace(TC_PGDELAY_DEFAULT, TC_PGDELAY_MAX, count)
+    registers = sorted({int(round(p)) for p in positions})
+    # Rounding collisions can only happen for very large counts; fill any
+    # gaps deterministically with the nearest unused register.
+    unused = (
+        r
+        for r in range(TC_PGDELAY_DEFAULT, TC_PGDELAY_MAX + 1)
+        if r not in registers
+    )
+    while len(registers) < count:
+        registers.append(next(unused))
+    return sorted(registers)
+
+
+class TemplateBank:
+    """An ordered, immutable set of unit-energy pulse templates.
+
+    Index ``i`` in the bank corresponds to shape name ``s{i+1}`` following
+    the paper's naming (``s1`` is the default pulse).
+    """
+
+    def __init__(
+        self,
+        registers: Sequence[int],
+        sampling_period_s: float = CIR_SAMPLING_PERIOD_S,
+    ) -> None:
+        if len(registers) == 0:
+            raise ValueError("a template bank needs at least one register")
+        if len(set(registers)) != len(registers):
+            raise ValueError(f"duplicate registers in bank: {list(registers)}")
+        self._registers = tuple(int(r) for r in registers)
+        self._sampling_period_s = float(sampling_period_s)
+        self._pulses = tuple(
+            dw1000_pulse(r, sampling_period_s=sampling_period_s)
+            for r in self._registers
+        )
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def paper_bank(
+        cls,
+        count: int = 3,
+        sampling_period_s: float = CIR_SAMPLING_PERIOD_S,
+    ) -> "TemplateBank":
+        """The bank of shapes used in the paper's figures (s1..s4).
+
+        ``count`` selects the first ``count`` of the four registers shown
+        in Fig. 5 (0x93, 0xC8, 0xE6, 0xF0).
+        """
+        if not 1 <= count <= len(PAPER_REGISTERS):
+            raise ValueError(
+                f"paper bank supports 1..{len(PAPER_REGISTERS)} shapes, got {count}"
+            )
+        return cls(PAPER_REGISTERS[:count], sampling_period_s=sampling_period_s)
+
+    @classmethod
+    def spread(
+        cls,
+        count: int,
+        sampling_period_s: float = CIR_SAMPLING_PERIOD_S,
+    ) -> "TemplateBank":
+        """A bank of ``count`` maximally-spread register values."""
+        return cls(
+            evenly_spaced_registers(count), sampling_period_s=sampling_period_s
+        )
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pulses)
+
+    def __iter__(self) -> Iterator[Pulse]:
+        return iter(self._pulses)
+
+    def __getitem__(self, index: int) -> Pulse:
+        return self._pulses[index]
+
+    # -- lookups --------------------------------------------------------------
+
+    @property
+    def registers(self) -> tuple:
+        """Register values in bank order."""
+        return self._registers
+
+    @property
+    def sampling_period_s(self) -> float:
+        return self._sampling_period_s
+
+    @property
+    def names(self) -> List[str]:
+        """Paper-style shape names: ``s1`` for index 0, etc."""
+        return [f"s{i + 1}" for i in range(len(self))]
+
+    def name_of(self, index: int) -> str:
+        if not 0 <= index < len(self):
+            raise IndexError(f"shape index {index} out of range 0..{len(self) - 1}")
+        return f"s{index + 1}"
+
+    def index_of_register(self, register: int) -> int:
+        """Bank index of a register value; raises ``KeyError`` if absent."""
+        try:
+            return self._registers.index(int(register))
+        except ValueError:
+            raise KeyError(
+                f"register 0x{int(register):02X} is not in this bank"
+            ) from None
+
+    def pulse_for_register(self, register: int) -> Pulse:
+        return self._pulses[self.index_of_register(register)]
+
+    def resampled(self, sampling_period_s: float) -> "TemplateBank":
+        """The same bank sampled at a different rate (e.g. after CIR
+        upsampling, step 1 of the detection algorithm)."""
+        return TemplateBank(self._registers, sampling_period_s=sampling_period_s)
+
+    def cross_correlation_matrix(self) -> np.ndarray:
+        """Peak normalised cross-correlation between every template pair.
+
+        Entry ``[i, j]`` is the maximum of the normalised correlation of
+        templates ``i`` and ``j``; the diagonal is 1.  Off-diagonal values
+        bound the confusion margin of the maximum-amplitude classifier:
+        the closer to 1, the harder two shapes are to distinguish.
+        """
+        n = len(self)
+        matrix = np.eye(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                corr = np.correlate(
+                    self._pulses[i].samples, self._pulses[j].samples, mode="full"
+                )
+                matrix[i, j] = matrix[j, i] = float(np.max(np.abs(corr)))
+        return matrix

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import CIR_SAMPLING_PERIOD_S
+from repro.signal.pulses import dw1000_pulse
+from repro.signal.templates import TemplateBank
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def default_pulse():
+    """The default (0x93) pulse at the CIR tap rate."""
+    return dw1000_pulse()
+
+
+@pytest.fixture(scope="session")
+def paper_bank():
+    """The paper's three-shape template bank (s1, s2, s3)."""
+    return TemplateBank.paper_bank(3)
+
+
+@pytest.fixture
+def clean_cir(default_pulse):
+    """A noiseless CIR containing one unit pulse at index 200."""
+    from repro.signal.sampling import place_pulse
+
+    cir = np.zeros(1016, dtype=complex)
+    place_pulse(cir, default_pulse.samples.astype(complex), 200.0, amplitude=1.0)
+    return cir
+
+
+@pytest.fixture
+def ts():
+    """CIR sampling period shorthand."""
+    return CIR_SAMPLING_PERIOD_S

@@ -1,0 +1,159 @@
+"""Unit tests for repro.analysis (metrics, CIR features, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cir_features import (
+    estimate_noise_std,
+    peak_to_noise_ratio,
+    rise_time_s,
+    significant_peaks,
+)
+from repro.analysis.metrics import (
+    bias,
+    detection_rate,
+    mae,
+    percentile_error,
+    rmse,
+    std,
+    summarize_errors,
+)
+from repro.analysis.tables import Table
+from repro.signal.sampling import place_pulse
+
+
+class TestMetrics:
+    def test_rmse_scalar_truth(self):
+        assert rmse([1.0, 3.0], 2.0) == pytest.approx(1.0)
+
+    def test_rmse_vector_truth(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_bias_signed(self):
+        assert bias([2.0, 4.0], 2.0) == pytest.approx(1.0)
+        assert bias([0.0, 2.0], 2.0) == pytest.approx(-1.0)
+
+    def test_std_ignores_bias(self):
+        assert std([1.1, 1.1, 1.1], 0.0) == 0.0
+
+    def test_mae(self):
+        assert mae([1.0, 3.0], 2.0) == pytest.approx(1.0)
+
+    def test_percentile(self):
+        errors = list(range(101))  # |err| = 0..100
+        assert percentile_error(errors, 0.0, q=95) == pytest.approx(95.0)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile_error([1.0], 0.0, q=150)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse([1.0, 2.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([], 0.0)
+
+    def test_detection_rate(self):
+        assert detection_rate([True, True, False, False]) == 0.5
+
+    def test_detection_rate_empty(self):
+        with pytest.raises(ValueError):
+            detection_rate([])
+
+    def test_summary_keys(self):
+        summary = summarize_errors([1.0, 2.0, 3.0], 2.0)
+        assert set(summary) == {"n", "bias_m", "std_m", "rmse_m", "mae_m", "p95_m"}
+        assert summary["n"] == 3.0
+
+
+class TestCirFeatures:
+    def test_noise_std_estimate(self, rng):
+        noise = 0.1
+        cir = noise * (
+            rng.standard_normal(1016) + 1j * rng.standard_normal(1016)
+        ) / np.sqrt(2)
+        assert estimate_noise_std(cir) == pytest.approx(noise, rel=0.4)
+
+    def test_noise_std_validation(self, rng):
+        with pytest.raises(ValueError):
+            estimate_noise_std(rng.standard_normal(100), leading_samples=200)
+        with pytest.raises(ValueError):
+            estimate_noise_std(rng.standard_normal((4, 4)))
+
+    def test_peak_to_noise(self, default_pulse, rng):
+        cir = 1e-4 * (
+            rng.standard_normal(1016) + 1j * rng.standard_normal(1016)
+        ) / np.sqrt(2)
+        place_pulse(cir, default_pulse.samples.astype(complex), 500.0, 1e-2)
+        assert peak_to_noise_ratio(cir) > 30
+
+    def test_rise_time_narrow_vs_wide(self, default_pulse):
+        from repro.signal.pulses import narrowband_pulse
+
+        fine = 0.25e-9
+        wide_pulse = default_pulse.resampled(fine)
+        narrow_pulse = narrowband_pulse(50e6, sampling_period_s=fine)
+        cir_wide = np.zeros(2000, dtype=complex)
+        cir_narrow = np.zeros(2000, dtype=complex)
+        place_pulse(cir_wide, wide_pulse.samples.astype(complex), 1000.0, 1.0)
+        place_pulse(cir_narrow, narrow_pulse.samples.astype(complex), 1000.0, 1.0)
+        assert rise_time_s(cir_narrow, fine) > 5 * rise_time_s(cir_wide, fine)
+
+    def test_rise_time_validation(self, rng):
+        with pytest.raises(ValueError):
+            rise_time_s(rng.standard_normal(100), 1e-9, low=0.9, high=0.1)
+
+    def test_significant_peaks_counts_separated(self, default_pulse):
+        cir = np.zeros(1016, dtype=complex)
+        for position in (100, 300, 500):
+            place_pulse(cir, default_pulse.samples.astype(complex), float(position), 1.0)
+        peaks = significant_peaks(cir, threshold_fraction=0.5)
+        assert len(peaks) == 3
+
+    def test_significant_peaks_threshold(self, default_pulse):
+        cir = np.zeros(1016, dtype=complex)
+        place_pulse(cir, default_pulse.samples.astype(complex), 100.0, 1.0)
+        place_pulse(cir, default_pulse.samples.astype(complex), 300.0, 0.1)
+        peaks = significant_peaks(cir, threshold_fraction=0.5)
+        assert len(peaks) == 1
+
+    def test_significant_peaks_validation(self, rng):
+        with pytest.raises(ValueError):
+            significant_peaks(rng.standard_normal(100), threshold_fraction=0.0)
+
+
+class TestTable:
+    def test_render_contains_data(self):
+        table = Table(["a", "b"], title="demo")
+        table.add_row([1, 2.5])
+        text = table.render()
+        assert "demo" in text
+        assert "2.5" in text
+
+    def test_row_width_validation(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_float_formatting(self):
+        table = Table(["x"])
+        table.add_row([float("nan")])
+        table.add_row([1234.5678])
+        table.add_row([0.00001234])
+        text = table.render()
+        assert "-" in text
+        assert "1.23e+03" in text
+
+    def test_alignment(self):
+        table = Table(["col"])
+        table.add_row(["short"])
+        table.add_row(["a-much-longer-cell"])
+        lines = table.render().splitlines()
+        assert len(set(len(line) for line in lines[0:1] + lines[2:])) >= 1
+        assert table.n_rows == 2

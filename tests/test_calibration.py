@@ -1,0 +1,90 @@
+"""Tests for antenna-delay modelling and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.channel.stochastic import IndoorEnvironment
+from repro.constants import SPEED_OF_LIGHT
+from repro.netsim.medium import Medium
+from repro.netsim.node import Node
+from repro.protocol.twr import SsTwr
+from repro.radio.calibration import calibrate_pair, measure_bias_m
+from repro.radio.dw1000 import DW1000Radio
+from repro.radio.timebase import Clock
+
+
+def make_link(rng, delay_error_ns=(0.0, 0.0), distance_m=4.0):
+    """An SS-TWR link whose radios carry antenna-delay errors [ns]."""
+    medium = Medium(environment=IndoorEnvironment.office(), rng=rng)
+    nodes = []
+    for i, error_ns in enumerate(delay_error_ns):
+        radio = DW1000Radio(clock=Clock.random(rng))
+        radio.true_antenna_delay_s = (
+            radio.programmed_antenna_delay_s + error_ns * 1e-9
+        )
+        from repro.channel.geometry import Point
+
+        nodes.append(
+            Node(node_id=i, position=Point(i * distance_m, 0.0), radio=radio)
+        )
+    medium.add_nodes(nodes)
+    return SsTwr(medium, nodes[0], nodes[1])
+
+
+class TestAntennaDelayModel:
+    def test_factory_device_has_zero_error(self):
+        radio = DW1000Radio()
+        assert radio.antenna_delay_error_s == pytest.approx(0.0)
+
+    def test_default_programmed_delay_matches_reset(self):
+        radio = DW1000Radio()
+        # Reset value 0x4015 ticks ~= 256.7 ns.
+        assert radio.programmed_antenna_delay_s == pytest.approx(
+            0x4015 * 15.65e-12, rel=1e-3
+        )
+
+    def test_program_antenna_delay_roundtrip(self):
+        radio = DW1000Radio()
+        radio.program_antenna_delay(260e-9)
+        assert radio.programmed_antenna_delay_s == pytest.approx(
+            260e-9, abs=20e-12
+        )
+
+    def test_uncompensated_delay_biases_ranging(self, rng):
+        """1 ns of uncompensated delay per radio -> ~30 cm of bias."""
+        twr = make_link(rng, delay_error_ns=(1.0, 1.0))
+        bias = measure_bias_m(twr, 4.0, 150, rng)
+        expected = SPEED_OF_LIGHT * 2e-9 / 2.0  # ~0.3 m
+        assert bias == pytest.approx(expected, abs=0.05)
+
+
+class TestCalibration:
+    def test_removes_bias(self, rng):
+        twr = make_link(rng, delay_error_ns=(1.5, 0.7))
+        report = calibrate_pair(twr, 4.0, trials=200, rng=rng)
+        assert abs(report.bias_before_m) > 0.25
+        assert abs(report.bias_after_m) < 0.02
+        assert report.improvement_factor > 10
+
+    def test_calibrated_pair_unchanged(self, rng):
+        twr = make_link(rng, delay_error_ns=(0.0, 0.0))
+        report = calibrate_pair(twr, 4.0, trials=200, rng=rng)
+        assert abs(report.bias_before_m) < 0.02
+        assert abs(report.bias_after_m) < 0.02
+
+    def test_correction_sign(self, rng):
+        """Positive delay error (late timestamps) reads long, so the
+        correction increases the programmed delay."""
+        twr = make_link(rng, delay_error_ns=(2.0, 2.0))
+        before = twr.initiator.radio.programmed_antenna_delay_s
+        report = calibrate_pair(twr, 4.0, trials=150, rng=rng)
+        after = twr.initiator.radio.programmed_antenna_delay_s
+        assert report.applied_correction_s > 0
+        assert after > before
+
+    def test_validation(self, rng):
+        twr = make_link(rng)
+        with pytest.raises(ValueError):
+            calibrate_pair(twr, -1.0, trials=10, rng=rng)
+        with pytest.raises(ValueError):
+            measure_bias_m(twr, 4.0, 0, rng)

@@ -1,0 +1,69 @@
+"""Integration tests for event-driven ranging campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.protocol.campaign import RangingCampaign
+from repro.protocol.concurrent import ConcurrentRangingSession
+
+
+@pytest.fixture
+def session():
+    return ConcurrentRangingSession.build(
+        responder_distances_m=[3.0, 7.0],
+        n_shapes=2,
+        seed=77,
+        compensate_tx_quantization=True,
+    )
+
+
+class TestCampaign:
+    def test_round_count(self, session):
+        result = RangingCampaign(session, round_interval_s=0.05).run(5)
+        assert result.n_rounds == 5
+        assert result.round_times_s == pytest.approx(
+            [0.0, 0.05, 0.10, 0.15, 0.20]
+        )
+
+    def test_identification_rate(self, session):
+        result = RangingCampaign(session).run(10)
+        assert result.identification_rate() > 0.8
+
+    def test_distance_errors_centimetre_scale(self, session):
+        result = RangingCampaign(session).run(15)
+        errors = result.distance_errors_m()
+        assert len(errors) > 0
+        assert np.median(np.abs(errors)) < 0.25
+
+    def test_rounds_see_fresh_channels(self, session):
+        """Channel refresh between rounds: CIRs differ across rounds."""
+        result = RangingCampaign(session).run(2)
+        a = result.rounds[0].capture.samples
+        b = result.rounds[1].capture.samples
+        assert not np.allclose(a, b)
+
+    def test_merged_trace_counts(self, session):
+        result = RangingCampaign(session).run(4)
+        trace = result.merged_trace()
+        # Per round: 1 INIT + 2 RESP transmissions.
+        assert trace.message_count == 4 * 3
+
+    def test_energy_accumulates(self, session):
+        campaign = RangingCampaign(session)
+        campaign.run(3)
+        energy_3 = campaign.session.initiator.radio.energy.energy_j
+        campaign.run(3)
+        energy_6 = campaign.session.initiator.radio.energy.energy_j
+        assert energy_6 > energy_3
+
+    def test_validation(self, session):
+        with pytest.raises(ValueError):
+            RangingCampaign(session, round_interval_s=0.0)
+        with pytest.raises(ValueError):
+            RangingCampaign(session).run(0)
+
+    def test_empty_campaign_rates_rejected(self):
+        from repro.protocol.campaign import CampaignResult
+
+        with pytest.raises(ValueError):
+            CampaignResult().identification_rate()

@@ -1,0 +1,87 @@
+"""Unit tests for CIR capture serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.channel.stochastic import IndoorEnvironment
+from repro.radio.capture_io import (
+    load_capture,
+    load_dataset,
+    save_capture,
+    save_dataset,
+)
+from repro.radio.dw1000 import DW1000Radio, SignalArrival
+from repro.signal.pulses import dw1000_pulse
+
+
+@pytest.fixture
+def captures(rng):
+    radio = DW1000Radio()
+    environment = IndoorEnvironment.office()
+    result = []
+    for distance in (3.0, 6.0, 9.0):
+        channel = environment.realize(distance, rng)
+        arrival = SignalArrival(channel, dw1000_pulse(), 0.0, source_id=0)
+        result.append(radio.capture_cir([arrival], rng))
+    return result
+
+
+class TestRoundtrip:
+    def test_single_capture(self, tmp_path, captures):
+        path = tmp_path / "capture.npz"
+        save_capture(path, captures[0])
+        loaded = load_capture(path)
+        assert np.allclose(loaded.samples, captures[0].samples)
+        assert loaded.sampling_period_s == captures[0].sampling_period_s
+        assert loaded.rx_timestamp_s == captures[0].rx_timestamp_s
+        assert loaded.noise_std == captures[0].noise_std
+
+    def test_dataset(self, tmp_path, captures):
+        path = tmp_path / "dataset.npz"
+        save_dataset(path, captures)
+        loaded = load_dataset(path)
+        assert len(loaded) == 3
+        for original, restored in zip(captures, loaded):
+            assert np.allclose(restored.samples, original.samples)
+
+    def test_ground_truth_not_serialised(self, tmp_path, captures):
+        """Stored captures contain only what real logs would."""
+        path = tmp_path / "capture.npz"
+        save_capture(path, captures[0])
+        loaded = load_capture(path)
+        assert loaded.arrivals == ()
+
+    def test_detection_works_on_loaded_capture(self, tmp_path, captures):
+        from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
+
+        path = tmp_path / "capture.npz"
+        save_capture(path, captures[0])
+        loaded = load_capture(path)
+        detector = SearchAndSubtract(
+            dw1000_pulse(), SearchAndSubtractConfig(max_responses=1)
+        )
+        responses = detector.detect(
+            loaded.samples, loaded.sampling_period_s, noise_std=loaded.noise_std
+        )
+        assert len(responses) == 1
+
+
+class TestValidation:
+    def test_empty_dataset_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_dataset(tmp_path / "x.npz", [])
+
+    def test_mixed_lengths_rejected(self, tmp_path, captures, rng):
+        short = DW1000Radio(cir_length=512)
+        channel = IndoorEnvironment.office().realize(4.0, rng)
+        odd = short.capture_cir(
+            [SignalArrival(channel, dw1000_pulse(), 0.0)], rng
+        )
+        with pytest.raises(ValueError):
+            save_dataset(tmp_path / "x.npz", [captures[0], odd])
+
+    def test_non_archive_rejected(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, whatever=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_dataset(path)

@@ -1,0 +1,174 @@
+"""Unit tests for repro.channel.cir."""
+
+import numpy as np
+import pytest
+
+from repro.channel.cir import (
+    ChannelRealization,
+    ChannelTap,
+    diffuse_tail_taps,
+)
+from repro.constants import SPEED_OF_LIGHT
+
+
+def los(delay_s=10e-9, amplitude=1.0):
+    return ChannelTap(delay_s=delay_s, amplitude=amplitude, kind="los", order=0)
+
+
+def refl(delay_s, amplitude):
+    return ChannelTap(delay_s=delay_s, amplitude=amplitude, kind="reflection")
+
+
+class TestChannelTap:
+    def test_path_length(self):
+        tap = los(delay_s=10e-9)
+        assert tap.path_length_m == pytest.approx(10e-9 * SPEED_OF_LIGHT)
+
+    def test_power(self):
+        tap = refl(1e-9, 0.5j)
+        assert tap.power == pytest.approx(0.25)
+
+    def test_delayed(self):
+        tap = los(10e-9).delayed(5e-9)
+        assert tap.delay_s == pytest.approx(15e-9)
+        assert tap.kind == "los"
+
+    def test_scaled(self):
+        tap = los(amplitude=2.0).scaled(0.5j)
+        assert tap.amplitude == pytest.approx(1.0j)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelTap(delay_s=-1e-9, amplitude=1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelTap(delay_s=0.0, amplitude=1.0, kind="ghost")
+
+
+class TestChannelRealization:
+    def test_sorted_by_delay(self):
+        channel = ChannelRealization([refl(30e-9, 0.2), los(10e-9), refl(20e-9, 0.5)])
+        delays = [tap.delay_s for tap in channel]
+        assert delays == sorted(delays)
+
+    def test_first_path(self):
+        channel = ChannelRealization([refl(30e-9, 0.2), los(10e-9)])
+        assert channel.first_path.kind == "los"
+
+    def test_los_tap_lookup(self):
+        channel = ChannelRealization([los(10e-9), refl(20e-9, 0.5)])
+        assert channel.los_tap is not None
+        assert channel.los_tap.order == 0
+
+    def test_nlos_has_no_los_tap(self):
+        channel = ChannelRealization([refl(20e-9, 0.5)])
+        assert channel.los_tap is None
+
+    def test_strongest_can_be_reflection(self):
+        """The paper's challenge IV: an attenuated direct path can be
+        weaker than a reflection."""
+        channel = ChannelRealization([los(10e-9, 0.1), refl(20e-9, 0.8)])
+        assert channel.strongest_tap.kind == "reflection"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelRealization([])
+
+    def test_delay_spread_zero_for_single_tap(self):
+        assert ChannelRealization([los()]).delay_spread_s == 0.0
+
+    def test_delay_spread_positive_for_multipath(self):
+        channel = ChannelRealization([los(10e-9), refl(40e-9, 1.0)])
+        assert channel.delay_spread_s == pytest.approx(15e-9)
+
+    def test_excess_delay(self):
+        channel = ChannelRealization([los(10e-9), refl(45e-9, 0.3)])
+        assert channel.excess_delay_s == pytest.approx(35e-9)
+
+    def test_total_power(self):
+        channel = ChannelRealization([los(amplitude=1.0), refl(20e-9, 0.5)])
+        assert channel.total_power() == pytest.approx(1.25)
+
+    def test_delayed_shifts_all(self):
+        channel = ChannelRealization([los(10e-9), refl(20e-9, 0.5)]).delayed(5e-9)
+        assert channel.first_path.delay_s == pytest.approx(15e-9)
+
+    def test_merged(self):
+        a = ChannelRealization([los(10e-9)])
+        b = ChannelRealization([refl(20e-9, 0.5)])
+        merged = a.merged(b)
+        assert len(merged) == 2
+
+    def test_without_los_removes(self):
+        channel = ChannelRealization([los(10e-9), refl(20e-9, 0.5)])
+        nlos = channel.without_los()
+        assert nlos.los_tap is None
+        assert len(nlos) == 1
+
+    def test_without_los_attenuates(self):
+        channel = ChannelRealization([los(10e-9, 1.0), refl(20e-9, 0.5)])
+        attenuated = channel.without_los(attenuation=0.1)
+        assert attenuated.los_tap is not None
+        assert abs(attenuated.los_tap.amplitude) == pytest.approx(0.1)
+
+    def test_without_los_cannot_empty(self):
+        with pytest.raises(ValueError):
+            ChannelRealization([los()]).without_los()
+
+    def test_specular_excludes_diffuse(self, rng):
+        taps = [los(10e-9)] + diffuse_tail_taps(11e-9, 0.1, rng)
+        channel = ChannelRealization(taps)
+        assert len(channel.specular_taps()) == 1
+
+
+class TestRender:
+    def test_single_tap_renders_pulse_at_delay(self, default_pulse, ts):
+        channel = ChannelRealization([los(delay_s=100 * ts, amplitude=1.0)])
+        waveform = channel.render(default_pulse, 512)
+        assert np.argmax(np.abs(waveform)) == 100
+
+    def test_time_origin_shifts_window(self, default_pulse, ts):
+        channel = ChannelRealization([los(delay_s=100 * ts)])
+        waveform = channel.render(default_pulse, 512, time_origin_s=50 * ts)
+        assert np.argmax(np.abs(waveform)) == 50
+
+    def test_amplitude_scaling(self, default_pulse, ts):
+        weak = ChannelRealization([los(100 * ts, 0.1)]).render(default_pulse, 256)
+        strong = ChannelRealization([los(100 * ts, 1.0)]).render(default_pulse, 256)
+        assert np.max(np.abs(strong)) == pytest.approx(
+            10 * np.max(np.abs(weak)), rel=1e-9
+        )
+
+    def test_superposition(self, default_pulse, ts):
+        a = ChannelRealization([los(100 * ts)])
+        b = ChannelRealization([refl(300 * ts, 0.5)])
+        combined = a.merged(b).render(default_pulse, 512)
+        separate = a.render(default_pulse, 512) + b.render(default_pulse, 512)
+        assert np.allclose(combined, separate)
+
+
+class TestDiffuseTail:
+    def test_power_budget(self, rng):
+        taps = diffuse_tail_taps(0.0, total_power=0.5, rng=rng, duration_ns=100)
+        # Expected power matches the budget within Monte-Carlo tolerance.
+        total = sum(t.power for t in taps)
+        assert 0.1 < total < 1.5
+
+    def test_zero_power_gives_no_taps(self, rng):
+        assert diffuse_tail_taps(0.0, 0.0, rng) == []
+
+    def test_negative_power_rejected(self, rng):
+        with pytest.raises(ValueError):
+            diffuse_tail_taps(0.0, -1.0, rng)
+
+    def test_all_marked_diffuse(self, rng):
+        for tap in diffuse_tail_taps(10e-9, 0.1, rng):
+            assert tap.kind == "diffuse"
+            assert tap.delay_s >= 10e-9
+
+    def test_power_decays_with_delay(self, rng):
+        taps = diffuse_tail_taps(0.0, 1.0, rng, decay_ns=10.0, duration_ns=80)
+        early = sum(t.power for t in taps[: len(taps) // 4])
+        late = sum(t.power for t in taps[3 * len(taps) // 4 :])
+        assert early > late

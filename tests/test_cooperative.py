@@ -1,0 +1,119 @@
+"""Unit tests for cooperative localization."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Point
+from repro.localization.cooperative import (
+    CooperativeResult,
+    RangeMeasurement,
+    solve_cooperative,
+)
+
+ANCHORS = {0: Point(0, 0), 1: Point(10, 0), 2: Point(10, 10), 3: Point(0, 10)}
+
+
+def measure(a_pos: Point, b_pos: Point, a: int, b: int, noise=0.0, rng=None):
+    d = a_pos.distance_to(b_pos)
+    if noise:
+        d += float(rng.normal(0, noise))
+    return RangeMeasurement(a, b, max(d, 0.0))
+
+
+class TestSolveCooperative:
+    def test_single_tag_reduces_to_multilateration(self):
+        tag = Point(3.0, 7.0)
+        measurements = [
+            measure(tag, p, 10, aid) for aid, p in ANCHORS.items()
+        ]
+        result = solve_cooperative(ANCHORS, measurements, [10])
+        assert result.positions[10].distance_to(tag) < 1e-5
+        assert result.converged
+
+    def test_two_tags_with_inter_tag_range(self):
+        tag_a, tag_b = Point(3.0, 3.0), Point(7.0, 6.0)
+        measurements = (
+            [measure(tag_a, p, 10, aid) for aid, p in ANCHORS.items()]
+            + [measure(tag_b, p, 11, aid) for aid, p in ANCHORS.items()]
+            + [measure(tag_a, tag_b, 10, 11)]
+        )
+        result = solve_cooperative(ANCHORS, measurements, [10, 11])
+        assert result.positions[10].distance_to(tag_a) < 1e-4
+        assert result.positions[11].distance_to(tag_b) < 1e-4
+
+    def test_cooperation_helps_underdetermined_tag(self, rng):
+        """Tag B sees only two anchors — unsolvable alone — but becomes
+        solvable through its range to well-anchored tag A."""
+        tag_a, tag_b = Point(4.0, 4.0), Point(6.0, 7.0)
+        measurements = (
+            [measure(tag_a, p, 10, aid) for aid, p in ANCHORS.items()]
+            + [
+                measure(tag_b, ANCHORS[0], 11, 0),
+                measure(tag_b, ANCHORS[1], 11, 1),
+                measure(tag_a, tag_b, 10, 11),
+            ]
+        )
+        result = solve_cooperative(
+            ANCHORS,
+            measurements,
+            [10, 11],
+            initial={10: Point(4.5, 4.5), 11: Point(5.5, 6.5)},
+        )
+        assert result.positions[11].distance_to(tag_b) < 0.01
+
+    def test_noisy_network(self, rng):
+        tags = {10: Point(2.5, 3.5), 11: Point(7.0, 6.0), 12: Point(5.0, 8.0)}
+        measurements = []
+        for tid, tpos in tags.items():
+            for aid, apos in ANCHORS.items():
+                measurements.append(measure(tpos, apos, tid, aid, 0.05, rng))
+        tag_ids = list(tags)
+        for i, a in enumerate(tag_ids):
+            for b in tag_ids[i + 1 :]:
+                measurements.append(measure(tags[a], tags[b], a, b, 0.05, rng))
+        result = solve_cooperative(ANCHORS, measurements, tag_ids)
+        for tid, tpos in tags.items():
+            assert result.positions[tid].distance_to(tpos) < 0.2
+        assert result.rms_residual_m < 0.2
+
+    def test_anchor_only_measurements_ignored(self):
+        tag = Point(5.0, 5.0)
+        measurements = [
+            RangeMeasurement(0, 1, 10.0),  # anchor-anchor: no info
+        ] + [measure(tag, p, 10, aid) for aid, p in ANCHORS.items()]
+        result = solve_cooperative(ANCHORS, measurements, [10])
+        assert result.positions[10].distance_to(tag) < 1e-4
+
+
+class TestValidation:
+    def test_self_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangeMeasurement(1, 1, 5.0)
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangeMeasurement(0, 1, -1.0)
+
+    def test_no_unknowns(self):
+        with pytest.raises(ValueError):
+            solve_cooperative(ANCHORS, [RangeMeasurement(0, 10, 5.0)], [])
+
+    def test_anchor_unknown_overlap(self):
+        with pytest.raises(ValueError):
+            solve_cooperative(ANCHORS, [RangeMeasurement(0, 1, 5.0)], [0])
+
+    def test_unknown_without_measurement(self):
+        with pytest.raises(ValueError):
+            solve_cooperative(
+                ANCHORS, [RangeMeasurement(0, 10, 5.0)], [10, 99]
+            )
+
+    def test_orphan_node_in_measurement(self):
+        with pytest.raises(ValueError):
+            solve_cooperative(
+                ANCHORS, [RangeMeasurement(77, 10, 5.0)], [10]
+            )
+
+    def test_no_useful_measurements(self):
+        with pytest.raises(ValueError):
+            solve_cooperative(ANCHORS, [RangeMeasurement(0, 1, 10.0)], [10])

@@ -1,0 +1,125 @@
+"""Tests for DS-TWR, the Eq.-behind-it, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.channel.stochastic import IndoorEnvironment
+from repro.cli import EXPERIMENTS, main
+from repro.constants import SPEED_OF_LIGHT
+from repro.core.ranging import ds_twr_distance
+from repro.netsim.medium import Medium
+from repro.netsim.node import Node
+from repro.protocol.twr import DsTwr
+
+
+def make_dstwr(rng, distance_m=5.0):
+    medium = Medium(environment=IndoorEnvironment.office(), rng=rng)
+    initiator = Node.at(0, 0.0, 0.0, rng=rng)
+    responder = Node.at(1, distance_m, 0.0, rng=rng)
+    medium.add_nodes([initiator, responder])
+    return DsTwr(medium, initiator, responder)
+
+
+class TestDsTwrFormula:
+    def test_ideal_symmetric_exchange(self):
+        d = 8.0
+        tof = d / SPEED_OF_LIGHT
+        reply = 290e-6
+        estimate = ds_twr_distance(
+            t_round1_s=2 * tof + reply,
+            t_reply1_s=reply,
+            t_round2_s=2 * tof + reply,
+            t_reply2_s=reply,
+        )
+        assert estimate == pytest.approx(d, abs=1e-6)
+
+    def test_asymmetric_replies_still_exact(self):
+        d = 8.0
+        tof = d / SPEED_OF_LIGHT
+        r1, r2 = 290e-6, 410e-6
+        estimate = ds_twr_distance(2 * tof + r1, r1, 2 * tof + r2, r2)
+        assert estimate == pytest.approx(d, abs=1e-6)
+
+    def test_drift_immunity_first_order(self):
+        """Scale one side's measurements by (1 + 3 ppm): the error stays
+        sub-millimetre, unlike SS-TWR's ~dm bias."""
+        d = 8.0
+        tof = d / SPEED_OF_LIGHT
+        reply = 290e-6
+        drift = 1 + 3e-6
+        estimate = ds_twr_distance(
+            t_round1_s=2 * tof + reply,          # initiator clock
+            t_reply1_s=reply * drift,            # responder clock
+            t_round2_s=(2 * tof + reply) * drift,
+            t_reply2_s=reply,
+        )
+        assert abs(estimate - d) < 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ds_twr_distance(-1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ds_twr_distance(0.0, 0.0, 0.0, 0.0)
+
+
+class TestDsTwrProtocol:
+    def test_accuracy(self, rng):
+        ds = make_dstwr(rng)
+        estimates = ds.run_many(200, rng)
+        assert np.mean(estimates) == pytest.approx(5.0, abs=0.02)
+        assert np.std(estimates) < 0.04
+
+    def test_no_cfo_needed(self, rng):
+        """DS-TWR reaches cm precision with drifting clocks and no
+        drift estimate at all."""
+        ds = make_dstwr(rng)
+        estimates = ds.run_many(150, rng)
+        assert abs(np.mean(estimates) - 5.0) < 0.05
+
+    def test_same_node_rejected(self, rng):
+        medium = Medium(environment=IndoorEnvironment.office(), rng=rng)
+        node = Node.at(0, 0.0, 0.0, rng=rng)
+        medium.add_node(node)
+        with pytest.raises(ValueError):
+            DsTwr(medium, node, node)
+
+    def test_run_many_validation(self, rng):
+        with pytest.raises(ValueError):
+            make_dstwr(rng).run_many(0, rng)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_one(self, capsys):
+        assert main(["run", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "178" in out
+
+    def test_run_with_trials(self, capsys):
+        assert main(["run", "sect5", "--trials", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "30 SS-TWR exchanges" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_covers_all_experiment_modules(self):
+        """Every experiments/ module with a run() is reachable by CLI."""
+        import pkgutil
+
+        import repro.experiments as package
+
+        modules = {
+            name
+            for _, name, _ in pkgutil.iter_modules(package.__path__)
+            if name != "common"
+        }
+        registered = {module.__name__.rsplit(".", 1)[-1]
+                      for module, _ in EXPERIMENTS.values()}
+        assert modules == registered

@@ -1,0 +1,186 @@
+"""Unit tests for repro.radio.dw1000 — the transceiver model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.cir import ChannelRealization, ChannelTap
+from repro.constants import (
+    CIR_LENGTH_PRF64,
+    CIR_SAMPLING_PERIOD_S,
+    DW1000_DELAYED_TX_RESOLUTION_S,
+    SPEED_OF_LIGHT,
+)
+from repro.radio.dw1000 import (
+    DW1000Radio,
+    FIRST_PATH_NOMINAL_INDEX,
+    SignalArrival,
+    leading_edge_index,
+)
+from repro.radio.timebase import Clock
+from repro.signal.pulses import dw1000_pulse
+from repro.signal.sampling import place_pulse
+
+
+def simple_channel(distance_m: float, amplitude: float = 1e-3):
+    delay = distance_m / SPEED_OF_LIGHT
+    return ChannelRealization(
+        [ChannelTap(delay_s=delay, amplitude=amplitude, kind="los", order=0)]
+    )
+
+
+class TestLeadingEdge:
+    def test_finds_single_pulse(self, default_pulse):
+        cir = np.zeros(512, dtype=complex)
+        place_pulse(cir, default_pulse.samples.astype(complex), 100.0, 1.0)
+        idx = leading_edge_index(np.abs(cir), noise_std=1e-6)
+        assert idx == pytest.approx(100.0, abs=0.5)
+
+    def test_finds_first_of_two(self, default_pulse):
+        cir = np.zeros(512, dtype=complex)
+        place_pulse(cir, default_pulse.samples.astype(complex), 100.0, 0.5)
+        place_pulse(cir, default_pulse.samples.astype(complex), 200.0, 1.0)
+        idx = leading_edge_index(np.abs(cir), noise_std=1e-6)
+        # First path wins even though the later one is stronger.
+        assert idx == pytest.approx(100.0, abs=0.5)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            leading_edge_index(np.zeros(64), noise_std=1.0)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            leading_edge_index(np.array([1.0, 2.0]), noise_std=0.1)
+
+    def test_subsample_refinement(self, default_pulse):
+        cir = np.zeros(512, dtype=complex)
+        place_pulse(cir, default_pulse.samples.astype(complex), 100.4, 1.0)
+        idx = leading_edge_index(np.abs(cir), noise_std=1e-6)
+        assert idx == pytest.approx(100.4, abs=0.25)
+
+
+class TestTransmitChain:
+    def test_pulse_follows_register(self):
+        radio = DW1000Radio()
+        radio.set_pulse_register(0xE6)
+        assert radio.transmit_pulse().register == 0xE6
+
+    def test_delayed_tx_floors(self):
+        radio = DW1000Radio()
+        t = 290e-6
+        actual = radio.schedule_delayed_tx(t)
+        assert actual <= t
+        assert t - actual < DW1000_DELAYED_TX_RESOLUTION_S
+
+    def test_delayed_tx_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DW1000Radio().schedule_delayed_tx(-1.0)
+
+
+class TestTimestampArrival:
+    def test_near_truth(self, rng):
+        radio = DW1000Radio()
+        t = 1.234567e-3
+        stamps = [radio.timestamp_arrival(t, rng) for _ in range(200)]
+        errors = np.array(stamps) - t
+        assert abs(np.mean(errors)) < 50e-12
+        assert np.std(errors) < 200e-12
+
+    def test_wider_pulse_noisier(self, rng):
+        radio = DW1000Radio()
+        narrow = np.std(
+            [radio.timestamp_arrival(1e-3, rng, pulse_register=0x93)
+             for _ in range(400)]
+        )
+        wide = np.std(
+            [radio.timestamp_arrival(1e-3, rng, pulse_register=0xF0)
+             for _ in range(400)]
+        )
+        assert wide > narrow
+
+    def test_clock_conversion_applied(self, rng):
+        radio = DW1000Radio(clock=Clock(drift_ppm=0.0, offset_s=1.0))
+        stamp = radio.timestamp_arrival(0.5, rng)
+        assert stamp == pytest.approx(1.5, abs=1e-9)
+
+
+class TestCaptureCir:
+    def test_length_and_type(self, rng):
+        radio = DW1000Radio()
+        arrival = SignalArrival(simple_channel(5.0), dw1000_pulse(), 0.0)
+        capture = radio.capture_cir([arrival], rng)
+        assert len(capture) == CIR_LENGTH_PRF64
+        assert np.iscomplexobj(capture.samples)
+
+    def test_first_path_near_nominal_index(self, rng):
+        radio = DW1000Radio()
+        arrival = SignalArrival(simple_channel(5.0), dw1000_pulse(), 0.0)
+        capture = radio.capture_cir([arrival], rng)
+        assert capture.first_path_index == pytest.approx(
+            FIRST_PATH_NOMINAL_INDEX, abs=2.0
+        )
+
+    def test_rx_timestamp_accuracy(self, rng):
+        radio = DW1000Radio()
+        tof = 5.0 / SPEED_OF_LIGHT
+        arrival = SignalArrival(simple_channel(5.0), dw1000_pulse(), 1e-3)
+        errors = []
+        for _ in range(50):
+            capture = radio.capture_cir([arrival], rng)
+            errors.append(capture.rx_timestamp_s - (1e-3 + tof))
+        errors = np.array(errors)
+        assert abs(np.mean(errors)) < 0.3e-9
+        # LDE parabolic refinement on a noisy tap grid: sub-ns jitter.
+        assert np.std(errors) < 1.0e-9
+
+    def test_two_arrivals_two_peaks(self, rng):
+        radio = DW1000Radio()
+        arrivals = [
+            SignalArrival(simple_channel(3.0), dw1000_pulse(), 0.0, source_id=0),
+            SignalArrival(simple_channel(9.0), dw1000_pulse(), 0.0, source_id=1),
+        ]
+        capture = radio.capture_cir(arrivals, rng)
+        mag = capture.magnitude
+        # Expected separation: (9-3)/c = 20 ns ~ 20 taps.
+        first = int(round(capture.first_path_index))
+        window = mag[first + 10 : first + 30]
+        assert window.max() > 10 * capture.noise_std
+
+    def test_empty_arrivals_rejected(self, rng):
+        with pytest.raises(ValueError):
+            DW1000Radio().capture_cir([], rng)
+
+    def test_noise_floor_present(self, rng):
+        radio = DW1000Radio(noise_std=2e-5)
+        arrival = SignalArrival(simple_channel(5.0), dw1000_pulse(), 0.0)
+        capture = radio.capture_cir([arrival], rng)
+        tail = capture.samples[-200:]
+        measured = np.sqrt(np.mean(np.abs(tail) ** 2))
+        assert measured == pytest.approx(2e-5, rel=0.3)
+
+    def test_normalized_peak_is_one(self, rng):
+        radio = DW1000Radio()
+        arrival = SignalArrival(simple_channel(5.0), dw1000_pulse(), 0.0)
+        capture = radio.capture_cir([arrival], rng)
+        assert capture.normalized().max() == pytest.approx(1.0)
+
+    def test_time_of_index(self, rng):
+        radio = DW1000Radio()
+        arrival = SignalArrival(simple_channel(5.0), dw1000_pulse(), 0.0)
+        capture = radio.capture_cir([arrival], rng)
+        t0 = capture.time_of_index(0)
+        t10 = capture.time_of_index(10)
+        assert t10 - t0 == pytest.approx(10 * CIR_SAMPLING_PERIOD_S)
+
+    def test_ground_truth_arrivals_retained(self, rng):
+        radio = DW1000Radio()
+        arrival = SignalArrival(simple_channel(5.0), dw1000_pulse(), 0.0, source_id=7)
+        capture = radio.capture_cir([arrival], rng)
+        assert capture.arrivals[0].source_id == 7
+
+
+class TestSignalArrival:
+    def test_first_path_arrival(self):
+        arrival = SignalArrival(simple_channel(3.0), dw1000_pulse(), 1.0)
+        assert arrival.first_path_arrival_s == pytest.approx(
+            1.0 + 3.0 / SPEED_OF_LIGHT
+        )

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs end to end.
+
+The examples double as integration tests of the public API: each one is
+imported and its ``main()`` executed with stdout captured.  Assertions
+check the deliverable each example promises, not exact numbers.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "Anchor distance" in out
+        assert out.count("OK") >= 2  # most responders identified
+
+    def test_museum_localization(self, capsys):
+        out = run_example("museum_localization", capsys)
+        assert "median error" in out
+        assert "messages per fix: 2" in out
+
+    def test_warehouse_scalability(self, capsys):
+        out = run_example("warehouse_scalability", capsys)
+        assert "identified" in out
+        assert "50x" in out
+
+    def test_overlap_stress(self, capsys):
+        out = run_example("overlap_stress", capsys)
+        assert "search&subtract" in out
+        assert "92.6" in out  # the paper reference line
+
+    def test_record_and_replay(self, capsys):
+        out = run_example("record_and_replay", capsys)
+        assert "recorded 25 captures" in out
+        assert "offline analysis" in out
+
+    def test_cooperative_swarm(self, capsys):
+        out = run_example("cooperative_swarm", capsys)
+        assert "robot 10" in out and "robot 11" in out
+        assert "rms residual" in out

@@ -1,0 +1,110 @@
+"""Unit tests for repro.radio.frame — incl. the paper's 178.5 us check."""
+
+import pytest
+
+from repro.constants import DELTA_RESP_S
+from repro.protocol.messages import INIT_PAYLOAD_BYTES
+from repro.radio.frame import (
+    DataRate,
+    FrameTimings,
+    Prf,
+    RadioConfig,
+    frame_duration,
+    min_response_delay_s,
+    preamble_symbol_duration_s,
+)
+
+
+class TestRadioConfig:
+    def test_paper_defaults(self):
+        config = RadioConfig()
+        assert config.channel == 7
+        assert config.data_rate is DataRate.DR_6800KBPS
+        assert config.prf is Prf.PRF_64MHZ
+        assert config.psr == 128
+
+    def test_invalid_channel(self):
+        with pytest.raises(ValueError):
+            RadioConfig(channel=6)
+
+    def test_invalid_psr(self):
+        with pytest.raises(ValueError):
+            RadioConfig(psr=100)
+
+    def test_with_pulse_register(self):
+        config = RadioConfig().with_pulse_register(0xC8)
+        assert config.tc_pgdelay == 0xC8
+        assert config.psr == 128
+
+
+class TestPreambleSymbol:
+    def test_prf64_duration(self):
+        # 127 * 4 chips at 499.2 MHz ~= 1017.6 ns.
+        assert preamble_symbol_duration_s(Prf.PRF_64MHZ) == pytest.approx(
+            1017.63e-9, rel=1e-4
+        )
+
+    def test_prf16_duration(self):
+        # 31 * 16 chips ~= 993.6 ns.
+        assert preamble_symbol_duration_s(Prf.PRF_16MHZ) == pytest.approx(
+            993.59e-9, rel=1e-4
+        )
+
+
+class TestFrameDuration:
+    def test_preamble_scales_with_psr(self):
+        short = frame_duration(RadioConfig(psr=64), 10)
+        long = frame_duration(RadioConfig(psr=128), 10)
+        assert long.preamble_s == pytest.approx(2 * short.preamble_s)
+
+    def test_payload_grows_with_size(self):
+        config = RadioConfig()
+        small = frame_duration(config, 10)
+        large = frame_duration(config, 100)
+        assert large.payload_s > small.payload_s
+
+    def test_zero_payload(self):
+        timings = frame_duration(RadioConfig(), 0)
+        assert timings.payload_s == 0.0
+        assert timings.total_s > 0.0
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            frame_duration(RadioConfig(), -1)
+
+    def test_slower_rate_longer_payload(self):
+        fast = frame_duration(RadioConfig(data_rate=DataRate.DR_6800KBPS), 20)
+        slow = frame_duration(RadioConfig(data_rate=DataRate.DR_110KBPS), 20)
+        assert slow.payload_s > 10 * fast.payload_s
+
+    def test_total_is_sum(self):
+        t = frame_duration(RadioConfig(), 20)
+        assert t.total_s == pytest.approx(
+            t.preamble_s + t.sfd_s + t.phr_s + t.payload_s
+        )
+
+    def test_after_rmarker(self):
+        t = frame_duration(RadioConfig(), 20)
+        assert t.after_rmarker_s == pytest.approx(t.phr_s + t.payload_s)
+        assert t.shr_s == pytest.approx(t.preamble_s + t.sfd_s)
+
+
+class TestPaperTiming:
+    def test_minimum_delay_matches_paper_178_5us(self):
+        """The paper's headline number: 178.5 us at DR = 6.8 Mbps,
+        PRF = 64 MHz, PSR = 128."""
+        config = RadioConfig()
+        init = frame_duration(config, INIT_PAYLOAD_BYTES)
+        resp = frame_duration(config, 0)
+        minimum = init.after_rmarker_s + resp.shr_s
+        assert minimum == pytest.approx(178.5e-6, abs=0.5e-6)
+
+    def test_delta_resp_covers_minimum_plus_turnaround(self):
+        config = RadioConfig()
+        assert DELTA_RESP_S > min_response_delay_s(config, INIT_PAYLOAD_BYTES)
+
+    def test_min_delay_includes_turnaround(self):
+        config = RadioConfig()
+        without = min_response_delay_s(config, INIT_PAYLOAD_BYTES, turnaround_s=0.0)
+        with_turnaround = min_response_delay_s(config, INIT_PAYLOAD_BYTES)
+        assert with_turnaround == pytest.approx(without + 100e-6)

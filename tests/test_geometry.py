@@ -1,0 +1,171 @@
+"""Unit tests for repro.channel.geometry."""
+
+import math
+
+import pytest
+
+from repro.channel.cir import ChannelRealization
+from repro.channel.geometry import (
+    Obstacle,
+    Point,
+    Room,
+    image_source_taps,
+)
+from repro.constants import SPEED_OF_LIGHT
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_add_sub(self):
+        p = Point(1, 2) + Point(3, 4)
+        assert (p.x, p.y) == (4, 6)
+        q = Point(3, 4) - Point(1, 2)
+        assert (q.x, q.y) == (2, 2)
+
+    def test_midpoint(self):
+        m = Point(0, 0).midpoint(Point(4, 6))
+        assert (m.x, m.y) == (2, 3)
+
+
+class TestRoom:
+    def test_contains(self):
+        room = Room(10, 5)
+        assert room.contains(Point(5, 2))
+        assert not room.contains(Point(11, 2))
+        assert not room.contains(Point(5, -0.1))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Room(0, 5)
+
+    def test_invalid_reflection_coefficient(self):
+        with pytest.raises(ValueError):
+            Room(10, 5, reflection_coefficient=1.5)
+
+    def test_mirror_left(self):
+        room = Room(10, 5)
+        image = room.mirror(Point(2, 3), "left")
+        assert (image.x, image.y) == (-2, 3)
+
+    def test_mirror_right(self):
+        room = Room(10, 5)
+        image = room.mirror(Point(2, 3), "right")
+        assert (image.x, image.y) == (18, 3)
+
+    def test_mirror_top_bottom(self):
+        room = Room(10, 5)
+        assert room.mirror(Point(2, 3), "bottom").y == -3
+        assert room.mirror(Point(2, 3), "top").y == 7
+
+    def test_mirror_unknown_wall(self):
+        with pytest.raises(ValueError):
+            Room(10, 5).mirror(Point(1, 1), "ceiling")
+
+    def test_reflection_point_on_wall(self):
+        room = Room(10, 5)
+        bounce = room.reflection_point(Point(2, 3), Point(8, 3), "bottom")
+        assert bounce is not None
+        assert bounce.y == pytest.approx(0.0)
+        assert 2 < bounce.x < 8
+
+    def test_reflection_point_angle_of_incidence(self):
+        """Specular law: the bounce splits the path symmetrically."""
+        room = Room(10, 5)
+        tx, rx = Point(2, 3), Point(8, 1)
+        bounce = room.reflection_point(tx, rx, "bottom")
+        angle_in = math.atan2(tx.y - bounce.y, tx.x - bounce.x)
+        angle_out = math.atan2(rx.y - bounce.y, rx.x - bounce.x)
+        assert math.sin(angle_in) == pytest.approx(math.sin(math.pi - angle_out))
+
+    def test_reflection_path_length_via_image(self):
+        room = Room(10, 5)
+        tx, rx = Point(2, 3), Point(8, 1)
+        bounce = room.reflection_point(tx, rx, "top")
+        direct = room.mirror(tx, "top").distance_to(rx)
+        via_bounce = tx.distance_to(bounce) + bounce.distance_to(rx)
+        assert via_bounce == pytest.approx(direct)
+
+
+class TestObstacle:
+    def test_intersects_crossing_segment(self):
+        obstacle = Obstacle(4, 0, 6, 3)
+        assert obstacle.intersects_segment(Point(0, 1), Point(10, 1))
+
+    def test_misses_segment_beside(self):
+        obstacle = Obstacle(4, 0, 6, 3)
+        assert not obstacle.intersects_segment(Point(0, 4), Point(10, 4))
+
+    def test_misses_segment_short(self):
+        obstacle = Obstacle(4, 0, 6, 3)
+        assert not obstacle.intersects_segment(Point(0, 1), Point(3, 1))
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            Obstacle(4, 0, 4, 3)
+
+    def test_invalid_attenuation(self):
+        with pytest.raises(ValueError):
+            Obstacle(0, 0, 1, 1, attenuation=2.0)
+
+
+class TestImageSourceTaps:
+    def test_five_taps_in_open_room(self):
+        """The Fig. 1a structure: LOS + 4 first-order reflections."""
+        room = Room(10, 5)
+        taps = image_source_taps(room, Point(2, 3), Point(7.5, 1.6))
+        assert len(taps) == 5
+        kinds = [tap.kind for tap in taps]
+        assert kinds.count("los") == 1
+        assert kinds.count("reflection") == 4
+
+    def test_los_is_earliest(self):
+        room = Room(10, 5)
+        taps = image_source_taps(room, Point(2, 3), Point(7.5, 1.6))
+        channel = ChannelRealization(taps)
+        assert channel.first_path.kind == "los"
+
+    def test_los_delay_matches_distance(self):
+        room = Room(10, 5)
+        tx, rx = Point(2, 3), Point(7, 3)
+        taps = image_source_taps(room, tx, rx)
+        channel = ChannelRealization(taps)
+        assert channel.first_path.delay_s == pytest.approx(
+            tx.distance_to(rx) / SPEED_OF_LIGHT
+        )
+
+    def test_reflections_weaker_than_los(self):
+        room = Room(10, 5)
+        taps = image_source_taps(room, Point(2, 3), Point(7.5, 1.6))
+        channel = ChannelRealization(taps)
+        los_power = channel.los_tap.power
+        for tap in channel:
+            if tap.kind == "reflection":
+                assert tap.power < los_power
+
+    def test_obstacle_blocks_los(self):
+        room = Room(10, 5, obstacles=[Obstacle(4, 2, 5, 4, attenuation=0.0)])
+        taps = image_source_taps(room, Point(2, 3), Point(8, 3))
+        assert all(tap.kind != "los" for tap in taps)
+
+    def test_obstacle_attenuates_los(self):
+        clear = Room(10, 5)
+        blocked = Room(10, 5, obstacles=[Obstacle(4, 2, 5, 4, attenuation=0.2)])
+        clear_taps = image_source_taps(clear, Point(2, 3), Point(8, 3))
+        blocked_taps = image_source_taps(blocked, Point(2, 3), Point(8, 3))
+        clear_los = next(t for t in clear_taps if t.kind == "los")
+        blocked_los = next(t for t in blocked_taps if t.kind == "los")
+        assert abs(blocked_los.amplitude) == pytest.approx(
+            0.2 * abs(clear_los.amplitude)
+        )
+
+    def test_outside_position_rejected(self):
+        room = Room(10, 5)
+        with pytest.raises(ValueError):
+            image_source_taps(room, Point(-1, 3), Point(8, 3))
+
+    def test_exclude_los(self):
+        room = Room(10, 5)
+        taps = image_source_taps(room, Point(2, 3), Point(8, 3), include_los=False)
+        assert all(tap.kind == "reflection" for tap in taps)

@@ -1,0 +1,82 @@
+"""Unit tests for the least-squares amplitude refinement (ablation A3)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CIR_SAMPLING_PERIOD_S as TS
+from repro.core.detection import (
+    SearchAndSubtract,
+    SearchAndSubtractConfig,
+    refine_amplitudes_least_squares,
+)
+from repro.signal.pulses import dw1000_pulse
+from repro.signal.sampling import place_pulse
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return SearchAndSubtract(
+        dw1000_pulse(), SearchAndSubtractConfig(max_responses=2)
+    )
+
+
+def overlapping_cir(separation_samples, amp2=0.8j):
+    pulse = dw1000_pulse()
+    cir = np.zeros(1016, dtype=complex)
+    place_pulse(cir, pulse.samples.astype(complex), 300.0, 1.0)
+    place_pulse(
+        cir, pulse.samples.astype(complex), 300.0 + separation_samples, amp2
+    )
+    return cir
+
+
+class TestLsRefinement:
+    def test_positions_unchanged(self, detector):
+        cir = overlapping_cir(1.3)
+        plain = detector.detect(cir, TS)
+        refined = detector.detect_with_ls_refinement(cir, TS)
+        for a, b in zip(plain, refined):
+            assert a.index == b.index
+            assert a.template_index == b.template_index
+
+    def test_amplitudes_improve_for_overlap(self, detector):
+        cir = overlapping_cir(1.3)
+        plain = detector.detect(cir, TS)
+        refined = detector.detect_with_ls_refinement(cir, TS)
+        truth = {0: 1.0, 1: 0.8}  # by delay order
+        plain_err = sum(
+            abs(abs(r.amplitude) - truth[i]) for i, r in enumerate(plain)
+        )
+        ls_err = sum(
+            abs(abs(r.amplitude) - truth[i]) for i, r in enumerate(refined)
+        )
+        assert ls_err <= plain_err + 1e-9
+
+    def test_separated_pulses_equal_estimates(self, detector):
+        cir = overlapping_cir(200.0)
+        plain = detector.detect(cir, TS)
+        refined = detector.detect_with_ls_refinement(cir, TS)
+        for a, b in zip(plain, refined):
+            assert abs(a.amplitude) == pytest.approx(abs(b.amplitude), rel=0.01)
+
+    def test_single_response_passthrough(self, detector):
+        pulse = dw1000_pulse()
+        cir = np.zeros(512, dtype=complex)
+        place_pulse(cir, pulse.samples.astype(complex), 200.0, 1.0)
+        single = SearchAndSubtract(
+            pulse, SearchAndSubtractConfig(max_responses=1)
+        )
+        refined = single.detect_with_ls_refinement(cir, TS)
+        assert len(refined) == 1
+
+    def test_refine_empty_list(self):
+        assert refine_amplitudes_least_squares(
+            np.zeros(64, dtype=complex), [], [dw1000_pulse()], TS
+        ) == []
+
+    def test_complex_amplitude_recovered(self, detector):
+        cir = overlapping_cir(1.5, amp2=0.6 * np.exp(1j * 2.1))
+        refined = detector.detect_with_ls_refinement(cir, TS)
+        later = max(refined, key=lambda r: r.delay_s)
+        assert abs(later.amplitude) == pytest.approx(0.6, abs=0.08)
+        assert np.angle(later.amplitude) == pytest.approx(2.1, abs=0.3)

@@ -1,0 +1,238 @@
+"""Unit tests for the discrete-event engine, nodes, medium, and traces."""
+
+import numpy as np
+import pytest
+
+from repro.channel.stochastic import IndoorEnvironment
+from repro.channel.geometry import Point, Room
+from repro.netsim.engine import EventQueue
+from repro.netsim.medium import FrameTransmission, Medium
+from repro.netsim.node import Node
+from repro.netsim.trace import TraceEvent, TraceRecorder
+from repro.radio.energy import RadioState
+from repro.signal.pulses import dw1000_pulse
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2.0, lambda q, p: order.append(p), "b")
+        queue.schedule(1.0, lambda q, p: order.append(p), "a")
+        queue.schedule(3.0, lambda q, p: order.append(p), "c")
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_schedule_order(self):
+        queue = EventQueue()
+        order = []
+        for label in "abc":
+            queue.schedule(1.0, lambda q, p: order.append(p), label)
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule(5.0, lambda q, p: times.append(q.now_s))
+        queue.run()
+        assert times == [5.0]
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        seen = []
+
+        def first(q, _):
+            q.schedule_after(1.0, lambda q2, __: seen.append(q2.now_s))
+
+        queue.schedule(1.0, first)
+        queue.run()
+        assert seen == [2.0]
+
+    def test_cannot_schedule_in_past(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda q, p: q.schedule(1.0, lambda *_: None))
+        with pytest.raises(ValueError):
+            queue.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule_after(-1.0, lambda *_: None)
+
+    def test_run_until(self):
+        queue = EventQueue()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            queue.schedule(t, lambda q, p: seen.append(p), t)
+        queue.run(until_s=2.5)
+        assert seen == [1.0, 2.0]
+        assert queue.pending == 1
+
+    def test_event_budget_guards_loops(self):
+        queue = EventQueue()
+
+        def forever(q, _):
+            q.schedule_after(0.0, forever)
+
+        queue.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            queue.run(max_events=100)
+
+    def test_step_returns_none_when_empty(self):
+        assert EventQueue().step() is None
+
+    def test_processed_counter(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda *_: None)
+        queue.run()
+        assert queue.processed == 1
+
+
+class TestNode:
+    def test_at_builds_radio(self, rng):
+        node = Node.at(3, 1.0, 2.0, rng=rng)
+        assert node.node_id == 3
+        assert node.position == Point(1.0, 2.0)
+        assert node.radio is not None
+
+    def test_distance(self, rng):
+        a = Node.at(0, 0.0, 0.0, rng=rng)
+        b = Node.at(1, 3.0, 4.0, rng=rng)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_ideal_clock_without_rng(self):
+        node = Node.at(0, 0.0, 0.0)
+        assert node.radio.clock.drift_ppm == 0.0
+
+    def test_energy_accounting(self, rng):
+        node = Node.at(0, 0.0, 0.0, rng=rng)
+        node.account_tx(1e-3)
+        node.account_rx(2e-3)
+        assert node.radio.energy.duration_s(RadioState.TX) == pytest.approx(1e-3)
+        assert node.radio.energy.duration_s(RadioState.RX) == pytest.approx(2e-3)
+
+
+class TestMedium:
+    def _medium(self, rng):
+        medium = Medium(environment=IndoorEnvironment.hallway(), rng=rng)
+        medium.add_nodes(
+            [Node.at(0, 0.0, 0.0, rng=rng), Node.at(1, 5.0, 0.0, rng=rng)]
+        )
+        return medium
+
+    def test_duplicate_node_rejected(self, rng):
+        medium = self._medium(rng)
+        with pytest.raises(ValueError):
+            medium.add_node(Node.at(0, 1.0, 1.0, rng=rng))
+
+    def test_channel_reciprocal_within_coherence(self, rng):
+        medium = self._medium(rng)
+        assert medium.channel_between(0, 1) is medium.channel_between(1, 0)
+
+    def test_channel_refreshes_after_coherence(self, rng):
+        medium = self._medium(rng)
+        first = medium.channel_between(0, 1)
+        medium.new_coherence_interval()
+        second = medium.channel_between(0, 1)
+        assert first is not second
+
+    def test_self_channel_rejected(self, rng):
+        medium = self._medium(rng)
+        with pytest.raises(ValueError):
+            medium.channel_between(0, 0)
+
+    def test_arrival_carries_source(self, rng):
+        medium = self._medium(rng)
+        tx = FrameTransmission(
+            tx_node_id=0, tx_time_s=1.0, pulse=dw1000_pulse()
+        )
+        arrival = medium.arrival_at(tx, 1)
+        assert arrival.source_id == 0
+        assert arrival.tx_time_s == 1.0
+
+    def test_own_transmission_not_received(self, rng):
+        medium = self._medium(rng)
+        tx = FrameTransmission(tx_node_id=0, tx_time_s=0.0, pulse=dw1000_pulse())
+        with pytest.raises(ValueError):
+            medium.arrival_at(tx, 0)
+
+    def test_first_arrival_time_matches_distance(self, rng):
+        from repro.constants import SPEED_OF_LIGHT
+
+        medium = self._medium(rng)
+        tx = FrameTransmission(tx_node_id=0, tx_time_s=2.0, pulse=dw1000_pulse())
+        assert medium.first_arrival_time(tx, 1) == pytest.approx(
+            2.0 + 5.0 / SPEED_OF_LIGHT
+        )
+
+    def test_room_medium_uses_geometry(self, rng):
+        room = Room(10.0, 5.0)
+        medium = Medium(room=room, rng=rng)
+        medium.add_nodes(
+            [Node.at(0, 2.0, 3.0, rng=rng), Node.at(1, 7.0, 2.0, rng=rng)]
+        )
+        channel = medium.channel_between(0, 1)
+        kinds = {tap.kind for tap in channel}
+        assert "los" in kinds and "reflection" in kinds
+
+    def test_arrivals_at_superposition(self, rng):
+        medium = Medium(environment=IndoorEnvironment.hallway(), rng=rng)
+        medium.add_nodes(
+            [
+                Node.at(0, 0.0, 0.0, rng=rng),
+                Node.at(1, 5.0, 0.0, rng=rng),
+                Node.at(2, 0.0, 7.0, rng=rng),
+            ]
+        )
+        txs = [
+            FrameTransmission(tx_node_id=1, tx_time_s=0.0, pulse=dw1000_pulse()),
+            FrameTransmission(tx_node_id=2, tx_time_s=0.0, pulse=dw1000_pulse()),
+        ]
+        arrivals = medium.arrivals_at(txs, 0)
+        assert [a.source_id for a in arrivals] == [1, 2]
+
+
+class TestTrace:
+    def test_counts(self):
+        trace = TraceRecorder()
+        trace.record(0.0, 0, "tx", 1e-4)
+        trace.record(0.1, 1, "rx", 1e-4)
+        trace.record(0.2, 0, "tx", 1e-4)
+        assert trace.message_count == 2
+        assert trace.count("rx") == 1
+        assert trace.count_for_node(0, "tx") == 2
+
+    def test_airtime(self):
+        trace = TraceRecorder()
+        trace.record(0.0, 0, "tx", 2e-4)
+        trace.record(1.0, 1, "tx", 3e-4)
+        assert trace.airtime_s() == pytest.approx(5e-4)
+
+    def test_span(self):
+        trace = TraceRecorder()
+        trace.record(1.0, 0, "tx", 0.5)
+        trace.record(2.0, 1, "tx", 0.5)
+        assert trace.span_s() == pytest.approx(1.5)
+
+    def test_utilization_merges_overlaps(self):
+        """Concurrent responses share airtime — the utilization win."""
+        trace = TraceRecorder()
+        trace.record(0.0, 1, "tx", 1.0)
+        trace.record(0.0, 2, "tx", 1.0)  # fully overlapping
+        trace.record(3.0, 3, "tx", 1.0)
+        # busy = 2 s of 4 s span.
+        assert trace.channel_utilization() == pytest.approx(0.5)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            TraceEvent(0.0, 0, "beam", 1.0)
+
+    def test_negative_duration(self):
+        with pytest.raises(ValueError):
+            TraceEvent(0.0, 0, "tx", -1.0)
+
+    def test_empty_summary(self):
+        trace = TraceRecorder()
+        summary = trace.summary()
+        assert summary["messages"] == 0.0
+        assert summary["utilization"] == 0.0

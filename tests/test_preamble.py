@@ -1,0 +1,124 @@
+"""Unit tests for the preamble-code accumulator model."""
+
+import numpy as np
+import pytest
+
+from repro.radio.preamble import (
+    CODE_LENGTH_PRF16,
+    CODE_LENGTH_PRF64,
+    estimate_cir_from_preamble,
+    m_sequence,
+    periodic_autocorrelation,
+    preamble_code,
+)
+
+
+class TestMSequence:
+    def test_lengths(self):
+        assert len(m_sequence(5)) == 31
+        assert len(m_sequence(7)) == 127
+
+    def test_binary_levels(self):
+        code = m_sequence(7)
+        assert set(np.unique(code)) == {-1.0, 1.0}
+
+    def test_balance(self):
+        """An m-sequence has one more +1 than -1 (or vice versa)."""
+        assert abs(np.sum(m_sequence(7))) == 1
+
+    def test_two_valued_autocorrelation(self):
+        """Periodic autocorrelation is N at lag 0 and -1 elsewhere —
+        the property that turns correlation into channel estimation."""
+        code = m_sequence(7)
+        autocorr = periodic_autocorrelation(code)
+        assert autocorr[0] == pytest.approx(127.0)
+        assert np.allclose(autocorr[1:], -1.0, atol=1e-9)
+
+    def test_seed_is_cyclic_shift(self):
+        a = m_sequence(7, seed=1)
+        b = m_sequence(7, seed=5)
+        found = any(
+            np.array_equal(np.roll(a, shift), b) for shift in range(127)
+        )
+        assert found
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            m_sequence(6)
+
+    def test_invalid_seed(self):
+        with pytest.raises(ValueError):
+            m_sequence(7, seed=0)
+
+
+class TestPreambleCode:
+    def test_standard_lengths(self):
+        assert len(preamble_code(CODE_LENGTH_PRF16)) == 31
+        assert len(preamble_code(CODE_LENGTH_PRF64)) == 127
+
+    def test_other_length_rejected(self):
+        with pytest.raises(ValueError):
+            preamble_code(63)
+
+
+class TestAccumulator:
+    def _channel(self):
+        taps = np.zeros(20, dtype=complex)
+        taps[3] = 1.0
+        taps[7] = 0.4 * np.exp(1j * 1.0)
+        taps[12] = 0.2 * np.exp(1j * 2.5)
+        return taps
+
+    def test_recovers_channel_noiseless(self, rng):
+        code = preamble_code(127)
+        result = estimate_cir_from_preamble(
+            self._channel(), code, n_symbols=4, noise_std=0.0, rng=rng
+        )
+        # Output = N*h - sum(h) bias from the -1 floor; normalise by N.
+        estimate = result.cir / 127.0
+        assert abs(estimate[3]) == pytest.approx(1.0, abs=0.02)
+        assert abs(estimate[7]) == pytest.approx(0.4, abs=0.02)
+        assert abs(estimate[12]) == pytest.approx(0.2, abs=0.02)
+        # Taps without channel content stay at the tiny -1/N floor.
+        assert abs(estimate[50]) < 0.03
+
+    def test_accumulation_gain(self, rng):
+        """Noise on the estimate drops like sqrt(n_symbols) — the PSR
+        gain the DW1000 model applies analytically."""
+        code = preamble_code(127)
+        channel = self._channel()
+
+        def residual_noise(n_symbols: int) -> float:
+            result = estimate_cir_from_preamble(
+                channel, code, n_symbols, noise_std=1.0, rng=rng
+            )
+            # Look at channel-free taps only.
+            return float(np.std(np.abs(result.cir[30:100])))
+
+        few = np.mean([residual_noise(8) for _ in range(5)])
+        many = np.mean([residual_noise(128) for _ in range(5)])
+        assert few / many == pytest.approx(np.sqrt(128 / 8), rel=0.35)
+
+    def test_superposition_of_two_transmitters(self, rng):
+        """Two responders with the same code superpose linearly in the
+        accumulator — the physical basis of concurrent ranging."""
+        code = preamble_code(127)
+        h1 = np.zeros(30, dtype=complex)
+        h1[5] = 1.0
+        h2 = np.zeros(30, dtype=complex)
+        h2[20] = 0.7
+        combined = estimate_cir_from_preamble(
+            h1 + h2, code, 16, noise_std=0.0, rng=rng
+        )
+        separate1 = estimate_cir_from_preamble(h1, code, 16, 0.0, rng)
+        separate2 = estimate_cir_from_preamble(h2, code, 16, 0.0, rng)
+        assert np.allclose(
+            combined.cir, separate1.cir + separate2.cir, atol=1e-9
+        )
+
+    def test_channel_too_long_rejected(self, rng):
+        code = preamble_code(31)
+        with pytest.raises(ValueError):
+            estimate_cir_from_preamble(
+                np.zeros(64, dtype=complex), code, 4, 0.0, rng
+            )

@@ -1,0 +1,105 @@
+"""Unit tests for repro.channel.propagation."""
+
+import numpy as np
+import pytest
+
+from repro.channel.propagation import (
+    PathLossModel,
+    friis_path_gain,
+    log_distance_path_gain,
+    propagation_delay_s,
+)
+from repro.constants import SPEED_OF_LIGHT
+
+CARRIER = 6.4896e9
+
+
+class TestDelay:
+    def test_basic(self):
+        assert propagation_delay_s(SPEED_OF_LIGHT) == pytest.approx(1.0)
+
+    def test_zero(self):
+        assert propagation_delay_s(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            propagation_delay_s(-1.0)
+
+
+class TestFriis:
+    def test_inverse_distance(self):
+        assert friis_path_gain(10.0, CARRIER) == pytest.approx(
+            friis_path_gain(5.0, CARRIER) / 2.0
+        )
+
+    def test_inverse_frequency(self):
+        assert friis_path_gain(5.0, 2 * CARRIER) == pytest.approx(
+            friis_path_gain(5.0, CARRIER) / 2.0
+        )
+
+    def test_magnitude_at_10m_channel7(self):
+        # lambda/(4 pi d) ~ 3.7e-4 at 6.49 GHz / 10 m.
+        gain = friis_path_gain(10.0, CARRIER)
+        assert 3e-4 < gain < 4.5e-4
+
+    def test_near_field_clamped(self):
+        assert friis_path_gain(0.0, CARRIER) == friis_path_gain(0.005, CARRIER)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            friis_path_gain(1.0, 0.0)
+
+
+class TestLogDistance:
+    def test_anchored_to_friis_at_reference(self):
+        assert log_distance_path_gain(1.0, CARRIER) == pytest.approx(
+            friis_path_gain(1.0, CARRIER)
+        )
+
+    def test_exponent_controls_decay(self):
+        mild = log_distance_path_gain(10.0, CARRIER, exponent=1.6)
+        steep = log_distance_path_gain(10.0, CARRIER, exponent=3.0)
+        assert mild > steep
+
+    def test_shadowing_scales_in_db(self):
+        base = log_distance_path_gain(5.0, CARRIER)
+        up = log_distance_path_gain(5.0, CARRIER, shadowing_db=6.0)
+        assert up / base == pytest.approx(10 ** (6.0 / 20.0))
+
+
+class TestPathLossModel:
+    def test_friis_factory(self):
+        model = PathLossModel.friis(CARRIER)
+        assert model.amplitude_gain(10.0) == pytest.approx(
+            friis_path_gain(10.0, CARRIER)
+        )
+
+    def test_log_distance_factory_deterministic_gain(self):
+        model = PathLossModel.log_distance(CARRIER)
+        assert model.amplitude_gain(10.0) == pytest.approx(
+            log_distance_path_gain(10.0, CARRIER, exponent=model.exponent)
+        )
+
+    def test_sampled_gain_varies(self, rng):
+        model = PathLossModel.log_distance(CARRIER, shadowing_sigma_db=3.0)
+        samples = [model.sample_amplitude_gain(5.0, rng) for _ in range(50)]
+        assert np.std(samples) > 0
+
+    def test_sampled_gain_centred_on_median(self, rng):
+        model = PathLossModel.log_distance(CARRIER, shadowing_sigma_db=2.0)
+        samples = np.array(
+            [model.sample_amplitude_gain(5.0, rng) for _ in range(2000)]
+        )
+        median = np.median(samples)
+        assert median == pytest.approx(model.amplitude_gain(5.0), rel=0.1)
+
+    def test_friis_sampling_is_deterministic(self, rng):
+        model = PathLossModel.friis(CARRIER)
+        a = model.sample_amplitude_gain(5.0, rng)
+        b = model.sample_amplitude_gain(5.0, rng)
+        assert a == b
+
+    def test_gain_decreases_with_distance(self):
+        model = PathLossModel.log_distance(CARRIER)
+        gains = [model.amplitude_gain(d) for d in (1, 3, 10, 30)]
+        assert all(a > b for a, b in zip(gains, gains[1:]))

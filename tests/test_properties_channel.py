@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the channel layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.cir import ChannelRealization, ChannelTap
+from repro.channel.geometry import Point, Room
+from repro.constants import CIR_SAMPLING_PERIOD_S, SPEED_OF_LIGHT
+from repro.signal.pulses import dw1000_pulse
+
+_PULSE = dw1000_pulse()
+
+tap_delays = st.floats(min_value=1e-9, max_value=800e-9)
+amplitudes = st.complex_numbers(
+    min_magnitude=1e-4, max_magnitude=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRenderProperties:
+    @given(
+        delays=st.lists(tap_delays, min_size=1, max_size=6, unique=True),
+        scale=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_render_linear_in_amplitude(self, delays, scale):
+        taps = [
+            ChannelTap(delay_s=d, amplitude=0.5, kind="reflection")
+            for d in delays
+        ]
+        channel = ChannelRealization(taps)
+        base = channel.render(_PULSE, 1016)
+        scaled = channel.scaled(scale).render(_PULSE, 1016)
+        assert np.allclose(scaled, scale * base, atol=1e-12)
+
+    @given(
+        delay=tap_delays,
+        shift_ns=st.floats(min_value=1.0, max_value=100.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_delay_shifts_render(self, delay, shift_ns):
+        """Delaying the channel moves the waveform by the same time."""
+        channel = ChannelRealization(
+            [ChannelTap(delay_s=delay, amplitude=1.0, kind="los", order=0)]
+        )
+        shift_s = shift_ns * 1e-9
+        direct = channel.delayed(shift_s).render(_PULSE, 1016)
+        windowed = channel.render(_PULSE, 1016, time_origin_s=-shift_s)
+        assert np.allclose(direct, windowed, atol=1e-9)
+
+    @given(delays=st.lists(tap_delays, min_size=2, max_size=6, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_is_superposition(self, delays):
+        taps = [
+            ChannelTap(delay_s=d, amplitude=0.3 + 0.1j, kind="reflection")
+            for d in delays
+        ]
+        half = len(taps) // 2
+        a = ChannelRealization(taps[: max(half, 1)])
+        b = ChannelRealization(taps[max(half, 1) :] or taps[:1])
+        merged = a.merged(b).render(_PULSE, 1016)
+        assert np.allclose(
+            merged,
+            a.render(_PULSE, 1016) + b.render(_PULSE, 1016),
+            atol=1e-12,
+        )
+
+
+class TestGeometryProperties:
+    positions = st.tuples(
+        st.floats(min_value=0.3, max_value=9.7),
+        st.floats(min_value=0.3, max_value=4.7),
+    )
+
+    @given(tx=positions, rx=positions)
+    @settings(max_examples=40, deadline=None)
+    def test_reflections_never_shorter_than_los(self, tx, rx):
+        from repro.channel.geometry import image_source_taps
+
+        room = Room(10.0, 5.0)
+        tx_p, rx_p = Point(*tx), Point(*rx)
+        if tx_p.distance_to(rx_p) < 0.1:
+            return  # degenerate co-located pair
+        taps = image_source_taps(room, tx_p, rx_p)
+        channel = ChannelRealization(taps)
+        los_delay = channel.los_tap.delay_s
+        for tap in channel:
+            assert tap.delay_s >= los_delay - 1e-15
+
+    @given(point=positions, wall=st.sampled_from(["left", "right", "top", "bottom"]))
+    @settings(max_examples=40, deadline=None)
+    def test_mirror_involution(self, point, wall):
+        room = Room(10.0, 5.0)
+        p = Point(*point)
+        twice = room.mirror(room.mirror(p, wall), wall)
+        assert twice.distance_to(p) < 1e-12
+
+    @given(tx=positions, rx=positions)
+    @settings(max_examples=40, deadline=None)
+    def test_los_delay_is_distance_over_c(self, tx, rx):
+        from repro.channel.geometry import image_source_taps
+
+        room = Room(10.0, 5.0)
+        tx_p, rx_p = Point(*tx), Point(*rx)
+        if tx_p.distance_to(rx_p) < 0.1:
+            return
+        taps = image_source_taps(room, tx_p, rx_p)
+        los = next(t for t in taps if t.kind == "los")
+        assert los.delay_s == pytest.approx(
+            tx_p.distance_to(rx_p) / SPEED_OF_LIGHT, rel=1e-12
+        )

@@ -1,0 +1,74 @@
+"""Property-based tests (hypothesis) for clocks and quantisation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import (
+    DW1000_DELAYED_TX_RESOLUTION_S,
+    DW1000_TIMESTAMP_RESOLUTION_S,
+)
+from repro.radio.timebase import (
+    Clock,
+    quantize_delayed_tx_s,
+    quantize_timestamp_s,
+)
+
+times = st.floats(min_value=0.0, max_value=16.0)
+
+
+class TestQuantizationProperties:
+    @given(t=times)
+    @settings(max_examples=100, deadline=None)
+    def test_timestamp_error_bounded(self, t):
+        assert abs(quantize_timestamp_s(t) - t) <= DW1000_TIMESTAMP_RESOLUTION_S
+
+    @given(t=times)
+    @settings(max_examples=100, deadline=None)
+    def test_delayed_tx_floors(self, t):
+        q = quantize_delayed_tx_s(t)
+        assert q <= t + 1e-12
+        assert t - q < DW1000_DELAYED_TX_RESOLUTION_S
+
+    @given(t=times)
+    @settings(max_examples=100, deadline=None)
+    def test_quantizers_idempotent(self, t):
+        ts = quantize_timestamp_s(t)
+        tx = quantize_delayed_tx_s(t)
+        assert quantize_timestamp_s(ts) == pytest.approx(ts, abs=1e-15)
+        assert quantize_delayed_tx_s(tx) == pytest.approx(tx, abs=1e-15)
+
+    @given(a=times, b=times)
+    @settings(max_examples=100, deadline=None)
+    def test_delayed_tx_monotone(self, a, b):
+        if a <= b:
+            assert quantize_delayed_tx_s(a) <= quantize_delayed_tx_s(b)
+
+
+class TestClockProperties:
+    drifts = st.floats(min_value=-20.0, max_value=20.0)
+    offsets = st.floats(min_value=-100.0, max_value=100.0)
+
+    @given(drift=drifts, offset=offsets, t=times)
+    @settings(max_examples=100, deadline=None)
+    def test_conversion_roundtrip(self, drift, offset, t):
+        clock = Clock(drift_ppm=drift, offset_s=offset)
+        roundtrip = clock.global_from_local(clock.local_from_global(t))
+        assert roundtrip == pytest.approx(t, abs=1e-9)
+
+    @given(drift=drifts, duration=st.floats(min_value=0.0, max_value=10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_duration_roundtrip(self, drift, duration):
+        clock = Clock(drift_ppm=drift)
+        assert clock.global_duration(
+            clock.local_duration(duration)
+        ) == pytest.approx(duration, abs=1e-12)
+
+    @given(a=drifts, b=drifts)
+    @settings(max_examples=100, deadline=None)
+    def test_relative_drift_antisymmetric(self, a, b):
+        clock_a, clock_b = Clock(drift_ppm=a), Clock(drift_ppm=b)
+        forward = clock_a.relative_drift_ppm(clock_b)
+        backward = clock_b.relative_drift_ppm(clock_a)
+        # Antisymmetric to first order in ppm; the second-order term is
+        # ~(a - b) * b * 1e-6, i.e. up to ~1e-3 ppm at 20 ppm drifts.
+        assert forward == pytest.approx(-backward, abs=5e-3)

@@ -1,0 +1,154 @@
+"""Unit tests for repro.signal.pulses."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    CIR_SAMPLING_PERIOD_S,
+    NUM_PULSE_SHAPES,
+    TC_PGDELAY_DEFAULT,
+    TC_PGDELAY_MAX,
+)
+from repro.signal.pulses import (
+    BASE_BANDWIDTH_HZ,
+    Pulse,
+    RegisterRangeError,
+    dw1000_pulse,
+    narrowband_pulse,
+    pulse_bandwidth_hz,
+    pulse_width_factor,
+    raised_cosine_pulse,
+)
+
+
+class TestWidthFactor:
+    def test_default_register_is_unity(self):
+        assert pulse_width_factor(TC_PGDELAY_DEFAULT) == 1.0
+
+    def test_monotone_increasing(self):
+        factors = [
+            pulse_width_factor(r)
+            for r in range(TC_PGDELAY_DEFAULT, TC_PGDELAY_MAX + 1)
+        ]
+        assert all(a < b for a, b in zip(factors, factors[1:]))
+
+    def test_below_default_rejected(self):
+        with pytest.raises(RegisterRangeError):
+            pulse_width_factor(TC_PGDELAY_DEFAULT - 1)
+
+    def test_above_8bit_rejected(self):
+        with pytest.raises(RegisterRangeError):
+            pulse_width_factor(0x100)
+
+    def test_number_of_usable_shapes_matches_paper(self):
+        # The paper claims "up to 108 different pulse shapes".
+        assert NUM_PULSE_SHAPES == 108
+
+
+class TestBandwidth:
+    def test_default_is_900mhz(self):
+        assert pulse_bandwidth_hz(TC_PGDELAY_DEFAULT) == BASE_BANDWIDTH_HZ
+
+    def test_wider_pulse_means_less_bandwidth(self):
+        assert pulse_bandwidth_hz(0xC8) < pulse_bandwidth_hz(0x93)
+        assert pulse_bandwidth_hz(0xE6) < pulse_bandwidth_hz(0xC8)
+
+
+class TestRaisedCosinePulse:
+    def test_peak_at_zero(self):
+        t = np.linspace(-5e-9, 5e-9, 1001)
+        values = raised_cosine_pulse(t, 900e6)
+        assert np.argmax(values) == 500
+
+    def test_unit_peak(self):
+        assert raised_cosine_pulse(np.array([0.0]), 900e6)[0] == pytest.approx(1.0)
+
+    def test_zero_at_nyquist_spaced_nulls(self):
+        # RC pulse has nulls at multiples of 1/B (except at the peak).
+        bandwidth = 500e6
+        t = np.array([1.0, 2.0, 3.0]) / bandwidth
+        values = raised_cosine_pulse(t, bandwidth)
+        assert np.allclose(values, 0.0, atol=1e-12)
+
+    def test_singularity_handled(self):
+        # t = 1/(2 * rolloff * B) is a removable singularity.
+        bandwidth, rolloff = 900e6, 0.1
+        t_singular = 1.0 / (2.0 * rolloff * bandwidth)
+        value = raised_cosine_pulse(np.array([t_singular]), bandwidth, rolloff)
+        assert np.isfinite(value[0])
+
+    def test_symmetric(self):
+        t = np.linspace(0.1e-9, 8e-9, 50)
+        assert np.allclose(
+            raised_cosine_pulse(t, 900e6), raised_cosine_pulse(-t, 900e6)
+        )
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            raised_cosine_pulse(np.array([0.0]), -1.0)
+
+    def test_invalid_rolloff_rejected(self):
+        with pytest.raises(ValueError):
+            raised_cosine_pulse(np.array([0.0]), 900e6, rolloff=1.5)
+
+
+class TestDw1000Pulse:
+    def test_unit_energy(self):
+        for register in (0x93, 0xC8, 0xE6, 0xF0):
+            assert dw1000_pulse(register).energy() == pytest.approx(1.0)
+
+    def test_width_monotone_in_register(self):
+        fine = 0.1e-9
+        widths = [
+            dw1000_pulse(r, sampling_period_s=fine).width_3db_s
+            for r in (0x93, 0xC8, 0xE6, 0xF0)
+        ]
+        assert widths == sorted(widths)
+        assert widths[0] < widths[-1] / 2  # clearly distinguishable
+
+    def test_peak_is_centred(self, default_pulse):
+        assert default_pulse.peak_index == len(default_pulse) // 2
+
+    def test_duration_scales_with_width(self):
+        narrow = dw1000_pulse(0x93)
+        wide = dw1000_pulse(0xF0)
+        assert wide.duration_s > narrow.duration_s
+
+    def test_resampled_preserves_register_and_bandwidth(self, default_pulse):
+        fine = default_pulse.resampled(0.1252e-9)
+        assert fine.register == default_pulse.register
+        assert fine.bandwidth_hz == default_pulse.bandwidth_hz
+        assert fine.sampling_period_s == pytest.approx(0.1252e-9)
+        assert fine.energy() == pytest.approx(1.0)
+
+    def test_resampled_has_more_samples(self, default_pulse):
+        fine = default_pulse.resampled(default_pulse.sampling_period_s / 8)
+        assert len(fine) > 4 * len(default_pulse)
+
+    def test_rejects_bad_register(self):
+        with pytest.raises(RegisterRangeError):
+            dw1000_pulse(0x40)
+
+    def test_pulse_requires_unit_energy(self):
+        with pytest.raises(ValueError):
+            Pulse(
+                samples=np.array([1.0, 2.0]),
+                sampling_period_s=1e-9,
+                register=0x93,
+                bandwidth_hz=900e6,
+            )
+
+
+class TestNarrowbandPulse:
+    def test_50mhz_pulse_much_wider_than_900mhz(self):
+        fine = 0.25e-9
+        wide = dw1000_pulse(sampling_period_s=fine)
+        narrow = narrowband_pulse(50e6, sampling_period_s=fine)
+        assert narrow.width_3db_s > 10 * wide.width_3db_s
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            narrowband_pulse(0.0)
+
+    def test_unit_energy(self):
+        assert narrowband_pulse(50e6).energy() == pytest.approx(1.0)

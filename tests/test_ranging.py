@@ -1,0 +1,152 @@
+"""Unit tests for the ranging math (paper Eq. 2 and Eq. 4)."""
+
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.core.detection import DetectedResponse
+from repro.core.ranging import (
+    RangingResult,
+    concurrent_distances,
+    sort_responses,
+    twr_distance,
+    twr_distance_compensated,
+)
+
+
+def response(delay_s, amplitude=1.0):
+    return DetectedResponse(
+        index=delay_s / 1e-9, delay_s=delay_s, amplitude=amplitude
+    )
+
+
+class TestTwrDistance:
+    def test_ideal_exchange(self):
+        d = 10.0
+        tof = d / SPEED_OF_LIGHT
+        reply = 290e-6
+        # Tolerance reflects float cancellation in (t_round - t_reply):
+        # a 290 us reply against a 30 ns round trip costs ~1e-8 m.
+        assert twr_distance(0.0, 2 * tof + reply, 1.0, 1.0 + reply) == pytest.approx(
+            d, abs=1e-6
+        )
+
+    def test_zero_distance(self):
+        reply = 100e-6
+        assert twr_distance(0.0, reply, 0.5, 0.5 + reply) == pytest.approx(0.0, abs=1e-6)
+
+    def test_negative_round_trip_rejected(self):
+        with pytest.raises(ValueError):
+            twr_distance(1.0, 0.5, 0.0, 0.1)
+
+    def test_negative_reply_rejected(self):
+        with pytest.raises(ValueError):
+            twr_distance(0.0, 1.0, 0.5, 0.4)
+
+    def test_drift_bias_direction(self):
+        """A responder clock running fast (positive ppm) measures the
+        reply window as longer, so the uncompensated distance reads
+        short."""
+        d = 5.0
+        tof = d / SPEED_OF_LIGHT
+        reply_true = 290e-6
+        drift_ppm = 2.0
+        reply_measured = reply_true * (1 + drift_ppm * 1e-6)
+        biased = twr_distance(0.0, 2 * tof + reply_true, 1.0, 1.0 + reply_measured)
+        assert biased < d
+
+    def test_compensation_removes_bias(self):
+        d = 5.0
+        tof = d / SPEED_OF_LIGHT
+        reply_true = 290e-6
+        drift_ppm = 2.0
+        reply_measured = reply_true * (1 + drift_ppm * 1e-6)
+        corrected = twr_distance_compensated(
+            0.0,
+            2 * tof + reply_true,
+            1.0,
+            1.0 + reply_measured,
+            relative_drift_ppm=drift_ppm,
+        )
+        assert corrected == pytest.approx(d, abs=1e-6)
+
+    def test_compensation_magnitude(self):
+        """At 290 us reply and 2 ppm drift, the bias is ~9 cm — worth
+        compensating, per the DW1000 application notes."""
+        d = 5.0
+        tof = d / SPEED_OF_LIGHT
+        reply = 290e-6
+        biased = twr_distance(
+            0.0, 2 * tof + reply, 1.0, 1.0 + reply * (1 + 2e-6)
+        )
+        assert abs(biased - d) == pytest.approx(
+            reply * 2e-6 / 2 * SPEED_OF_LIGHT, rel=1e-6
+        )
+
+
+class TestSortResponses:
+    def test_orders_by_delay(self):
+        responses = [response(30e-9), response(10e-9), response(20e-9)]
+        ordered = sort_responses(responses)
+        assert [r.delay_s for r in ordered] == [10e-9, 20e-9, 30e-9]
+
+    def test_amplitude_ignored(self):
+        responses = [response(30e-9, 10.0), response(10e-9, 0.1)]
+        ordered = sort_responses(responses)
+        assert ordered[0].delay_s == 10e-9
+
+
+class TestConcurrentDistances:
+    def test_anchor_gets_twr_distance(self):
+        distances = concurrent_distances(3.0, [response(100e-9)])
+        assert distances == [pytest.approx(3.0)]
+
+    def test_paper_example(self):
+        """The Sect. III worked example: responders at 3/6/10 m produce
+        CIR delays of 0 / 2*(tau2-tau1) / 2*(tau3-tau1)."""
+        d_twr = 3.0
+        tau1 = 3.0 / SPEED_OF_LIGHT
+        tau2 = 6.0 / SPEED_OF_LIGHT
+        tau3 = 10.0 / SPEED_OF_LIGHT
+        base = 100e-9
+        responses = [
+            response(base),
+            response(base + 2 * (tau2 - tau1)),
+            response(base + 2 * (tau3 - tau1)),
+        ]
+        distances = concurrent_distances(d_twr, responses)
+        assert distances[0] == pytest.approx(3.0)
+        assert distances[1] == pytest.approx(6.0, rel=1e-9)
+        assert distances[2] == pytest.approx(10.0, rel=1e-9)
+
+    def test_input_order_irrelevant(self):
+        d_twr = 3.0
+        delta = 2 * 3.0 / SPEED_OF_LIGHT  # +3 m
+        a = concurrent_distances(d_twr, [response(0.0), response(delta)])
+        b = concurrent_distances(d_twr, [response(delta), response(0.0)])
+        assert a == b
+
+    def test_empty(self):
+        assert concurrent_distances(3.0, []) == []
+
+    def test_negative_anchor_rejected(self):
+        with pytest.raises(ValueError):
+            concurrent_distances(-1.0, [response(0.0)])
+
+
+class TestRangingResult:
+    def test_distance_lookup(self):
+        result = RangingResult(
+            d_twr_m=3.0,
+            responses=(response(0.0), response(10e-9)),
+            distances_m=(3.0, 4.5),
+            responder_ids=(0, 1),
+        )
+        assert result.distance_of(1) == 4.5
+        assert len(result) == 2
+
+    def test_missing_id_raises(self):
+        result = RangingResult(
+            d_twr_m=3.0, responses=(), distances_m=(), responder_ids=()
+        )
+        with pytest.raises(KeyError):
+            result.distance_of(5)

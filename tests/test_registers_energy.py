@@ -1,0 +1,107 @@
+"""Unit tests for repro.radio.registers and repro.radio.energy."""
+
+import pytest
+
+from repro.constants import TC_PGDELAY_DEFAULT
+from repro.radio.energy import EnergyMeter, RadioState, STATE_CURRENT_A
+from repro.radio.registers import REGISTER_SPECS, RegisterFile
+
+
+class TestRegisterFile:
+    def test_reset_values(self):
+        regs = RegisterFile()
+        assert regs.read("TC_PGDELAY") == TC_PGDELAY_DEFAULT
+        assert regs.read("DX_TIME") == 0
+
+    def test_write_read(self):
+        regs = RegisterFile()
+        regs.write("TC_PGDELAY", 0xC8)
+        assert regs.read("TC_PGDELAY") == 0xC8
+
+    def test_width_enforced(self):
+        regs = RegisterFile()
+        with pytest.raises(ValueError):
+            regs.write("TC_PGDELAY", 0x100)
+        with pytest.raises(ValueError):
+            regs.write("TC_PGDELAY", -1)
+
+    def test_40bit_register_accepts_large_values(self):
+        regs = RegisterFile()
+        regs.write("DX_TIME", (1 << 40) - 1)
+        with pytest.raises(ValueError):
+            regs.write("DX_TIME", 1 << 40)
+
+    def test_unknown_register(self):
+        regs = RegisterFile()
+        with pytest.raises(KeyError):
+            regs.read("BOGUS")
+        with pytest.raises(KeyError):
+            regs.write("BOGUS", 1)
+
+    def test_reset_restores(self):
+        regs = RegisterFile()
+        regs.write("TC_PGDELAY", 0xF0)
+        regs.reset()
+        assert regs.read("TC_PGDELAY") == TC_PGDELAY_DEFAULT
+
+    def test_describe(self):
+        regs = RegisterFile()
+        assert "pulse" in regs.describe("TC_PGDELAY").lower()
+        with pytest.raises(KeyError):
+            regs.describe("BOGUS")
+
+    def test_all_specs_have_valid_resets(self):
+        for spec in REGISTER_SPECS.values():
+            assert 0 <= spec.reset <= spec.max_value
+
+
+class TestEnergyMeter:
+    def test_starts_empty(self):
+        meter = EnergyMeter()
+        assert meter.charge_c == 0.0
+        assert meter.energy_j == 0.0
+
+    def test_rx_more_expensive_than_tx(self):
+        """The paper's point: RX at 155 mA dominates TX at 90 mA."""
+        rx = EnergyMeter()
+        rx.account(RadioState.RX, 1.0)
+        tx = EnergyMeter()
+        tx.account(RadioState.TX, 1.0)
+        assert rx.energy_j > tx.energy_j
+        assert rx.energy_j / tx.energy_j == pytest.approx(155 / 90, rel=1e-6)
+
+    def test_energy_is_charge_times_voltage(self):
+        meter = EnergyMeter(supply_voltage_v=3.3)
+        meter.account(RadioState.TX, 2.0)
+        assert meter.energy_j == pytest.approx(2.0 * 0.090 * 3.3)
+
+    def test_accumulates(self):
+        meter = EnergyMeter()
+        meter.account(RadioState.TX, 1.0)
+        meter.account(RadioState.TX, 1.0)
+        assert meter.duration_s(RadioState.TX) == pytest.approx(2.0)
+
+    def test_negative_duration_rejected(self):
+        meter = EnergyMeter()
+        with pytest.raises(ValueError):
+            meter.account(RadioState.RX, -1.0)
+
+    def test_merged(self):
+        a = EnergyMeter()
+        a.account(RadioState.TX, 1.0)
+        b = EnergyMeter()
+        b.account(RadioState.RX, 2.0)
+        merged = a.merged(b)
+        assert merged.duration_s(RadioState.TX) == 1.0
+        assert merged.duration_s(RadioState.RX) == 2.0
+        # Originals untouched.
+        assert a.duration_s(RadioState.RX) == 0.0
+
+    def test_reset(self):
+        meter = EnergyMeter()
+        meter.account(RadioState.SLEEP, 100.0)
+        meter.reset()
+        assert meter.total_time_s == 0.0
+
+    def test_sleep_current_negligible(self):
+        assert STATE_CURRENT_A[RadioState.SLEEP] < 1e-4 * STATE_CURRENT_A[RadioState.RX]

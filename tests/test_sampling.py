@@ -1,0 +1,141 @@
+"""Unit tests for repro.signal.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.signal.sampling import fft_upsample, fractional_delay, place_pulse
+
+
+class TestFftUpsample:
+    def test_factor_one_is_copy(self, rng):
+        signal = rng.standard_normal(64)
+        out = fft_upsample(signal, 1)
+        assert np.array_equal(out, signal)
+        assert out is not signal
+
+    def test_length_scales(self, rng):
+        signal = rng.standard_normal(100)
+        assert len(fft_upsample(signal, 4)) == 400
+
+    def test_original_samples_preserved(self, rng):
+        """Band-limited interpolation passes through the input samples."""
+        # Use a band-limited signal (low-pass noise) to avoid edge leakage.
+        spectrum = np.zeros(128, dtype=complex)
+        spectrum[:20] = rng.standard_normal(20) + 1j * rng.standard_normal(20)
+        spectrum[-19:] = np.conj(spectrum[1:20][::-1])
+        signal = np.fft.ifft(spectrum).real
+        up = fft_upsample(signal, 8)
+        assert np.allclose(up[::8], signal, atol=1e-9)
+
+    def test_real_stays_real(self, rng):
+        out = fft_upsample(rng.standard_normal(64), 4)
+        assert np.isrealobj(out)
+
+    def test_complex_stays_complex(self, rng):
+        signal = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        out = fft_upsample(signal, 4)
+        assert np.iscomplexobj(out)
+        assert np.allclose(out[::4], signal, atol=1e-9)
+
+    def test_energy_preserved_for_bandlimited(self):
+        n = 128
+        t = np.arange(n)
+        signal = np.sin(2 * np.pi * 5 * t / n)
+        up = fft_upsample(signal, 4)
+        assert np.mean(up**2) == pytest.approx(np.mean(signal**2), rel=1e-6)
+
+    def test_odd_length(self, rng):
+        signal = rng.standard_normal(63)
+        assert len(fft_upsample(signal, 2)) == 126
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ValueError):
+            fft_upsample(rng.standard_normal((4, 4)), 2)
+        with pytest.raises(ValueError):
+            fft_upsample(rng.standard_normal(8), 0)
+
+
+class TestFractionalDelay:
+    def test_integer_delay_is_roll(self, rng):
+        spectrum = np.zeros(64, dtype=complex)
+        spectrum[:10] = rng.standard_normal(10)
+        signal = np.fft.ifft(spectrum).real
+        delayed = fractional_delay(signal, 3.0)
+        assert np.allclose(delayed, np.roll(signal, 3), atol=1e-9)
+
+    def test_zero_delay_identity(self, rng):
+        signal = rng.standard_normal(32)
+        assert np.allclose(fractional_delay(signal, 0.0), signal, atol=1e-12)
+
+    def test_energy_preserved_for_bandlimited(self, rng):
+        # Energy preservation holds for signals without Nyquist-bin
+        # content (all our pulses are band-limited by construction).
+        spectrum = np.zeros(64, dtype=complex)
+        spectrum[1:12] = rng.standard_normal(11) + 1j * rng.standard_normal(11)
+        spectrum[-11:] = np.conj(spectrum[1:12][::-1])
+        signal = np.fft.ifft(spectrum).real
+        delayed = fractional_delay(signal, 0.37)
+        assert np.sum(delayed**2) == pytest.approx(np.sum(signal**2), rel=1e-9)
+
+    def test_half_then_half_equals_one(self, rng):
+        spectrum = np.zeros(64, dtype=complex)
+        spectrum[:8] = rng.standard_normal(8)
+        signal = np.fft.ifft(spectrum).real
+        twice = fractional_delay(fractional_delay(signal, 0.5), 0.5)
+        assert np.allclose(twice, fractional_delay(signal, 1.0), atol=1e-9)
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ValueError):
+            fractional_delay(rng.standard_normal((2, 2)), 0.5)
+
+
+class TestPlacePulse:
+    def test_integer_placement(self, default_pulse):
+        buffer = np.zeros(100, dtype=complex)
+        place_pulse(buffer, default_pulse.samples, 50.0, amplitude=2.0)
+        assert np.argmax(np.abs(buffer)) == 50
+        peak_value = default_pulse.samples[default_pulse.peak_index]
+        assert buffer[50] == pytest.approx(2.0 * peak_value)
+
+    def test_fractional_placement_preserves_energy(self, default_pulse):
+        buffer = np.zeros(200, dtype=complex)
+        place_pulse(buffer, default_pulse.samples, 100.3, amplitude=1.0)
+        assert np.sum(np.abs(buffer) ** 2) == pytest.approx(1.0, rel=1e-3)
+
+    def test_complex_amplitude(self, default_pulse):
+        buffer = np.zeros(100, dtype=complex)
+        amp = 0.5 * np.exp(1j * 1.2)
+        place_pulse(buffer, default_pulse.samples, 40.0, amplitude=amp)
+        peak_value = default_pulse.samples[default_pulse.peak_index]
+        assert buffer[40] == pytest.approx(amp * peak_value)
+
+    def test_additive(self, default_pulse):
+        buffer = np.zeros(100, dtype=complex)
+        place_pulse(buffer, default_pulse.samples, 30.0)
+        place_pulse(buffer, default_pulse.samples, 30.0)
+        peak_value = default_pulse.samples[default_pulse.peak_index]
+        assert buffer[30] == pytest.approx(2.0 * peak_value)
+
+    def test_clipping_at_start(self, default_pulse):
+        buffer = np.zeros(100, dtype=complex)
+        place_pulse(buffer, default_pulse.samples, 2.0)
+        # No exception; partial energy landed.
+        assert 0 < np.sum(np.abs(buffer) ** 2) < 1.0
+
+    def test_clipping_at_end(self, default_pulse):
+        buffer = np.zeros(100, dtype=complex)
+        place_pulse(buffer, default_pulse.samples, 98.0)
+        assert 0 < np.sum(np.abs(buffer) ** 2) < 1.0
+
+    def test_fully_outside_is_noop(self, default_pulse):
+        buffer = np.zeros(100, dtype=complex)
+        place_pulse(buffer, default_pulse.samples, 500.0)
+        assert np.all(buffer == 0)
+
+    def test_cancellation(self, default_pulse):
+        """Subtracting what was placed leaves (near) zero — the core
+        operation of search-and-subtract step 5."""
+        buffer = np.zeros(200, dtype=complex)
+        place_pulse(buffer, default_pulse.samples, 77.4, amplitude=1.5)
+        place_pulse(buffer, default_pulse.samples, 77.4, amplitude=-1.5)
+        assert np.max(np.abs(buffer)) < 1e-9

@@ -1,0 +1,79 @@
+"""Unit tests for the scheduled-vs-concurrent cost model (Sect. VIII)."""
+
+import pytest
+
+from repro.protocol.scheduling import (
+    concurrent_round_cost,
+    network_sweep,
+    scheduled_round_cost,
+)
+
+
+class TestScheduledCost:
+    def test_paper_message_count(self):
+        """The paper's N(N-1) for full-network ranging."""
+        for n in (2, 5, 10, 50):
+            assert scheduled_round_cost(n).messages == n * (n - 1)
+
+    def test_single_initiator_count(self):
+        assert scheduled_round_cost(10, full_network=False).messages == 18
+
+    def test_duration_grows_quadratically(self):
+        d10 = scheduled_round_cost(10).duration_s
+        d20 = scheduled_round_cost(20).duration_s
+        assert d20 / d10 == pytest.approx(380 / 90, rel=1e-6)
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            scheduled_round_cost(1)
+
+    def test_energy_positive(self):
+        assert scheduled_round_cost(5).energy_j > 0
+
+
+class TestConcurrentCost:
+    def test_paper_message_count(self):
+        """One broadcast + one aggregate per round."""
+        cost = concurrent_round_cost(10)
+        assert cost.messages == 20  # 2 per round x 10 rounds
+
+    def test_transmissions_still_physical(self):
+        cost = concurrent_round_cost(10)
+        assert cost.transmissions == 10 * 10  # 1 INIT + 9 RESP per round
+
+    def test_channel_slots_constant_per_round(self):
+        assert concurrent_round_cost(50, full_network=False).channel_slots == 2
+
+    def test_duration_linear(self):
+        d10 = concurrent_round_cost(10).duration_s
+        d20 = concurrent_round_cost(20).duration_s
+        assert d20 / d10 == pytest.approx(2.0, rel=1e-6)
+
+
+class TestComparison:
+    def test_concurrent_wins_asymptotically(self):
+        for n in (10, 50, 100):
+            scheduled = scheduled_round_cost(n)
+            concurrent = concurrent_round_cost(n)
+            assert concurrent.messages < scheduled.messages
+            assert concurrent.duration_s < scheduled.duration_s
+            assert concurrent.energy_j < scheduled.energy_j
+
+    def test_message_ratio_matches_paper(self):
+        """N(N-1) vs ~N: ratio ~ (N-1)/2 under our counting."""
+        n = 100
+        ratio = scheduled_round_cost(n).messages / concurrent_round_cost(n).messages
+        assert ratio == pytest.approx((n - 1) / 2, rel=1e-6)
+
+    def test_small_network_crossover(self):
+        """At N = 2 the schemes are equivalent (concurrent has no
+        advantage with a single responder)."""
+        scheduled = scheduled_round_cost(2)
+        concurrent = concurrent_round_cost(2)
+        assert concurrent.messages >= scheduled.messages
+
+    def test_sweep_shape(self):
+        pairs = network_sweep((5, 10))
+        assert len(pairs) == 2
+        assert pairs[0][0].scheme == "scheduled"
+        assert pairs[0][1].scheme == "concurrent"

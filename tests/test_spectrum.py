@@ -1,0 +1,67 @@
+"""Unit tests for repro.signal.spectrum."""
+
+import numpy as np
+import pytest
+
+from repro.signal.pulses import dw1000_pulse, narrowband_pulse
+from repro.signal.spectrum import (
+    estimate_bandwidth_3db,
+    estimate_bandwidth_10db,
+    occupies_mask,
+    power_spectrum,
+)
+
+
+class TestPowerSpectrum:
+    def test_peak_normalised(self, default_pulse):
+        _, power = power_spectrum(default_pulse)
+        assert power.max() == pytest.approx(1.0)
+
+    def test_frequency_axis_symmetric(self, default_pulse):
+        freqs, _ = power_spectrum(default_pulse)
+        assert freqs[0] < 0 < freqs[-1]
+        df = abs(freqs[1] - freqs[0])
+        assert abs(freqs[0] + freqs[-1]) <= df * (1 + 1e-9)
+
+    def test_flat_band_at_dc(self, default_pulse):
+        # The RC spectrum is flat across the band, so DC power sits at
+        # the normalised maximum.
+        freqs, power = power_spectrum(default_pulse)
+        dc = power[np.argmin(np.abs(freqs))]
+        assert dc == pytest.approx(1.0, abs=0.05)
+
+
+class TestBandwidthEstimates:
+    def test_default_pulse_near_900mhz(self):
+        pulse = dw1000_pulse(sampling_period_s=0.1252e-9)
+        bw = estimate_bandwidth_3db(pulse)
+        assert 700e6 < bw < 1100e6
+
+    def test_10db_wider_than_3db(self, default_pulse):
+        assert estimate_bandwidth_10db(default_pulse) >= estimate_bandwidth_3db(
+            default_pulse
+        )
+
+    def test_wider_register_means_smaller_bandwidth(self):
+        fine = 0.1252e-9
+        bw_default = estimate_bandwidth_10db(dw1000_pulse(0x93, fine))
+        bw_wide = estimate_bandwidth_10db(dw1000_pulse(0xE6, fine))
+        assert bw_wide < bw_default / 2
+
+    def test_narrowband_pulse_bandwidth(self):
+        pulse = narrowband_pulse(50e6, sampling_period_s=1e-9)
+        bw = estimate_bandwidth_3db(pulse)
+        assert 25e6 < bw < 80e6
+
+
+class TestMask:
+    def test_all_registers_fit_default_mask(self):
+        """The paper's regulatory argument: every wider pulse fits any
+        mask the default pulse fits."""
+        fine = 0.1252e-9
+        for register in (0x93, 0xC8, 0xE6, 0xF0, 0xFF):
+            assert occupies_mask(dw1000_pulse(register, fine), 1.1e9)
+
+    def test_too_narrow_mask_fails(self):
+        pulse = dw1000_pulse(sampling_period_s=0.1252e-9)
+        assert not occupies_mask(pulse, 200e6)

@@ -1,0 +1,132 @@
+"""Unit tests for repro.channel.stochastic."""
+
+import numpy as np
+import pytest
+
+from repro.channel.stochastic import IndoorEnvironment, SalehValenzuelaModel
+from repro.constants import SPEED_OF_LIGHT
+
+
+class TestIndoorEnvironment:
+    def test_first_tap_is_los_at_geometric_delay(self, rng):
+        env = IndoorEnvironment.hallway()
+        channel = env.realize(5.0, rng)
+        assert channel.first_path.kind == "los"
+        assert channel.first_path.delay_s == pytest.approx(5.0 / SPEED_OF_LIGHT)
+
+    def test_reflection_count(self, rng):
+        env = IndoorEnvironment(n_reflections=4, diffuse_power_ratio=0.0)
+        channel = env.realize(5.0, rng)
+        kinds = [tap.kind for tap in channel]
+        assert kinds.count("reflection") == 4
+
+    def test_reflections_after_los(self, rng):
+        env = IndoorEnvironment.office()
+        channel = env.realize(5.0, rng)
+        los_delay = channel.first_path.delay_s
+        for tap in channel:
+            assert tap.delay_s >= los_delay
+
+    def test_high_k_factor_means_dominant_los(self, rng):
+        env = IndoorEnvironment(k_factor_db=20.0, diffuse_power_ratio=0.0)
+        channel = env.realize(5.0, rng)
+        assert channel.strongest_tap.kind == "los"
+
+    def test_nlos_attenuates_los(self, rng):
+        clear = IndoorEnvironment(los_attenuation=1.0, diffuse_power_ratio=0.0,
+                                  n_reflections=0)
+        blocked = IndoorEnvironment(los_attenuation=0.1, diffuse_power_ratio=0.0,
+                                    n_reflections=0)
+        # Compare expected LOS power over several draws (shadowing varies).
+        clear_power = np.mean(
+            [clear.realize(5.0, rng).los_tap.power for _ in range(200)]
+        )
+        blocked_power = np.mean(
+            [blocked.realize(5.0, rng).los_tap.power for _ in range(200)]
+        )
+        assert blocked_power < clear_power * 0.05
+
+    def test_power_decreases_with_distance(self, rng):
+        env = IndoorEnvironment.hallway()
+        near = np.mean([env.realize(2.0, rng).total_power() for _ in range(100)])
+        far = np.mean([env.realize(20.0, rng).total_power() for _ in range(100)])
+        assert far < near
+
+    def test_presets_construct(self):
+        for preset in (
+            IndoorEnvironment.hallway(),
+            IndoorEnvironment.office(),
+            IndoorEnvironment.multipath_rich(),
+            IndoorEnvironment.nlos(),
+        ):
+            assert preset.n_reflections >= 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            IndoorEnvironment(n_reflections=-1)
+        with pytest.raises(ValueError):
+            IndoorEnvironment(los_attenuation=1.5)
+        with pytest.raises(ValueError):
+            IndoorEnvironment(diffuse_power_ratio=-0.1)
+
+    def test_diffuse_taps_present(self, rng):
+        env = IndoorEnvironment(diffuse_power_ratio=0.5)
+        channel = env.realize(5.0, rng)
+        assert any(tap.kind == "diffuse" for tap in channel)
+
+    def test_no_diffuse_when_ratio_zero(self, rng):
+        env = IndoorEnvironment(diffuse_power_ratio=0.0)
+        channel = env.realize(5.0, rng)
+        assert all(tap.kind != "diffuse" for tap in channel)
+
+    def test_independent_draws_differ(self, rng):
+        env = IndoorEnvironment.office()
+        a = env.realize(5.0, rng)
+        b = env.realize(5.0, rng)
+        assert a.taps != b.taps
+
+
+class TestSalehValenzuela:
+    def test_first_tap_at_geometric_delay(self, rng):
+        model = SalehValenzuelaModel()
+        channel = model.realize(4.0, rng)
+        assert channel.first_path.delay_s == pytest.approx(
+            4.0 / SPEED_OF_LIGHT
+        )
+        assert channel.first_path.kind == "los"
+
+    def test_many_taps_generated(self, rng):
+        channel = SalehValenzuelaModel().realize(4.0, rng)
+        assert len(channel) > 20
+
+    def test_power_matches_path_loss_scale(self, rng):
+        from repro.channel.propagation import PathLossModel
+        from repro.channel.geometry import CHANNEL7_CARRIER_HZ
+
+        model = SalehValenzuelaModel()
+        path_loss = PathLossModel.friis(CHANNEL7_CARRIER_HZ)
+        channel = model.realize(4.0, rng, path_loss=path_loss)
+        expected = path_loss.amplitude_gain(4.0) ** 2
+        assert channel.total_power() == pytest.approx(expected, rel=1e-6)
+
+    def test_max_excess_delay_respected(self, rng):
+        model = SalehValenzuelaModel(max_excess_delay_ns=50.0)
+        channel = model.realize(4.0, rng)
+        assert channel.excess_delay_s <= 50e-9 + 1e-12
+
+    def test_power_profile_decays(self, rng):
+        """Average power in the first quarter of the excess-delay window
+        exceeds the last quarter."""
+        model = SalehValenzuelaModel()
+        early_total, late_total = 0.0, 0.0
+        for _ in range(20):
+            channel = model.realize(4.0, rng)
+            base = channel.first_path.delay_s
+            window = 120e-9
+            for tap in channel:
+                excess = tap.delay_s - base
+                if excess < window / 4:
+                    early_total += tap.power
+                elif excess > 3 * window / 4:
+                    late_total += tap.power
+        assert early_total > late_total

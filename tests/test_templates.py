@@ -1,0 +1,124 @@
+"""Unit tests for repro.signal.templates."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    CIR_SAMPLING_PERIOD_S,
+    NUM_PULSE_SHAPES,
+    TC_PGDELAY_DEFAULT,
+    TC_PGDELAY_MAX,
+)
+from repro.signal.templates import (
+    PAPER_REGISTERS,
+    TemplateBank,
+    evenly_spaced_registers,
+)
+
+
+class TestEvenlySpacedRegisters:
+    def test_single_register_is_default(self):
+        assert evenly_spaced_registers(1) == [TC_PGDELAY_DEFAULT]
+
+    def test_endpoints_included(self):
+        registers = evenly_spaced_registers(5)
+        assert registers[0] == TC_PGDELAY_DEFAULT
+        assert registers[-1] == TC_PGDELAY_MAX
+
+    def test_count_respected(self):
+        for count in (2, 3, 10, 50, NUM_PULSE_SHAPES):
+            assert len(evenly_spaced_registers(count)) == count
+
+    def test_all_unique_and_sorted(self):
+        registers = evenly_spaced_registers(40)
+        assert registers == sorted(set(registers))
+
+    def test_rejects_zero_and_excess(self):
+        with pytest.raises(ValueError):
+            evenly_spaced_registers(0)
+        with pytest.raises(ValueError):
+            evenly_spaced_registers(NUM_PULSE_SHAPES + 1)
+
+    def test_max_count_fills_whole_range(self):
+        registers = evenly_spaced_registers(NUM_PULSE_SHAPES)
+        assert len(set(registers)) == NUM_PULSE_SHAPES
+
+
+class TestTemplateBank:
+    def test_paper_bank_registers(self):
+        bank = TemplateBank.paper_bank(4)
+        assert bank.registers == PAPER_REGISTERS
+
+    def test_paper_bank_count_limits(self):
+        with pytest.raises(ValueError):
+            TemplateBank.paper_bank(0)
+        with pytest.raises(ValueError):
+            TemplateBank.paper_bank(5)
+
+    def test_len_and_iteration(self, paper_bank):
+        assert len(paper_bank) == 3
+        assert len(list(paper_bank)) == 3
+
+    def test_names_follow_paper_convention(self, paper_bank):
+        assert paper_bank.names == ["s1", "s2", "s3"]
+        assert paper_bank.name_of(0) == "s1"
+
+    def test_name_of_out_of_range(self, paper_bank):
+        with pytest.raises(IndexError):
+            paper_bank.name_of(3)
+
+    def test_index_of_register(self, paper_bank):
+        assert paper_bank.index_of_register(0x93) == 0
+        assert paper_bank.index_of_register(0xC8) == 1
+
+    def test_index_of_unknown_register(self, paper_bank):
+        with pytest.raises(KeyError):
+            paper_bank.index_of_register(0xAA)
+
+    def test_pulse_for_register(self, paper_bank):
+        pulse = paper_bank.pulse_for_register(0xC8)
+        assert pulse.register == 0xC8
+
+    def test_duplicate_registers_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateBank((0x93, 0x93))
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateBank(())
+
+    def test_all_templates_unit_energy(self, paper_bank):
+        for pulse in paper_bank:
+            assert pulse.energy() == pytest.approx(1.0)
+
+    def test_resampled_bank(self, paper_bank):
+        fine = paper_bank.resampled(CIR_SAMPLING_PERIOD_S / 8)
+        assert fine.registers == paper_bank.registers
+        assert fine.sampling_period_s == pytest.approx(CIR_SAMPLING_PERIOD_S / 8)
+
+    def test_spread_bank_distinct_widths(self):
+        bank = TemplateBank.spread(6)
+        widths = [p.width_3db_s for p in bank]
+        assert widths == sorted(widths)
+
+
+class TestCrossCorrelationMatrix:
+    def test_diagonal_is_one(self, paper_bank):
+        matrix = paper_bank.cross_correlation_matrix()
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_symmetric(self, paper_bank):
+        matrix = paper_bank.cross_correlation_matrix()
+        assert np.allclose(matrix, matrix.T)
+
+    def test_off_diagonal_below_one(self, paper_bank):
+        matrix = paper_bank.cross_correlation_matrix()
+        off = matrix[~np.eye(len(paper_bank), dtype=bool)]
+        assert np.all(off < 0.95)
+        assert np.all(off > 0.0)
+
+    def test_adjacent_shapes_more_similar_than_distant(self):
+        bank = TemplateBank.paper_bank(3)
+        matrix = bank.cross_correlation_matrix()
+        # s2 vs s3 (similar widths) correlate more than s1 vs s3.
+        assert matrix[1, 2] > matrix[0, 2]

@@ -1,0 +1,115 @@
+"""Unit tests for the threshold-based baseline detector (Sect. VI)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CIR_SAMPLING_PERIOD_S as TS
+from repro.core.threshold import ThresholdConfig, ThresholdDetector
+from repro.signal.sampling import place_pulse
+
+
+def make_cir(pulses, template, n=1016, noise_std=0.0, rng=None):
+    cir = np.zeros(n, dtype=complex)
+    for position, amplitude in pulses:
+        place_pulse(cir, template.samples.astype(complex), position, amplitude)
+    if noise_std > 0:
+        cir += noise_std * (
+            rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        ) / np.sqrt(2)
+    return cir
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdConfig(max_responses=0)
+        with pytest.raises(ValueError):
+            ThresholdConfig(upsample_factor=0)
+
+
+class TestBasicDetection:
+    def test_single_pulse(self, default_pulse, rng):
+        cir = make_cir([(300.0, 1e-3)], default_pulse, noise_std=1e-5, rng=rng)
+        detector = ThresholdDetector(default_pulse, ThresholdConfig(max_responses=1))
+        responses = detector.detect(cir, TS, noise_std=1e-5)
+        assert len(responses) == 1
+        assert responses[0].index == pytest.approx(300.0, abs=0.3)
+
+    def test_two_separated_pulses(self, default_pulse, rng):
+        cir = make_cir(
+            [(200.0, 1e-3), (500.0, 0.5e-3)], default_pulse, noise_std=1e-5, rng=rng
+        )
+        detector = ThresholdDetector(default_pulse, ThresholdConfig(max_responses=2))
+        responses = detector.detect(cir, TS, noise_std=1e-5)
+        assert len(responses) == 2
+        assert responses[0].index == pytest.approx(200.0, abs=0.3)
+        assert responses[1].index == pytest.approx(500.0, abs=0.3)
+
+    def test_sorted_output(self, default_pulse, rng):
+        cir = make_cir(
+            [(500.0, 1e-3), (200.0, 0.9e-3)], default_pulse, noise_std=1e-5, rng=rng
+        )
+        detector = ThresholdDetector(default_pulse, ThresholdConfig(max_responses=2))
+        responses = detector.detect(cir, TS, noise_std=1e-5)
+        assert responses[0].index < responses[1].index
+
+    def test_empty_cir_returns_nothing(self, default_pulse):
+        detector = ThresholdDetector(default_pulse)
+        assert detector.detect(np.zeros(256, dtype=complex), TS) == []
+
+    def test_rejects_2d(self, default_pulse, rng):
+        detector = ThresholdDetector(default_pulse)
+        with pytest.raises(ValueError):
+            detector.detect(rng.standard_normal((4, 4)), TS)
+
+
+class TestStructuralWeakness:
+    def test_overlapping_pulses_merge_into_one(self, default_pulse, rng):
+        """The failure mode the paper exploits in Sect. VI: two pulses
+        within one pulse duration yield a single threshold detection."""
+        cir = make_cir(
+            [(400.0, 1e-3), (401.0, 1e-3)], default_pulse, noise_std=1e-5, rng=rng
+        )
+        detector = ThresholdDetector(default_pulse, ThresholdConfig(max_responses=2))
+        responses = detector.detect(cir, TS, noise_std=1e-5)
+        in_overlap = [r for r in responses if 395 <= r.index <= 406]
+        assert len(in_overlap) == 1
+
+    def test_resolves_beyond_pulse_duration(self, default_pulse, rng):
+        window_ns = 3.0  # the s1 pulse-duration window
+        cir = make_cir(
+            [(400.0, 1e-3), (400.0 + 2 * window_ns, 1e-3)],
+            default_pulse,
+            noise_std=1e-5,
+            rng=rng,
+        )
+        detector = ThresholdDetector(default_pulse, ThresholdConfig(max_responses=2))
+        responses = detector.detect(cir, TS, noise_std=1e-5)
+        assert len(responses) == 2
+
+
+class TestThresholdLevel:
+    def test_weak_pulse_below_threshold_ignored(self, default_pulse, rng):
+        cir = make_cir(
+            [(300.0, 1e-3), (600.0, 5e-5)],  # second at 5% of first
+            default_pulse,
+            noise_std=1e-6,
+            rng=rng,
+        )
+        detector = ThresholdDetector(
+            default_pulse,
+            ThresholdConfig(max_responses=2, min_peak_fraction=0.12),
+        )
+        responses = detector.detect(cir, TS, noise_std=1e-6)
+        assert all(abs(r.index - 600.0) > 2 for r in responses)
+
+    def test_noise_multiplier_gates(self, default_pulse, rng):
+        noise = 1e-4
+        cir = make_cir([(300.0, 1e-3)], default_pulse, noise_std=noise, rng=rng)
+        detector = ThresholdDetector(
+            default_pulse,
+            ThresholdConfig(max_responses=5, noise_multiplier=6.0),
+        )
+        responses = detector.detect(cir, TS, noise_std=noise)
+        # Only the true pulse region fires, not the noise floor.
+        assert all(295 <= r.index <= 305 for r in responses)

@@ -1,0 +1,110 @@
+"""Unit tests for repro.radio.timebase."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    DW1000_DELAYED_TX_RESOLUTION_S,
+    DW1000_TIMESTAMP_RESOLUTION_S,
+)
+from repro.radio.timebase import (
+    Clock,
+    quantize_delayed_tx_s,
+    quantize_timestamp_s,
+    seconds_to_ticks,
+    ticks_to_seconds,
+)
+
+
+class TestTickConversion:
+    def test_roundtrip(self):
+        t = 123.456e-6
+        assert ticks_to_seconds(seconds_to_ticks(t)) == pytest.approx(
+            t, abs=DW1000_TIMESTAMP_RESOLUTION_S
+        )
+
+    def test_one_tick_is_15_65ps(self):
+        assert ticks_to_seconds(1) == pytest.approx(15.65e-12, rel=1e-3)
+
+
+class TestTimestampQuantization:
+    def test_idempotent(self):
+        t = quantize_timestamp_s(1.0000000001234)
+        assert quantize_timestamp_s(t) == pytest.approx(t, abs=1e-15)
+
+    def test_error_below_resolution(self):
+        for t in (0.0, 1e-6, 0.5, 0.123456789):
+            assert abs(quantize_timestamp_s(t) - t) <= DW1000_TIMESTAMP_RESOLUTION_S
+
+
+class TestDelayedTxQuantization:
+    def test_grid_is_8ns(self):
+        assert DW1000_DELAYED_TX_RESOLUTION_S == pytest.approx(8.01e-9, rel=1e-2)
+
+    def test_floors_to_grid(self):
+        """The DW1000 ignores low bits, so the actual TX time is never
+        later than programmed — and at most ~8 ns earlier."""
+        for t in (290e-6, 1.2345e-3, 17.0):
+            q = quantize_delayed_tx_s(t)
+            assert q <= t + 1e-15
+            assert t - q < DW1000_DELAYED_TX_RESOLUTION_S
+
+    def test_grid_points_fixed(self):
+        q = quantize_delayed_tx_s(100e-6)
+        assert quantize_delayed_tx_s(q) == pytest.approx(q, abs=1e-15)
+
+    def test_coarser_than_timestamp_grid(self):
+        t = 123.456789e-6
+        tx = quantize_delayed_tx_s(t)
+        ts = quantize_timestamp_s(t)
+        assert abs(t - tx) >= 0
+        assert abs(t - ts) <= abs(t - tx) + 1e-15
+
+
+class TestClock:
+    def test_ideal_clock_identity(self):
+        clock = Clock()
+        assert clock.local_from_global(1.5) == pytest.approx(1.5)
+        assert clock.global_from_local(1.5) == pytest.approx(1.5)
+
+    def test_roundtrip(self):
+        clock = Clock(drift_ppm=3.7, offset_s=0.42)
+        t = 123.456
+        assert clock.global_from_local(clock.local_from_global(t)) == pytest.approx(t)
+
+    def test_drift_scales_durations(self):
+        clock = Clock(drift_ppm=10.0)
+        # A 1 s global duration appears 10 us longer locally.
+        assert clock.local_duration(1.0) == pytest.approx(1.0 + 10e-6)
+        assert clock.global_duration(1.0 + 10e-6) == pytest.approx(1.0)
+
+    def test_relative_drift(self):
+        a = Clock(drift_ppm=5.0)
+        b = Clock(drift_ppm=-5.0)
+        assert a.relative_drift_ppm(b) == pytest.approx(10.0, rel=1e-4)
+        assert b.relative_drift_ppm(a) == pytest.approx(-10.0, rel=1e-4)
+
+    def test_relative_drift_self_is_zero(self):
+        clock = Clock(drift_ppm=2.0)
+        assert clock.relative_drift_ppm(clock) == pytest.approx(0.0)
+
+    def test_random_within_range(self, rng):
+        for _ in range(20):
+            clock = Clock.random(rng, drift_ppm_range=2.0)
+            assert abs(clock.drift_ppm) <= 2.0
+
+    def test_offset_affects_phase_not_rate(self):
+        clock = Clock(drift_ppm=0.0, offset_s=10.0)
+        assert clock.local_from_global(0.0) == pytest.approx(10.0)
+        assert clock.local_duration(5.0) == pytest.approx(5.0)
+
+
+class TestDriftImpactOnRanging:
+    def test_uncompensated_reply_bias_magnitude(self):
+        """With 290 us reply delay and 2 ppm relative drift, the SS-TWR
+        bias is tens of centimetres — why compensation matters."""
+        from repro.constants import DELTA_RESP_S, SPEED_OF_LIGHT
+
+        drift_ppm = 2.0
+        bias_m = DELTA_RESP_S * drift_ppm * 1e-6 / 2.0 * SPEED_OF_LIGHT
+        assert 0.05 < bias_m < 0.15

@@ -1,0 +1,83 @@
+"""Unit tests for SS-TWR (protocol level)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.stochastic import IndoorEnvironment
+from repro.netsim.medium import Medium
+from repro.netsim.node import Node
+from repro.protocol.messages import RespMessage
+from repro.protocol.twr import SsTwr
+
+
+def make_twr(rng, distance_m=3.0, **kwargs):
+    medium = Medium(environment=IndoorEnvironment.office(), rng=rng)
+    initiator = Node.at(0, 0.0, 0.0, rng=rng)
+    responder = Node.at(1, distance_m, 0.0, rng=rng)
+    medium.add_nodes([initiator, responder])
+    return SsTwr(medium, initiator, responder, **kwargs)
+
+
+class TestSsTwr:
+    def test_accuracy_at_3m(self, rng):
+        twr = make_twr(rng, 3.0)
+        distances = twr.run_many(300, rng)
+        assert np.mean(distances) == pytest.approx(3.0, abs=0.03)
+
+    def test_precision_band_matches_paper(self, rng):
+        """Sect. V: sigma in the 2-3 cm band for the default shape."""
+        twr = make_twr(rng, 3.0)
+        distances = twr.run_many(500, rng)
+        assert 0.01 < np.std(distances) < 0.04
+
+    def test_compensated_beats_uncompensated(self, rng):
+        """Drift compensation removes the reply-delay bias."""
+        twr = make_twr(rng, 5.0)
+        outcomes = [twr.run(rng) for _ in range(100)]
+        comp_err = np.mean([abs(o.distance_m - 5.0) for o in outcomes])
+        uncomp_err = np.mean(
+            [abs(o.uncompensated_distance_m - 5.0) for o in outcomes]
+        )
+        assert comp_err < uncomp_err
+
+    def test_outcome_fields(self, rng):
+        twr = make_twr(rng, 4.0)
+        outcome = twr.run(rng)
+        assert outcome.true_distance_m == pytest.approx(4.0)
+        assert isinstance(outcome.resp_message, RespMessage)
+        assert outcome.resp_message.reply_time_s > 0
+        assert outcome.error_m == pytest.approx(outcome.distance_m - 4.0)
+
+    def test_reply_time_close_to_delta_resp(self, rng):
+        from repro.constants import DELTA_RESP_S, DW1000_DELAYED_TX_RESOLUTION_S
+
+        twr = make_twr(rng, 3.0)
+        outcome = twr.run(rng)
+        reply = outcome.resp_message.reply_time_s
+        assert DELTA_RESP_S - DW1000_DELAYED_TX_RESOLUTION_S <= reply <= DELTA_RESP_S
+
+    def test_same_node_rejected(self, rng):
+        medium = Medium(environment=IndoorEnvironment.office(), rng=rng)
+        node = Node.at(0, 0.0, 0.0, rng=rng)
+        medium.add_node(node)
+        with pytest.raises(ValueError):
+            SsTwr(medium, node, node)
+
+    def test_distance_sweep_unbiased(self, rng):
+        for distance in (1.0, 5.0, 15.0):
+            twr = make_twr(rng, distance)
+            distances = twr.run_many(150, rng)
+            assert np.mean(distances) == pytest.approx(distance, abs=0.05)
+
+    def test_run_many_validates_trials(self, rng):
+        twr = make_twr(rng)
+        with pytest.raises(ValueError):
+            twr.run_many(0, rng)
+
+    def test_large_cfo_error_degrades(self, rng):
+        """A bad drift estimate brings back the bias — the knob works."""
+        good = make_twr(rng, 5.0, cfo_error_ppm=0.05)
+        bad = make_twr(rng, 5.0, cfo_error_ppm=5.0)
+        good_std = np.std(good.run_many(200, rng))
+        bad_std = np.std(bad.run_many(200, rng))
+        assert bad_std > 2 * good_std
