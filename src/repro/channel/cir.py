@@ -15,8 +15,8 @@ physical signal the DW1000's CIR accumulator estimates.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from dataclasses import dataclass
+from typing import Iterable, List
 
 import numpy as np
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import cmath
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 from repro.channel.cir import ChannelTap
 from repro.channel.propagation import PathLossModel, propagation_delay_s
@@ -67,7 +67,7 @@ class Obstacle:
             raise ValueError("obstacle must have positive extent")
         if not 0.0 <= self.attenuation <= 1.0:
             raise ValueError(
-                f"attenuation must be an amplitude factor in [0, 1], "
+                "attenuation must be an amplitude factor in [0, 1], "
                 f"got {self.attenuation}"
             )
 

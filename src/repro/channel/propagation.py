@@ -10,7 +10,7 @@ experiments use the latter to stress amplitude-independence.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

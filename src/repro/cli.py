@@ -6,13 +6,32 @@ Examples::
     python -m repro run table1 --trials 1000
     python -m repro run fig7 sect5
     python -m repro run all --trials 100
+    python -m repro run table1 --trials 1000 --workers 4 --seed 7
+
+Global execution flags for ``run``:
+
+``--seed SEED``
+    Master seed for the Monte-Carlo trial loops.  Experiments ported to
+    the :mod:`repro.runtime` executor derive every per-trial random
+    stream from it via ``SeedSequence.spawn``, so a fixed seed gives
+    bit-identical results at *any* ``--workers`` count.  Defaults to
+    each experiment's built-in seed.
+
+``--workers N``
+    Trial-loop parallelism (default 1, the historical serial
+    behaviour).  ``N >= 2`` dispatches chunks of trials onto a
+    ``multiprocessing`` pool; experiments that have not been ported to
+    the runtime ignore the flag (a notice is printed).  After a run the
+    CLI prints the runtime metrics report: trials/sec, template-bank
+    cache hit rate, and total wall-clock time.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from repro.experiments import (
     ablation_amplitude,
@@ -60,13 +79,44 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
-def _run_one(name: str, trials: int | None) -> None:
+def _run_one(
+    name: str,
+    trials: int | None,
+    seed: int | None = None,
+    workers: int = 1,
+) -> None:
     module, takes_trials = EXPERIMENTS[name]
+    parameters = inspect.signature(module.run).parameters
+    kwargs = {}
     if takes_trials and trials is not None:
-        result = module.run(trials=trials)
-    else:
-        result = module.run()
+        kwargs["trials"] = trials
+    if seed is not None:
+        if "seed" in parameters:
+            kwargs["seed"] = seed
+        else:
+            print(
+                f"note: {name} does not take --seed; ignoring",
+                file=sys.stderr,
+            )
+    metrics = None
+    if "workers" in parameters:
+        kwargs["workers"] = workers
+        if "metrics" in parameters:
+            from repro.runtime import MetricsRegistry
+
+            metrics = MetricsRegistry()
+            kwargs["metrics"] = metrics
+    elif workers > 1:
+        print(
+            f"note: {name} has not been ported to the parallel runtime; "
+            "running serially",
+            file=sys.stderr,
+        )
+    result = module.run(**kwargs)
     print(result.render())
+    if metrics is not None and not metrics.is_empty():
+        print()
+        print(metrics.render(title=f"runtime metrics — {name}"))
     print()
 
 
@@ -110,6 +160,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: each experiment's quick default; the paper's counts "
         "are 1000-5000)",
     )
+    run_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="master seed for the trial loops (default: each experiment's "
+        "built-in seed); with the parallel runtime the same seed gives "
+        "identical results at any --workers count",
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel trial workers for runtime-ported experiments "
+        "(default: 1, serial)",
+    )
     return parser
 
 
@@ -148,10 +213,13 @@ def main(argv: List[str] | None = None) -> int:
     if unknown:
         print(
             f"unknown experiment(s): {', '.join(unknown)} — "
-            f"run 'python -m repro list'",
+            "run 'python -m repro list'",
             file=sys.stderr,
         )
         return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
     for name in names:
-        _run_one(name, args.trials)
+        _run_one(name, args.trials, seed=args.seed, workers=args.workers)
     return 0

@@ -23,8 +23,8 @@ iteration; that is exactly the pulse-shape identification of Sect. V, so
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterable, List, Sequence
+from dataclasses import dataclass, replace
+from typing import List, Sequence
 
 import numpy as np
 

@@ -18,7 +18,6 @@ reproduces the paper's arithmetic (and its scalability numbers), and
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.constants import (

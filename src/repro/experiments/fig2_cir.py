@@ -11,7 +11,6 @@ import numpy as np
 
 from repro.analysis.cir_features import peak_to_noise_ratio
 from repro.analysis.tables import Table
-from repro.channel.stochastic import IndoorEnvironment
 from repro.experiments.common import ExperimentResult
 from repro.radio.dw1000 import DW1000Radio, SignalArrival
 from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig

@@ -7,6 +7,13 @@ relative offset inside +-8 ns; only trials where they actually overlap
 are evaluated.  Result in the paper: search-and-subtract detects both
 responses in 92.6 % of overlapping trials, the threshold detector in
 only 48 %.
+
+Each round is one independently seeded trial on the
+:mod:`repro.runtime` executor.  Non-overlapping rounds return ``None``
+and are discarded; the experiment launches deterministic waves of
+trials until ``trials`` overlapping rounds have been evaluated (or the
+20x attempt budget is exhausted), so serial and parallel runs evaluate
+the *same* rounds in the same order for a fixed seed.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from repro.netsim.node import Node
 from repro.protocol.concurrent import ConcurrentRangingSession
 from repro.core.rpm import SlotPlan
 from repro.core.scheme import CombinedScheme
-from repro.signal.templates import TemplateBank
+from repro.runtime import MetricsRegistry, run_trials, template_bank
 
 DISTANCE_M = 4.0
 
@@ -40,6 +47,10 @@ OVERLAP_BOUND_S = 8.0e-9
 #: interference side-hump of the merged pulse pair cannot pass as the
 #: second response.
 MATCH_TOLERANCE_S = 1.0e-9
+
+#: Attempt budget: give up after this many rounds per requested
+#: overlapping trial (matches the pre-runtime rejection-sampling cap).
+MAX_ATTEMPT_FACTOR = 20
 
 
 def _true_peak_times(capture) -> list[float]:
@@ -68,16 +79,19 @@ def _both_found(detections, truths) -> bool:
     return True
 
 
-def run(trials: int = 500, seed: int = 23) -> ExperimentResult:
-    """Reproduce the Sect. VI comparison (paper count: 2000 trials)."""
-    rng = np.random.default_rng(seed)
+def _overlap_trial(rng: np.random.Generator, index: int):
+    """One concurrent round of the Sect. VI duel.
+
+    Returns ``None`` when the two responses did not actually overlap,
+    else ``(search_found_both, threshold_found_both)``.
+    """
     medium = Medium(environment=IndoorEnvironment.hallway(), rng=rng)
     initiator = Node.at(0, 0.0, 0.0, rng=rng)
     responder1 = Node.at(1, DISTANCE_M, 0.0, rng=rng)
     responder2 = Node.at(2, 0.0, DISTANCE_M, rng=rng)
     medium.add_nodes([initiator, responder1, responder2])
 
-    bank = TemplateBank((0x93,))
+    bank = template_bank((0x93,))
     scheme = CombinedScheme(SlotPlan.for_range(20.0, n_slots=1), bank)
     session = ConcurrentRangingSession(
         medium=medium,
@@ -89,6 +103,12 @@ def run(trials: int = 500, seed: int = 23) -> ExperimentResult:
         # shape, as in the paper's Sect. VI setup.
         allow_duplicate_assignments=True,
     )
+    outcome = session.run_round()
+    capture = outcome.capture
+    truths = _true_peak_times(capture)
+    if abs(truths[0] - truths[1]) > OVERLAP_BOUND_S:
+        return None  # paper considers only actually-overlapping trials
+
     template = bank[0]
     search = SearchAndSubtract(
         template, SearchAndSubtractConfig(max_responses=2, upsample_factor=8)
@@ -96,28 +116,62 @@ def run(trials: int = 500, seed: int = 23) -> ExperimentResult:
     threshold = ThresholdDetector(
         template, ThresholdConfig(max_responses=2, upsample_factor=8)
     )
+    search_detections = search.detect(
+        capture.samples, capture.sampling_period_s, noise_std=capture.noise_std
+    )
+    threshold_detections = threshold.detect(
+        capture.samples, capture.sampling_period_s, noise_std=capture.noise_std
+    )
+    return (
+        _both_found(search_detections, truths),
+        _both_found(threshold_detections, truths),
+    )
 
-    search_ok = []
-    threshold_ok = []
-    overlapping_trials = 0
-    total = 0
-    while overlapping_trials < trials and total < 20 * trials:
-        total += 1
-        outcome = session.run_round()
-        capture = outcome.capture
-        truths = _true_peak_times(capture)
-        separation = abs(truths[0] - truths[1])
-        if separation > OVERLAP_BOUND_S:
-            continue  # paper considers only actually-overlapping trials
-        overlapping_trials += 1
-        search_detections = search.detect(
-            capture.samples, capture.sampling_period_s, noise_std=capture.noise_std
+
+def _collect_overlapping(
+    trials: int,
+    seed: int,
+    workers: int,
+    metrics: MetricsRegistry | None,
+) -> list:
+    """First ``trials`` overlapping outcomes, in deterministic order.
+
+    Waves of trials are launched with wave-derived seeds; wave sizes
+    depend only on how many overlapping outcomes earlier waves produced,
+    which is itself deterministic — so the evaluated set of rounds is
+    independent of the worker count.
+    """
+    outcomes: list = []
+    attempts = 0
+    budget = MAX_ATTEMPT_FACTOR * trials
+    wave = 0
+    while len(outcomes) < trials and attempts < budget:
+        want = trials - len(outcomes)
+        # Modest over-provisioning: most rounds overlap in this layout.
+        n_wave = min(max(8, want + want // 2), budget - attempts)
+        report = run_trials(
+            _overlap_trial,
+            n_wave,
+            seed=[seed, wave],
+            workers=workers,
+            metrics=metrics,
         )
-        threshold_detections = threshold.detect(
-            capture.samples, capture.sampling_period_s, noise_std=capture.noise_std
-        )
-        search_ok.append(_both_found(search_detections, truths))
-        threshold_ok.append(_both_found(threshold_detections, truths))
+        outcomes.extend(v for v in report.values if v is not None)
+        attempts += n_wave
+        wave += 1
+    return outcomes[:trials]
+
+
+def run(
+    trials: int = 500,
+    seed: int = 23,
+    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+) -> ExperimentResult:
+    """Reproduce the Sect. VI comparison (paper count: 2000 trials)."""
+    outcomes = _collect_overlapping(trials, seed, workers, metrics)
+    search_ok = [s for s, _ in outcomes]
+    threshold_ok = [t for _, t in outcomes]
 
     result = ExperimentResult(
         experiment_id="Fig. 7 / Sect. VI",
@@ -127,7 +181,7 @@ def run(trials: int = 500, seed: int = 23) -> ExperimentResult:
     threshold_rate = detection_rate(threshold_ok)
     table = Table(
         ["algorithm", "both detected [%]", "paper [%]"],
-        title=f"Sect. VI reproduction ({overlapping_trials} overlapping trials)",
+        title=f"Sect. VI reproduction ({len(outcomes)} overlapping trials)",
     )
     table.add_row(
         [

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.metrics import detection_rate
 from repro.analysis.tables import Table
 from repro.channel.stochastic import IndoorEnvironment
 from repro.core.detection import SearchAndSubtractConfig

@@ -4,13 +4,18 @@ The paper places two nodes 3 m apart in an office, runs 5000 SS-TWR
 exchanges per pulse shape (s1, s2, s3), and reports the standard
 deviation of the ranging error: 0.0228 m, 0.0221 m, 0.0283 m — i.e. all
 shapes land in the same 2-3 cm band, so pulse shaping is free.
+
+Each SS-TWR exchange is one independently seeded trial on the
+:mod:`repro.runtime` executor, so the sweep parallelises across workers
+with bit-identical statistics for a fixed master seed.
 """
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
-from repro.analysis.metrics import std, summarize_errors
 from repro.analysis.tables import Table
 from repro.channel.stochastic import IndoorEnvironment
 from repro.constants import PAPER_SIGMA_TWR_M
@@ -19,27 +24,49 @@ from repro.netsim.medium import Medium
 from repro.netsim.node import Node
 from repro.protocol.twr import SsTwr
 from repro.radio.frame import RadioConfig
+from repro.runtime import MetricsRegistry, run_trials
 
 DISTANCE_M = 3.0
 SHAPE_REGISTERS = {"s1": 0x93, "s2": 0xC8, "s3": 0xE6}
 
 
-def twr_errors(
-    register: int, trials: int, seed: int
-) -> np.ndarray:
-    """Ranging errors of ``trials`` SS-TWR exchanges with one shape."""
-    rng = np.random.default_rng(seed)
+def _twr_trial(
+    rng: np.random.Generator, index: int, *, register: int
+) -> float:
+    """Ranging error of one independent SS-TWR exchange with one shape."""
     medium = Medium(environment=IndoorEnvironment.office(), rng=rng)
     config = RadioConfig(tc_pgdelay=register)
     initiator = Node.at(0, 0.0, 0.0, rng=rng, config=config)
     responder = Node.at(1, DISTANCE_M, 0.0, rng=rng, config=config)
     medium.add_nodes([initiator, responder])
     twr = SsTwr(medium, initiator, responder)
-    distances = twr.run_many(trials, rng)
-    return distances - DISTANCE_M
+    return twr.run(rng).distance_m - DISTANCE_M
 
 
-def run(trials: int = 1000, seed: int = 29) -> ExperimentResult:
+def twr_errors(
+    register: int,
+    trials: int,
+    seed: int,
+    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+) -> np.ndarray:
+    """Ranging errors of ``trials`` SS-TWR exchanges with one shape."""
+    report = run_trials(
+        partial(_twr_trial, register=register),
+        trials,
+        seed=seed,
+        workers=workers,
+        metrics=metrics,
+    )
+    return np.array(report.values)
+
+
+def run(
+    trials: int = 1000,
+    seed: int = 29,
+    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+) -> ExperimentResult:
     """Reproduce the Sect. V precision comparison (paper: 5000 trials)."""
     result = ExperimentResult(
         experiment_id="Sect. V precision",
@@ -51,7 +78,9 @@ def run(trials: int = 1000, seed: int = 29) -> ExperimentResult:
     )
     sigmas = {}
     for name, register in SHAPE_REGISTERS.items():
-        errors = twr_errors(register, trials, seed + register)
+        errors = twr_errors(
+            register, trials, seed + register, workers=workers, metrics=metrics
+        )
         sigma = float(np.std(errors))
         sigmas[name] = sigma
         table.add_row([name, f"0x{register:02X}", sigma, PAPER_SIGMA_TWR_M[name]])

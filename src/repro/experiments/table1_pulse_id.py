@@ -5,9 +5,16 @@ s1; responder 2 at d2 in {6, 7, 8, 9, 10} m using either s2 (0xC8) or
 s3 (0xE6); 1000 concurrent ranging rounds per cell.  Reported: the
 percentage of rounds in which responder 2's pulse shape was identified
 correctly (paper: >= 99.2 % everywhere).
+
+Runs on the :mod:`repro.runtime` trial executor: each round is one
+independently seeded trial, so ``workers=4`` parallelises a cell with
+results identical to a serial run, and template banks come from the
+process-local runtime cache.
 """
 
 from __future__ import annotations
+
+from functools import partial
 
 import numpy as np
 
@@ -20,7 +27,7 @@ from repro.experiments.common import ExperimentResult
 from repro.netsim.medium import Medium
 from repro.netsim.node import Node
 from repro.protocol.concurrent import ConcurrentRangingSession
-from repro.signal.templates import TemplateBank
+from repro.runtime import MetricsRegistry, run_trials, template_bank
 
 D1_M = 3.0
 D2_VALUES_M = (6.0, 7.0, 8.0, 9.0, 10.0)
@@ -29,16 +36,19 @@ D2_VALUES_M = (6.0, 7.0, 8.0, 9.0, 10.0)
 SHAPE_REGISTERS = {"s2": 0xC8, "s3": 0xE6}
 
 
-def _identification_rate(
-    d2_m: float, register: int, trials: int, seed: int
+def _trial(
+    rng: np.random.Generator,
+    index: int,
+    *,
+    d2_m: float,
+    register: int,
 ) -> float:
-    """Fraction of rounds where responder 2's shape decoded correctly.
+    """One concurrent ranging round; 1.0 when responder 2's shape decodes.
 
     The initiator's bank always holds the three paper templates
     (N_PS = 3 as in Sect. V); the bank is ordered so that responder 2's
     session ID (1) naturally maps onto the row's register.
     """
-    rng = np.random.default_rng(seed)
     medium = Medium(environment=IndoorEnvironment.hallway(), rng=rng)
     initiator = Node.at(0, 0.0, 0.0, rng=rng)
     responder1 = Node.at(1, D1_M, 0.0, rng=rng)
@@ -46,7 +56,7 @@ def _identification_rate(
     medium.add_nodes([initiator, responder1, responder2])
 
     other = next(r for r in SHAPE_REGISTERS.values() if r != register)
-    bank = TemplateBank((0x93, register, other))
+    bank = template_bank((0x93, register, other))
     scheme = CombinedScheme(SlotPlan.for_range(20.0, n_slots=1), bank)
     session = ConcurrentRangingSession(
         medium=medium,
@@ -55,21 +65,46 @@ def _identification_rate(
         scheme=scheme,
         rng=rng,
     )
-
-    hits = 0
-    for _ in range(trials):
-        outcome = session.run_round()
-        # d2 >= 2 * d1, so responder 2 is always the later response; its
-        # decoded shape must be bank index 1 (the row's register).
-        if len(outcome.classified) >= 2:
-            later = max(outcome.classified, key=lambda c: c.delay_s)
-            if later.shape_index == 1:
-                hits += 1
-    return hits / trials
+    outcome = session.run_round()
+    # d2 >= 2 * d1, so responder 2 is always the later response; its
+    # decoded shape must be bank index 1 (the row's register).
+    if len(outcome.classified) >= 2:
+        later = max(outcome.classified, key=lambda c: c.delay_s)
+        if later.shape_index == 1:
+            return 1.0
+    return 0.0
 
 
-def run(trials: int = 200, seed: int = 17) -> ExperimentResult:
-    """Reproduce Table I (use ``trials=1000`` for the paper's count)."""
+def _identification_rate(
+    d2_m: float,
+    register: int,
+    trials: int,
+    seed: int,
+    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+) -> float:
+    """Fraction of rounds where responder 2's shape decoded correctly."""
+    report = run_trials(
+        partial(_trial, d2_m=d2_m, register=register),
+        trials,
+        seed=seed,
+        workers=workers,
+        metrics=metrics,
+    )
+    return float(np.mean(report.values))
+
+
+def run(
+    trials: int = 200,
+    seed: int = 17,
+    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+) -> ExperimentResult:
+    """Reproduce Table I (use ``trials=1000`` for the paper's count).
+
+    ``workers`` parallelises the per-cell trial loops; for a fixed
+    ``seed`` the reproduced numbers are identical for any worker count.
+    """
     result = ExperimentResult(
         experiment_id="Table I",
         description="percentage of pulse shapes identified correctly",
@@ -82,7 +117,12 @@ def run(trials: int = 200, seed: int = 17) -> ExperimentResult:
         rates = []
         for i, d2 in enumerate(D2_VALUES_M):
             rate = _identification_rate(
-                d2, register, trials, seed + i + 100 * register
+                d2,
+                register,
+                trials,
+                seed + i + 100 * register,
+                workers=workers,
+                metrics=metrics,
             )
             rates.append(rate)
             result.compare(

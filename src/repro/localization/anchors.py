@@ -71,7 +71,7 @@ class AnchorNetwork:
     ) -> None:
         if len(anchor_positions) < 3:
             raise ValueError(
-                f"need >= 3 anchors for 2-D localization, got "
+                "need >= 3 anchors for 2-D localization, got "
                 f"{len(anchor_positions)}"
             )
         self.anchor_positions = list(anchor_positions)
@@ -139,7 +139,7 @@ class AnchorNetwork:
         if len(anchors_used) < 3:
             raise RuntimeError(
                 f"only {len(anchors_used)} anchors identified — cannot fix "
-                f"a 2-D position"
+                "a 2-D position"
             )
         fit = multilaterate_robust(anchors_used, distances)
         return PositionFix(

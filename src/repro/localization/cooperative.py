@@ -13,7 +13,7 @@ better-placed neighbours.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -108,7 +108,7 @@ def solve_cooperative(
             if node not in anchors and node not in unknowns:
                 raise ValueError(
                     f"measurement references node {node} that is neither "
-                    f"anchor nor unknown"
+                    "anchor nor unknown"
                 )
 
     if anchors:

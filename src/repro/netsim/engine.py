@@ -105,7 +105,17 @@ class EventQueue:
 
     def run(self, until_s: float | None = None, max_events: int = 1_000_000) -> int:
         """Run events until the queue drains, ``until_s`` is passed, or
-        ``max_events`` have executed.  Returns the number executed."""
+        ``max_events`` have executed.  Returns the number executed.
+
+        When ``until_s`` is given, the clock always ends at
+        ``max(now_s, until_s)`` — even if the queue drains early (or is
+        empty to begin with), simulated time advances to the requested
+        horizon, so consecutive ``run(until_s=...)`` windows tile time
+        without gaps and post-run ``schedule_after`` calls are relative
+        to the horizon, not to the last event.  Events scheduled exactly
+        *at* ``until_s`` are executed.  The clock never moves backwards:
+        ``until_s`` in the past is a no-op for the clock.
+        """
         executed = 0
         while self._heap and executed < max_events:
             if until_s is not None and self._heap[0].time_s > until_s:
@@ -117,4 +127,6 @@ class EventQueue:
                 f"event budget of {max_events} exhausted with "
                 f"{len(self._heap)} events pending — likely a scheduling loop"
             )
+        if until_s is not None and until_s > self._now:
+            self._now = until_s
         return executed

@@ -9,7 +9,7 @@ ranging without touching the protocol logic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 VALID_KINDS = ("tx", "rx", "rx_listen")

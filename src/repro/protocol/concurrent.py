@@ -23,16 +23,15 @@ choose by constructing with ``n_slots == 1`` / ``n_shapes == 1`` etc.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.channel.geometry import Point
 from repro.channel.stochastic import IndoorEnvironment
 from repro.constants import DELTA_RESP_S
 from repro.core.detection import SearchAndSubtractConfig
-from repro.core.pulse_id import ClassifiedResponse, PulseShapeClassifier
+from repro.core.pulse_id import PulseShapeClassifier
 from repro.core.ranging import RangingResult, twr_distance_compensated
 from repro.core.rpm import SlotPlan
 from repro.core.scheme import CombinedScheme
@@ -46,7 +45,7 @@ from repro.protocol.messages import (
 )
 from repro.protocol.twr import DEFAULT_CFO_ERROR_PPM
 from repro.radio.dw1000 import CirCapture, SignalArrival
-from repro.radio.frame import RadioConfig, frame_duration
+from repro.radio.frame import frame_duration
 from repro.radio.timebase import quantize_timestamp_s
 from repro.signal.templates import TemplateBank
 
@@ -164,7 +163,7 @@ class ConcurrentRangingSession:
         self._wrap_assignments = bool(allow_duplicate_assignments)
         if not 0.0 <= init_loss_probability < 1.0:
             raise ValueError(
-                f"init_loss_probability must be in [0, 1), got "
+                "init_loss_probability must be in [0, 1), got "
                 f"{init_loss_probability}"
             )
         self.init_loss_probability = float(init_loss_probability)

@@ -67,7 +67,7 @@ def calibrate_pair(
     """
     if true_distance_m <= 0:
         raise ValueError(
-            f"calibration needs a positive surveyed distance, got "
+            "calibration needs a positive surveyed distance, got "
             f"{true_distance_m}"
         )
     bias_before = measure_bias_m(twr, true_distance_m, trials, rng)

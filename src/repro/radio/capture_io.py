@@ -74,13 +74,16 @@ def load_dataset(path: str | os.PathLike) -> List[CirCapture]:
     with np.load(path) as archive:
         if FORMAT_KEY not in archive:
             raise ValueError(
-                f"{path!s} is not a repro CIR archive (missing format marker)"
+                f"{path!s} is not a repro CIR archive: the format marker "
+                f"{FORMAT_KEY!r} is missing (found keys: "
+                f"{sorted(archive.files)})"
             )
         version = int(archive[FORMAT_KEY])
         if version != FORMAT_VERSION:
             raise ValueError(
-                f"unsupported CIR archive version {version} "
-                f"(this build reads version {FORMAT_VERSION})"
+                f"{path!s}: unsupported CIR archive format version "
+                f"{version}; this build reads version {FORMAT_VERSION} "
+                f"(key {FORMAT_KEY!r})"
             )
         samples = archive["samples"]
         return [

@@ -22,8 +22,8 @@ CIR SNR range typical of DW1000 captures at indoor distances.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 

@@ -10,7 +10,7 @@ DR = 6.8 Mbps, PRF = 64 MHz, PSR = 128.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.constants import (

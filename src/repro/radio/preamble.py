@@ -79,7 +79,6 @@ def preamble_code(length: int, seed: int = 1) -> np.ndarray:
 def periodic_autocorrelation(code: np.ndarray) -> np.ndarray:
     """Circular autocorrelation of a code (lag 0..N-1)."""
     code = np.asarray(code, dtype=float)
-    n = len(code)
     spectrum = np.fft.fft(code)
     return np.real(np.fft.ifft(spectrum * np.conj(spectrum)))
 
@@ -130,7 +129,7 @@ def estimate_cir_from_preamble(
     if len(incoming) > n:
         raise ValueError(
             f"channel ({len(incoming)} taps) longer than the code ({n}); "
-            f"delays would alias"
+            "delays would alias"
         )
     taps[: len(incoming)] = incoming
 

@@ -88,7 +88,7 @@ class RegisterFile:
         if not 0 <= value <= spec.max_value:
             raise ValueError(
                 f"{name} is a {spec.bits}-bit register; value {value:#x} "
-                f"out of range"
+                "out of range"
             )
         self._values[name] = value
 

@@ -14,7 +14,7 @@ Models the three timing behaviours the paper leans on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,132 @@
+"""`run_trials` — the one-call entry point onto the trial runtime.
+
+Experiments should not juggle executors, policies, and registries; they
+call::
+
+    report = run_trials(partial(_trial, d2_m=6.0), trials, seed=17,
+                        workers=workers, metrics=metrics)
+    rate = float(np.mean(report.values))
+
+and get back a :class:`TrialRunReport` with the per-trial values (in
+trial order, identical for any worker count), captured failures, and
+throughput numbers.  The shared :class:`MetricsRegistry` accumulates
+across calls, so an experiment sweeping ten parameter cells reports one
+aggregate trials/sec and cache hit rate for the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.runtime.executor import (
+    ExecutionPolicy,
+    ParallelExecutor,
+    SerialExecutor,
+    TrialExecutor,
+    TrialFailure,
+    TrialFn,
+    TrialRun,
+)
+from repro.runtime.metrics import MetricsRegistry
+
+__all__ = ["TrialRunReport", "make_executor", "run_trials"]
+
+
+@dataclass
+class TrialRunReport:
+    """A finished trial batch plus the registry that observed it."""
+
+    run: TrialRun
+    metrics: MetricsRegistry
+    workers: int
+
+    @property
+    def values(self) -> List[Any]:
+        """Successful trials' return values in trial-index order."""
+        return self.run.values
+
+    @property
+    def failures(self) -> List[TrialFailure]:
+        return self.run.failures
+
+    @property
+    def n_trials(self) -> int:
+        return self.run.n_trials
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.run.elapsed_s
+
+    @property
+    def trials_per_s(self) -> float:
+        return self.run.trials_per_s
+
+
+def make_executor(
+    workers: int = 1,
+    policy: Optional[ExecutionPolicy] = None,
+) -> TrialExecutor:
+    """A serial executor for ``workers <= 1``, else a parallel one."""
+    if workers <= 1:
+        return SerialExecutor(policy)
+    return ParallelExecutor(workers=workers, policy=policy)
+
+
+def run_trials(
+    fn: TrialFn,
+    n_trials: int,
+    *,
+    seed=0,
+    workers: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
+    fail_fast: bool = True,
+    chunk_size: Optional[int] = None,
+    worker_timeout_s: float = 600.0,
+    fallback_to_serial: bool = True,
+    executor: Optional[TrialExecutor] = None,
+) -> TrialRunReport:
+    """Run ``n_trials`` deterministic Monte-Carlo trials of ``fn``.
+
+    Parameters
+    ----------
+    fn:
+        Trial function ``fn(rng, index) -> value``.  Bind experiment
+        parameters with ``functools.partial`` over a module-level
+        function so the parallel path can pickle it.
+    n_trials:
+        Number of independent trials.
+    seed:
+        Master seed (int, sequence of ints, or ``SeedSequence``).  Trial
+        ``i`` receives child ``i`` of ``SeedSequence(seed)`` regardless
+        of the worker count, so results are reproducible *and*
+        executor-independent.
+    workers:
+        1 (default) runs in-process; >= 2 dispatches to a process pool.
+    metrics:
+        Optional shared registry; a fresh one is created otherwise.
+        Counters/timers accumulate across calls to support multi-cell
+        experiments.
+    fail_fast:
+        ``True``: first trial exception raises
+        :class:`~repro.runtime.executor.TrialError`.  ``False``: failures
+        are collected on the report and remaining trials continue.
+    chunk_size, worker_timeout_s, fallback_to_serial:
+        See :class:`~repro.runtime.executor.ExecutionPolicy`.
+    executor:
+        Pre-built executor override (ignores ``workers`` and the policy
+        arguments).
+    """
+    if n_trials < 0:
+        raise ValueError(f"n_trials must be >= 0, got {n_trials}")
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    if executor is None:
+        policy = ExecutionPolicy(
+            fail_fast=fail_fast,
+            chunk_size=chunk_size,
+            worker_timeout_s=worker_timeout_s,
+            fallback_to_serial=fallback_to_serial,
+        )
+        executor = make_executor(workers=workers, policy=policy)
+    run = executor.run(fn, n_trials, seed, metrics=metrics)
+    return TrialRunReport(run=run, metrics=metrics, workers=max(1, workers))

@@ -1,0 +1,449 @@
+"""Trial executors: serial and multiprocessing-backed parallel runs.
+
+The experiments in this repository are embarrassingly parallel: every
+Monte-Carlo trial builds its own topology, draws its own channels, and
+returns a small result.  A :class:`TrialExecutor` runs ``n`` such
+trials and returns their results *in trial order* with per-trial
+deterministic seeding:
+
+* The master seed expands into per-trial ``numpy.random.SeedSequence``
+  children (``SeedSequence(seed).spawn(n)``), so trial ``i`` sees the
+  same random stream no matter which process runs it, in which chunk,
+  or in what order — :class:`SerialExecutor` and
+  :class:`ParallelExecutor` produce **identical** results for the same
+  master seed.
+* Per-trial exceptions are captured as :class:`TrialFailure` records
+  under the ``fail_fast=False`` policy, or re-raised as
+  :class:`TrialError` (with the original traceback text) under the
+  default fail-fast policy.
+* :class:`ParallelExecutor` dispatches chunks of trials to a
+  ``multiprocessing`` pool, enforces a per-chunk timeout, and falls
+  back to an in-process serial run when the pool cannot start (Pool
+  creation failure, unpicklable trial function) — degraded throughput,
+  never a crash, and identical results either way.
+
+Trial functions have the signature ``fn(rng, index) -> value`` with
+``rng`` a ``numpy.random.Generator``; use ``functools.partial`` over a
+module-level function to bind experiment parameters (module-level
+functions keep the callable picklable for the parallel path).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback as traceback_module
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.cache import all_cache_snapshots
+from repro.runtime.metrics import MetricsRegistry
+
+__all__ = [
+    "TrialFailure",
+    "TrialError",
+    "WorkerTimeoutError",
+    "TrialRun",
+    "ExecutionPolicy",
+    "TrialExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "spawn_trial_seeds",
+]
+
+#: Trial function type: ``fn(rng, index) -> value``.
+TrialFn = Callable[[np.random.Generator, int], Any]
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """One captured per-trial exception."""
+
+    index: int
+    error: str
+    traceback: str
+
+
+class TrialError(RuntimeError):
+    """A trial failed under the fail-fast policy.
+
+    Carries the failing trial's index and the formatted traceback from
+    the process that ran it (which may not be this one).
+    """
+
+    def __init__(self, failure: TrialFailure) -> None:
+        super().__init__(
+            f"trial {failure.index} failed: {failure.error}\n"
+            f"{failure.traceback}"
+        )
+        self.failure = failure
+
+    def __reduce__(self):
+        # Default exception pickling would re-call __init__ with the
+        # formatted message instead of the TrialFailure, blowing up in
+        # the pool's result-handler thread (which then hangs .get()).
+        return (TrialError, (self.failure,))
+
+
+class WorkerTimeoutError(RuntimeError):
+    """A worker chunk exceeded the configured timeout."""
+
+
+@dataclass
+class TrialRun:
+    """Results of one executor run.
+
+    ``values`` holds the successful trials' return values in trial-index
+    order (failed trials are absent); ``failures`` the captured
+    exceptions, also in index order.
+    """
+
+    n_trials: int
+    values: List[Any] = field(default_factory=list)
+    failures: List[TrialFailure] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    #: Set when a parallel run degraded to serial (why it did).
+    fallback_reason: Optional[str] = None
+
+    @property
+    def n_ok(self) -> int:
+        return len(self.values)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def trials_per_s(self) -> float:
+        return self.n_trials / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Executor behaviour knobs.
+
+    Parameters
+    ----------
+    fail_fast:
+        ``True`` (default): the first trial exception aborts the run as
+        a :class:`TrialError`.  ``False``: exceptions become
+        :class:`TrialFailure` records and the run continues.
+    chunk_size:
+        Trials per parallel task.  ``None`` auto-sizes to roughly four
+        chunks per worker, balancing dispatch overhead against load
+        balance.
+    worker_timeout_s:
+        Per-chunk result deadline for the parallel executor.
+    fallback_to_serial:
+        When ``True`` (default) the parallel executor degrades to an
+        in-process serial run if the pool cannot start, the trial
+        function cannot be pickled, or a chunk times out — results are
+        identical by construction, only slower.
+    """
+
+    fail_fast: bool = True
+    chunk_size: Optional[int] = None
+    worker_timeout_s: float = 600.0
+    fallback_to_serial: bool = True
+
+
+def spawn_trial_seeds(seed, n_trials: int) -> List[np.random.SeedSequence]:
+    """Per-trial seed sequences from a master seed.
+
+    ``seed`` may be an ``int``, a sequence of ints, or an existing
+    ``SeedSequence``.  Trial ``i`` always receives the same child, which
+    is what makes serial and parallel runs interchangeable.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    return root.spawn(n_trials)
+
+
+def _run_one(
+    fn: TrialFn, index: int, seed: np.random.SeedSequence
+) -> Tuple[bool, Any]:
+    """Run one trial; returns ``(ok, value-or-TrialFailure)``."""
+    try:
+        return True, fn(np.random.default_rng(seed), index)
+    except Exception as error:  # noqa: BLE001 — captured by design
+        return False, TrialFailure(
+            index=index,
+            error=repr(error),
+            traceback=traceback_module.format_exc(),
+        )
+
+
+def _cache_delta(
+    before: Dict[str, Tuple[int, int]],
+    after: Dict[str, Tuple[int, int]],
+) -> Dict[str, Tuple[int, int]]:
+    """Per-cache ``(hits, misses)`` accumulated between two snapshots."""
+    delta = {}
+    for name, (hits, misses) in after.items():
+        hits0, misses0 = before.get(name, (0, 0))
+        if hits != hits0 or misses != misses0:
+            delta[name] = (hits - hits0, misses - misses0)
+    return delta
+
+
+def _execute_chunk(
+    fn: TrialFn,
+    start_index: int,
+    seeds: Sequence[np.random.SeedSequence],
+    fail_fast: bool,
+) -> Tuple[List[Tuple[int, bool, Any]], Dict[str, Tuple[int, int]], float]:
+    """Worker entry point: run a contiguous chunk of trials.
+
+    Returns ``(entries, cache_delta, chunk_seconds)`` where each entry is
+    ``(trial_index, ok, value-or-TrialFailure)``.  Under ``fail_fast`` a
+    failing trial raises :class:`TrialError`, which multiprocessing
+    ships back to the parent.
+    """
+    started = time.perf_counter()
+    cache_before = all_cache_snapshots()
+    entries: List[Tuple[int, bool, Any]] = []
+    for offset, seed in enumerate(seeds):
+        index = start_index + offset
+        ok, payload = _run_one(fn, index, seed)
+        if not ok and fail_fast:
+            raise TrialError(payload)
+        entries.append((index, ok, payload))
+    delta = _cache_delta(cache_before, all_cache_snapshots())
+    return entries, delta, time.perf_counter() - started
+
+
+def _record_cache_delta(
+    metrics: MetricsRegistry, delta: Dict[str, Tuple[int, int]]
+) -> None:
+    for name, (hits, misses) in delta.items():
+        metrics.counter(f"cache.{name}.hits").inc(hits)
+        metrics.counter(f"cache.{name}.misses").inc(misses)
+
+
+def _assemble(
+    n_trials: int,
+    entries: List[Tuple[int, bool, Any]],
+    elapsed_s: float,
+) -> TrialRun:
+    """Order chunk entries by trial index and split values/failures."""
+    entries = sorted(entries, key=lambda entry: entry[0])
+    run = TrialRun(n_trials=n_trials, elapsed_s=elapsed_s)
+    for _, ok, payload in entries:
+        if ok:
+            run.values.append(payload)
+        else:
+            run.failures.append(payload)
+    return run
+
+
+class TrialExecutor(ABC):
+    """Runs ``n`` independently seeded trials of a trial function."""
+
+    @abstractmethod
+    def run(
+        self,
+        fn: TrialFn,
+        n_trials: int,
+        seed,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> TrialRun:
+        """Execute ``fn`` for ``n_trials`` trials; results in index order."""
+
+    def _start_run(
+        self, n_trials: int, metrics: Optional[MetricsRegistry]
+    ) -> MetricsRegistry:
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        metrics.counter("runtime.trials").inc(n_trials)
+        return metrics
+
+    def _finish_run(self, metrics: MetricsRegistry, run: TrialRun) -> TrialRun:
+        metrics.timer("runtime.wall_clock").record(run.elapsed_s)
+        metrics.counter("runtime.trials_ok").inc(run.n_ok)
+        metrics.counter("runtime.trials_failed").inc(run.n_failed)
+        return run
+
+
+class SerialExecutor(TrialExecutor):
+    """In-process, one-at-a-time execution — the reference semantics."""
+
+    def __init__(self, policy: ExecutionPolicy | None = None) -> None:
+        self.policy = policy or ExecutionPolicy()
+
+    def run(
+        self,
+        fn: TrialFn,
+        n_trials: int,
+        seed,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> TrialRun:
+        metrics = self._start_run(n_trials, metrics)
+        metrics.gauge("runtime.workers").set(1)
+        seeds = spawn_trial_seeds(seed, n_trials)
+        started = time.perf_counter()
+        cache_before = all_cache_snapshots()
+        entries: List[Tuple[int, bool, Any]] = []
+        for index, child in enumerate(seeds):
+            ok, payload = _run_one(fn, index, child)
+            if not ok and self.policy.fail_fast:
+                raise TrialError(payload)
+            entries.append((index, ok, payload))
+        _record_cache_delta(
+            metrics, _cache_delta(cache_before, all_cache_snapshots())
+        )
+        run = _assemble(n_trials, entries, time.perf_counter() - started)
+        return self._finish_run(metrics, run)
+
+
+class ParallelExecutor(TrialExecutor):
+    """Chunked dispatch of trials onto a ``multiprocessing`` pool.
+
+    Determinism comes from the seeding scheme, not the schedule: chunks
+    may complete in any order, but trial ``i`` always consumes seed
+    child ``i`` and results are re-assembled in index order.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        policy: ExecutionPolicy | None = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers or (os.cpu_count() or 1)
+        self.policy = policy or ExecutionPolicy()
+
+    # -- helpers ------------------------------------------------------------
+
+    def _chunk_size(self, n_trials: int) -> int:
+        if self.policy.chunk_size is not None:
+            if self.policy.chunk_size < 1:
+                raise ValueError(
+                    f"chunk_size must be >= 1, got {self.policy.chunk_size}"
+                )
+            return self.policy.chunk_size
+        # ~4 chunks per worker: granular enough to balance uneven trial
+        # costs, coarse enough to amortise dispatch overhead.
+        return max(1, -(-n_trials // (self.workers * 4)))
+
+    def _serial_fallback(
+        self,
+        fn: TrialFn,
+        n_trials: int,
+        seed,
+        metrics: MetricsRegistry,
+        reason: str,
+    ) -> TrialRun:
+        metrics.counter("runtime.serial_fallbacks").inc()
+        metrics.gauge("runtime.workers").set(1)
+        run = SerialExecutor(self.policy).run(fn, n_trials, seed, metrics)
+        # The serial executor already counted this run's trials; undo the
+        # double count from our own _start_run.
+        metrics.counter("runtime.trials").value -= n_trials
+        run.fallback_reason = reason
+        return run
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self,
+        fn: TrialFn,
+        n_trials: int,
+        seed,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> TrialRun:
+        metrics = self._start_run(n_trials, metrics)
+        metrics.gauge("runtime.workers").set(self.workers)
+
+        if n_trials == 0:
+            return self._finish_run(metrics, TrialRun(n_trials=0))
+
+        # A trial function the pool cannot pickle would fail deep inside
+        # the dispatch machinery; detect it up front and degrade.
+        try:
+            pickle.dumps(fn)
+        except Exception as error:  # pickling errors vary by payload
+            if self.policy.fallback_to_serial:
+                return self._serial_fallback(
+                    fn, n_trials, seed, metrics, f"unpicklable fn: {error!r}"
+                )
+            raise
+
+        seeds = spawn_trial_seeds(seed, n_trials)
+        chunk_size = self._chunk_size(n_trials)
+        metrics.gauge("runtime.chunk_size").set(chunk_size)
+        chunks = [
+            (start, seeds[start:start + chunk_size])
+            for start in range(0, n_trials, chunk_size)
+        ]
+
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork
+            context = multiprocessing.get_context()
+
+        started = time.perf_counter()
+        cache_before = all_cache_snapshots()
+        try:
+            pool = context.Pool(processes=min(self.workers, len(chunks)))
+        except Exception as error:  # pool refused to start (sandbox, limits)
+            if self.policy.fallback_to_serial:
+                return self._serial_fallback(
+                    fn, n_trials, seed, metrics, f"pool start failed: {error!r}"
+                )
+            raise
+
+        entries: List[Tuple[int, bool, Any]] = []
+        try:
+            pending = [
+                pool.apply_async(
+                    _execute_chunk,
+                    (fn, start, chunk_seeds, self.policy.fail_fast),
+                )
+                for start, chunk_seeds in chunks
+            ]
+            pool.close()
+            for result in pending:
+                try:
+                    chunk_entries, delta, chunk_s = result.get(
+                        timeout=self.policy.worker_timeout_s
+                    )
+                except multiprocessing.TimeoutError:
+                    pool.terminate()
+                    if self.policy.fallback_to_serial:
+                        return self._serial_fallback(
+                            fn,
+                            n_trials,
+                            seed,
+                            metrics,
+                            f"chunk exceeded {self.policy.worker_timeout_s}s",
+                        )
+                    raise WorkerTimeoutError(
+                        f"a chunk of {chunk_size} trial(s) exceeded the "
+                        f"{self.policy.worker_timeout_s}s worker timeout"
+                    ) from None
+                except TrialError:
+                    pool.terminate()
+                    raise
+                entries.extend(chunk_entries)
+                _record_cache_delta(metrics, delta)
+                metrics.counter("runtime.chunks").inc()
+                metrics.histogram("runtime.chunk_seconds").observe(chunk_s)
+        finally:
+            pool.terminate()
+            pool.join()
+
+        # The parent process may have warmed caches too (e.g. building a
+        # reference artifact before dispatch).
+        _record_cache_delta(
+            metrics, _cache_delta(cache_before, all_cache_snapshots())
+        )
+        run = _assemble(n_trials, entries, time.perf_counter() - started)
+        return self._finish_run(metrics, run)

@@ -1,0 +1,250 @@
+"""Lightweight metrics: counters, gauges, timers, histograms.
+
+Every trial loop in this repository is a production workload in
+miniature — thousands of independent Monte-Carlo rounds whose
+throughput, cache behaviour, and failure counts we want to *see*, not
+guess.  A :class:`MetricsRegistry` is a process-local, dependency-free
+registry in the spirit of Prometheus client libraries:
+
+* :class:`Counter` — monotonically increasing counts (trials run,
+  cache hits, fallbacks taken).
+* :class:`Gauge` — last-written values (worker count, chunk size).
+* :class:`Timer` — accumulated wall-clock with a context manager
+  (``with metrics.timer("runtime.wall_clock").time(): ...``).
+* :class:`Histogram` — streaming summary statistics (count / min /
+  max / mean) of observed samples, e.g. per-chunk durations.
+
+Registries merge (:meth:`MetricsRegistry.merge_snapshot`), so parallel
+workers can ship their numbers back to the parent as plain dicts —
+snapshots are picklable by construction.  :meth:`MetricsRegistry.render`
+produces the human-readable report the CLI prints after a run,
+including derived figures: trials/second and per-cache hit rates.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Timer:
+    """Accumulated wall-clock time over any number of timed sections."""
+
+    __slots__ = ("total_s", "count")
+
+    def __init__(self) -> None:
+        self.total_s = 0.0
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        """Add one timed section of ``seconds`` duration."""
+        if seconds < 0:
+            raise ValueError(f"durations must be non-negative, got {seconds}")
+        self.total_s += seconds
+        self.count += 1
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager measuring the wrapped block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(time.perf_counter() - start)
+
+
+class Histogram:
+    """Streaming summary statistics of observed samples.
+
+    Keeps count / sum / min / max rather than buckets: enough for the
+    throughput reports here while staying mergeable across processes.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named metrics with a text report."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- create-or-get accessors -------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge())
+
+    def timer(self, name: str) -> Timer:
+        return self._timers.setdefault(name, Timer())
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram())
+
+    # -- snapshots and merging ---------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict, picklable view of every metric."""
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "timers": {
+                k: (t.total_s, t.count) for k, t in self._timers.items()
+            },
+            "histograms": {
+                k: (h.count, h.total, h.min, h.max)
+                for k, h in self._histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker) into this registry.
+
+        Counters, timers, and histograms add; gauges take the incoming
+        value (last write wins).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, (total_s, count) in snapshot.get("timers", {}).items():
+            timer = self.timer(name)
+            timer.total_s += total_s
+            timer.count += count
+        for name, (count, total, low, high) in snapshot.get(
+            "histograms", {}
+        ).items():
+            histogram = self.histogram(name)
+            histogram.count += count
+            histogram.total += total
+            histogram.min = min(histogram.min, low)
+            histogram.max = max(histogram.max, high)
+
+    # -- reporting ----------------------------------------------------------
+
+    def _derived_lines(self) -> list:
+        """Throughput and cache-hit-rate figures computed from raw metrics."""
+        lines = []
+        trials = self._counters.get("runtime.trials")
+        wall = self._timers.get("runtime.wall_clock")
+        if wall is not None:
+            lines.append(f"{'total wall-clock':<30} {wall.total_s:.3f} s")
+        if trials is not None and wall is not None and wall.total_s > 0:
+            lines.append(
+                f"{'trials/s':<30} {trials.value / wall.total_s:.1f}"
+            )
+        # Every cache reports cache.<name>.hits / cache.<name>.misses.
+        cache_names = sorted(
+            {
+                key.rsplit(".", 1)[0]
+                for key in self._counters
+                if key.startswith("cache.")
+                and key.endswith((".hits", ".misses"))
+            }
+        )
+        for cache in cache_names:
+            hits = self._counters.get(f"{cache}.hits", Counter()).value
+            misses = self._counters.get(f"{cache}.misses", Counter()).value
+            lookups = hits + misses
+            rate = 100.0 * hits / lookups if lookups else 0.0
+            lines.append(
+                f"{cache + ' hit rate':<30} "
+                f"{rate:.1f} % ({hits:.0f} hits / {misses:.0f} misses)"
+            )
+        return lines
+
+    def render(self, title: str = "runtime metrics") -> str:
+        """Human-readable multi-section report of every metric."""
+        parts = [f"== {title} =="]
+        if self._counters:
+            parts.append("counters:")
+            for name in sorted(self._counters):
+                parts.append(f"  {name.ljust(30)} {self._counters[name].value:g}")
+        if self._gauges:
+            parts.append("gauges:")
+            for name in sorted(self._gauges):
+                parts.append(f"  {name.ljust(30)} {self._gauges[name].value:g}")
+        if self._timers:
+            parts.append("timers:")
+            for name in sorted(self._timers):
+                timer = self._timers[name]
+                parts.append(
+                    f"  {name.ljust(30)} {timer.total_s:.3f} s "
+                    f"over {timer.count} section(s)"
+                )
+        if self._histograms:
+            parts.append("histograms:")
+            for name in sorted(self._histograms):
+                h = self._histograms[name]
+                parts.append(
+                    f"  {name.ljust(30)} n={h.count} mean={h.mean:.4g} "
+                    f"min={h.min:.4g} max={h.max:.4g}"
+                )
+        derived = self._derived_lines()
+        if derived:
+            parts.append("derived:")
+            parts.extend(f"  {line}" for line in derived)
+        return "\n".join(parts)
+
+    def is_empty(self) -> bool:
+        """True when nothing has been registered yet."""
+        return not (
+            self._counters or self._gauges or self._timers or self._histograms
+        )

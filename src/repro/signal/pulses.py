@@ -19,7 +19,7 @@ monotone and known to the initiator, which holds here by construction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,6 +1,5 @@
 """Unit tests for CIR alignment (Sect. IV step 1) and messages."""
 
-import numpy as np
 import pytest
 
 from repro.constants import SPEED_OF_LIGHT

@@ -1,6 +1,5 @@
 """Tests for antenna-delay modelling and calibration."""
 
-import numpy as np
 import pytest
 
 from repro.channel.stochastic import IndoorEnvironment

@@ -5,6 +5,8 @@ import pytest
 
 from repro.channel.stochastic import IndoorEnvironment
 from repro.radio.capture_io import (
+    FORMAT_KEY,
+    FORMAT_VERSION,
     load_capture,
     load_dataset,
     save_capture,
@@ -85,3 +87,29 @@ class TestValidation:
         np.savez(path, whatever=np.zeros(3))
         with pytest.raises(ValueError):
             load_dataset(path)
+
+    def test_missing_marker_error_names_file(self, tmp_path):
+        path = tmp_path / "not_a_capture.npz"
+        np.savez(path, whatever=np.zeros(3))
+        with pytest.raises(ValueError) as excinfo:
+            load_dataset(path)
+        message = str(excinfo.value)
+        assert "not_a_capture.npz" in message
+        assert FORMAT_KEY in message
+
+    def test_version_mismatch_names_file_and_versions(
+        self, tmp_path, captures
+    ):
+        """A deliberately corrupted archive reports found vs expected."""
+        path = tmp_path / "corrupted.npz"
+        save_capture(path, captures[0])
+        with np.load(path) as archive:
+            contents = {key: archive[key] for key in archive.files}
+        contents[FORMAT_KEY] = np.array(FORMAT_VERSION + 41)
+        np.savez(tmp_path / "corrupted.npz", **contents)
+        with pytest.raises(ValueError) as excinfo:
+            load_capture(path)
+        message = str(excinfo.value)
+        assert "corrupted.npz" in message
+        assert str(FORMAT_VERSION + 41) in message  # found version
+        assert str(FORMAT_VERSION) in message  # expected version

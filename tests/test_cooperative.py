@@ -1,14 +1,9 @@
 """Unit tests for cooperative localization."""
 
-import numpy as np
 import pytest
 
 from repro.channel.geometry import Point
-from repro.localization.cooperative import (
-    CooperativeResult,
-    RangeMeasurement,
-    solve_cooperative,
-)
+from repro.localization.cooperative import RangeMeasurement, solve_cooperative
 
 ANCHORS = {0: Point(0, 0), 1: Point(10, 0), 2: Point(10, 10), 3: Point(0, 10)}
 

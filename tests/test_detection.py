@@ -4,11 +4,7 @@ import numpy as np
 import pytest
 
 from repro.constants import CIR_SAMPLING_PERIOD_S as TS
-from repro.core.detection import (
-    DetectedResponse,
-    SearchAndSubtract,
-    SearchAndSubtractConfig,
-)
+from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
 from repro.signal.sampling import place_pulse
 
 

@@ -6,7 +6,6 @@ from repro.constants import DELTA_RESP_S
 from repro.protocol.messages import INIT_PAYLOAD_BYTES
 from repro.radio.frame import (
     DataRate,
-    FrameTimings,
     Prf,
     RadioConfig,
     frame_duration,

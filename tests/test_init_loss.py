@@ -1,6 +1,5 @@
 """Tests for INIT frame-loss modelling in the concurrent session."""
 
-import numpy as np
 import pytest
 
 from repro.core.detection import SearchAndSubtractConfig

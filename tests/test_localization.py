@@ -1,6 +1,5 @@
 """Unit + integration tests for the localization subpackage."""
 
-import numpy as np
 import pytest
 
 from repro.channel.geometry import Point

@@ -1,6 +1,5 @@
 """Unit tests for the discrete-event engine, nodes, medium, and traces."""
 
-import numpy as np
 import pytest
 
 from repro.channel.stochastic import IndoorEnvironment
@@ -67,6 +66,50 @@ class TestEventQueue:
         queue.run(until_s=2.5)
         assert seen == [1.0, 2.0]
         assert queue.pending == 1
+
+    def test_run_until_advances_clock_to_horizon(self):
+        """The clock ends at until_s even when events stop earlier."""
+        queue = EventQueue()
+        queue.schedule(1.0, lambda q, p: None)
+        queue.run(until_s=2.5)
+        assert queue.now_s == 2.5
+
+    def test_run_until_on_empty_queue_advances_clock(self):
+        queue = EventQueue()
+        assert queue.run(until_s=5.0) == 0
+        assert queue.now_s == 5.0
+        # Consecutive windows tile time without gaps.
+        assert queue.run(until_s=7.0) == 0
+        assert queue.now_s == 7.0
+
+    def test_run_until_never_moves_clock_backwards(self):
+        queue = EventQueue()
+        queue.schedule(4.0, lambda q, p: None)
+        queue.run()
+        assert queue.now_s == 4.0
+        queue.run(until_s=2.0)  # horizon already passed: clock untouched
+        assert queue.now_s == 4.0
+
+    def test_run_until_executes_event_at_horizon(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(2.0, lambda q, p: seen.append(q.now_s))
+        queue.run(until_s=2.0)
+        assert seen == [2.0]
+        assert queue.now_s == 2.0
+
+    def test_schedule_after_relative_to_horizon(self):
+        """After run(until_s=T), schedule_after is relative to T."""
+        queue = EventQueue()
+        queue.run(until_s=10.0)
+        event = queue.schedule_after(1.0, lambda q, p: None)
+        assert event.time_s == 11.0
+
+    def test_run_without_until_leaves_clock_at_last_event(self):
+        queue = EventQueue()
+        queue.schedule(3.0, lambda q, p: None)
+        queue.run()
+        assert queue.now_s == 3.0
 
     def test_event_budget_guards_loops(self):
         queue = EventQueue()

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.channel.cir import ChannelRealization, ChannelTap
 from repro.channel.geometry import Point, Room
-from repro.constants import CIR_SAMPLING_PERIOD_S, SPEED_OF_LIGHT
+from repro.constants import SPEED_OF_LIGHT
 from repro.signal.pulses import dw1000_pulse
 
 _PULSE = dw1000_pulse()

@@ -4,11 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.constants import (
-    CIR_SAMPLING_PERIOD_S,
-    TC_PGDELAY_DEFAULT,
-    TC_PGDELAY_MAX,
-)
+from repro.constants import TC_PGDELAY_DEFAULT, TC_PGDELAY_MAX
 from repro.signal.pulses import (
     dw1000_pulse,
     pulse_bandwidth_hz,

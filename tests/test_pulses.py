@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.constants import (
-    CIR_SAMPLING_PERIOD_S,
     NUM_PULSE_SHAPES,
     TC_PGDELAY_DEFAULT,
     TC_PGDELAY_MAX,

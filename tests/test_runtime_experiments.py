@@ -1,0 +1,85 @@
+"""Integration tests: experiments ported onto the runtime executor.
+
+The headline guarantee: for a fixed master seed the ported experiments
+produce *identical* metrics for any worker count — parallelism is a
+pure throughput knob, never a statistics knob.
+"""
+
+import pytest
+
+from repro.experiments import fig7_overlap, sect5_precision, table1_pulse_id
+from repro.runtime import MetricsRegistry
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+class TestSerialParallelEquality:
+    def test_table1(self):
+        serial = table1_pulse_id.run(trials=5, seed=17, workers=1)
+        parallel = table1_pulse_id.run(trials=5, seed=17, workers=2)
+        assert serial.as_dict() == parallel.as_dict()
+
+    def test_sect5(self):
+        serial = sect5_precision.run(trials=30, seed=29, workers=1)
+        parallel = sect5_precision.run(trials=30, seed=29, workers=2)
+        assert serial.as_dict() == parallel.as_dict()
+
+    def test_fig7(self):
+        serial = fig7_overlap.run(trials=10, seed=23, workers=1)
+        parallel = fig7_overlap.run(trials=10, seed=23, workers=2)
+        assert serial.as_dict() == parallel.as_dict()
+
+    def test_sect5_seed_changes_results(self):
+        a = sect5_precision.run(trials=15, seed=29)
+        b = sect5_precision.run(trials=15, seed=30)
+        # Same shape of output either way...
+        assert set(a.as_dict()) == set(b.as_dict())
+        # ...but the continuous sigmas must move with the seed.
+        assert a.as_dict() != b.as_dict()
+
+
+class TestMetricsWiring:
+    def test_table1_reports_throughput_and_cache(self):
+        metrics = MetricsRegistry()
+        table1_pulse_id.run(trials=3, seed=17, workers=1, metrics=metrics)
+        # 10 cells x 3 trials.
+        assert metrics.counter("runtime.trials").value == 30
+        assert metrics.timer("runtime.wall_clock").count == 10
+        text = metrics.render()
+        assert "trials/s" in text
+        assert "cache.templates hit rate" in text
+        assert "total wall-clock" in text
+
+    def test_sect5_accumulates_across_shapes(self):
+        metrics = MetricsRegistry()
+        sect5_precision.run(trials=10, seed=29, workers=1, metrics=metrics)
+        # 3 shapes x 10 exchanges.
+        assert metrics.counter("runtime.trials").value == 30
+        assert metrics.counter("runtime.trials_failed").value == 0
+
+    def test_fig7_counts_attempted_rounds(self):
+        metrics = MetricsRegistry()
+        result = fig7_overlap.run(trials=8, seed=23, workers=1, metrics=metrics)
+        # Rejection sampling may attempt more rounds than evaluated trials.
+        assert metrics.counter("runtime.trials").value >= 8
+        assert result.metric("search_and_subtract_rate").measured >= 0.0
+
+
+class TestStatisticalSanity:
+    """The ports keep the paper's qualitative results intact."""
+
+    def test_table1_accuracy_band(self):
+        result = table1_pulse_id.run(trials=20, seed=17, workers=2)
+        for comparison in result.comparisons:
+            assert comparison.measured > 85.0
+
+    def test_sect5_sigma_band(self):
+        result = sect5_precision.run(trials=150, seed=29, workers=2)
+        for name in ("sigma_s1_m", "sigma_s2_m", "sigma_s3_m"):
+            assert 0.015 < result.metric(name).measured < 0.04
+
+    def test_fig7_search_beats_threshold(self):
+        result = fig7_overlap.run(trials=60, seed=23, workers=2)
+        search = result.metric("search_and_subtract_rate").measured
+        threshold = result.metric("threshold_rate").measured
+        assert search > threshold

@@ -1,0 +1,123 @@
+"""Unit tests for the metrics registry: primitives, merging, rendering."""
+
+import time
+
+import pytest
+
+from repro.runtime import MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counter(self):
+        metrics = MetricsRegistry()
+        metrics.counter("c").inc()
+        metrics.counter("c").inc(4)
+        assert metrics.counter("c").value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("g").set(3)
+        metrics.gauge("g").set(7)
+        assert metrics.gauge("g").value == 7
+
+    def test_timer_context_manager(self):
+        metrics = MetricsRegistry()
+        with metrics.timer("t").time():
+            time.sleep(0.01)
+        timer = metrics.timer("t")
+        assert timer.count == 1
+        assert timer.total_s >= 0.01
+
+    def test_timer_records_on_exception(self):
+        metrics = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with metrics.timer("t").time():
+                raise RuntimeError("boom")
+        assert metrics.timer("t").count == 1
+
+    def test_timer_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().timer("t").record(-1.0)
+
+    def test_histogram_summary(self):
+        metrics = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            metrics.histogram("h").observe(value)
+        histogram = metrics.histogram("h")
+        assert histogram.count == 3
+        assert histogram.mean == 2.0
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+
+    def test_create_or_get_identity(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("x") is metrics.counter("x")
+        assert metrics.is_empty() is False
+        assert MetricsRegistry().is_empty() is True
+
+
+class TestMerging:
+    def test_snapshot_roundtrip(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(3)
+        source.gauge("g").set(2)
+        source.timer("t").record(0.5)
+        source.histogram("h").observe(4.0)
+
+        target = MetricsRegistry()
+        target.counter("c").inc(1)
+        target.merge_snapshot(source.snapshot())
+
+        assert target.counter("c").value == 4
+        assert target.gauge("g").value == 2
+        assert target.timer("t").total_s == 0.5
+        assert target.histogram("h").count == 1
+
+    def test_snapshot_is_plain_and_picklable(self):
+        import pickle
+
+        metrics = MetricsRegistry()
+        metrics.counter("c").inc()
+        snapshot = metrics.snapshot()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+
+class TestRender:
+    def test_render_lists_all_sections(self):
+        metrics = MetricsRegistry()
+        metrics.counter("runtime.trials").inc(100)
+        metrics.gauge("runtime.workers").set(4)
+        metrics.timer("runtime.wall_clock").record(2.0)
+        metrics.histogram("runtime.chunk_seconds").observe(0.5)
+        text = metrics.render()
+        assert "runtime metrics" in text
+        assert "runtime.trials" in text
+        assert "runtime.workers" in text
+        assert "runtime.wall_clock" in text
+        assert "runtime.chunk_seconds" in text
+
+    def test_render_derives_throughput(self):
+        metrics = MetricsRegistry()
+        metrics.counter("runtime.trials").inc(100)
+        metrics.timer("runtime.wall_clock").record(2.0)
+        text = metrics.render()
+        assert "trials/s" in text
+        assert "50.0" in text
+        assert "total wall-clock" in text
+        assert "2.000 s" in text
+
+    def test_render_derives_cache_hit_rate(self):
+        metrics = MetricsRegistry()
+        metrics.counter("cache.templates.hits").inc(9)
+        metrics.counter("cache.templates.misses").inc(1)
+        text = metrics.render()
+        assert "cache.templates hit rate" in text
+        assert "90.0 %" in text
+
+    def test_render_custom_title(self):
+        text = MetricsRegistry().render(title="after table1")
+        assert "after table1" in text

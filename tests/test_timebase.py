@@ -1,6 +1,5 @@
 """Unit tests for repro.radio.timebase."""
 
-import numpy as np
 import pytest
 
 from repro.constants import (

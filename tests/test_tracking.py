@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.channel.geometry import Point
-from repro.localization.tracking import ConstantVelocityTracker, TrackState
+from repro.localization.tracking import ConstantVelocityTracker
 
 
 def straight_walk(n, speed=1.0, interval=0.1):
