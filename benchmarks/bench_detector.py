@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Benchmark: spectrum-cached FFT detection engine vs the naive loop.
+
+Times the search-and-subtract detector's two execution engines on the
+repository's hot workloads and writes ``BENCH_detector.json``:
+
+* **table1** — the Table I / Fig. 4 shape: a 4-template bank, a
+  1016-tap CIR, 8x upsampling, 4 extraction iterations.
+* **fig7** — the overlap-study shape: a single template, 2 iterations.
+
+Every trial is detected with *both* engines and the results are compared
+at ``rtol=1e-9``; any divergence makes the script exit non-zero, so CI
+can run it as a cheap end-to-end regression gate (``--quick``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_detector.py
+    PYTHONPATH=src python benchmarks/bench_detector.py --quick --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.constants import CIR_SAMPLING_PERIOD_S as TS
+from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
+from repro.runtime.cache import clear_all_caches, get_cache
+from repro.runtime.metrics import global_metrics
+from repro.signal.sampling import place_pulse
+from repro.signal.templates import TemplateBank
+
+RTOL = 1e-9
+
+
+def make_cirs(rng, n_trials, cir_length, bank, n_responses, noise_std):
+    """Synthetic concurrent-ranging CIRs: pulses at random positions."""
+    cirs = []
+    margin = 16.0
+    for _ in range(n_trials):
+        cir = np.zeros(cir_length, dtype=complex)
+        positions = np.sort(
+            rng.uniform(margin, cir_length - margin, size=n_responses)
+        )
+        for k, position in enumerate(positions):
+            template = bank[int(rng.integers(len(bank)))]
+            amplitude = rng.uniform(0.4, 1.0) * np.exp(
+                2j * np.pi * rng.random()
+            )
+            place_pulse(
+                cir,
+                template.samples.astype(complex),
+                position,
+                amplitude=amplitude,
+                peak_index=template.peak_index,
+            )
+        cir += noise_std * (
+            rng.standard_normal(cir_length)
+            + 1j * rng.standard_normal(cir_length)
+        ) / np.sqrt(2.0)
+        cirs.append(cir)
+    return cirs
+
+
+def responses_equal(fast, naive):
+    """The fast engine's detections must match the naive engine's."""
+    if len(fast) != len(naive):
+        return False
+    for f, n in zip(fast, naive):
+        if f.template_index != n.template_index:
+            return False
+        if not np.isclose(f.index, n.index, rtol=RTOL, atol=1e-9):
+            return False
+        if not np.isclose(f.amplitude, n.amplitude, rtol=RTOL, atol=1e-12):
+            return False
+        if not np.allclose(f.scores, n.scores, rtol=RTOL, atol=1e-12):
+            return False
+    return True
+
+
+def bench_workload(name, bank, cirs, config, noise_std):
+    """Time both engines over the trial set; verify equivalence."""
+    fast_detector = SearchAndSubtract(bank, config)
+    naive_detector = SearchAndSubtract(
+        bank,
+        SearchAndSubtractConfig(
+            max_responses=config.max_responses,
+            upsample_factor=config.upsample_factor,
+            min_peak_snr=config.min_peak_snr,
+            refine_subsample=config.refine_subsample,
+            use_fast=False,
+        ),
+    )
+
+    t0 = time.perf_counter()
+    naive_results = [
+        naive_detector.detect(cir, TS, noise_std=noise_std) for cir in cirs
+    ]
+    naive_s = time.perf_counter() - t0
+
+    # The fast timing includes the one-off plan build: that is what a
+    # Monte-Carlo run actually pays, amortised over its trials.
+    t0 = time.perf_counter()
+    fast_results = [
+        fast_detector.detect(cir, TS, noise_std=noise_std) for cir in cirs
+    ]
+    fast_s = time.perf_counter() - t0
+
+    divergences = sum(
+        0 if responses_equal(f, n) else 1
+        for f, n in zip(fast_results, naive_results)
+    )
+    return {
+        "workload": name,
+        "trials": len(cirs),
+        "n_templates": len(list(bank)),
+        "cir_length": len(cirs[0]),
+        "upsample_factor": config.upsample_factor,
+        "max_responses": config.max_responses,
+        "naive_s": naive_s,
+        "fast_s": fast_s,
+        "speedup": naive_s / fast_s if fast_s > 0 else float("inf"),
+        "naive_ms_per_detect": 1e3 * naive_s / len(cirs),
+        "fast_ms_per_detect": 1e3 * fast_s / len(cirs),
+        "divergences": divergences,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer trials (same equivalence checking)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_detector.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    trials = 16 if args.quick else 60
+    rng = np.random.default_rng(2018)
+    clear_all_caches()
+
+    bank4 = TemplateBank.paper_bank(4)
+    bank1 = TemplateBank.paper_bank(1)
+    workloads = [
+        (
+            "table1",
+            bank4,
+            make_cirs(rng, trials, 1016, bank4, 4, 1e-3),
+            SearchAndSubtractConfig(max_responses=4, upsample_factor=8),
+            1e-3,
+        ),
+        (
+            "fig7",
+            bank1,
+            make_cirs(rng, trials, 1016, bank1, 2, 1e-3),
+            SearchAndSubtractConfig(max_responses=2, upsample_factor=8),
+            1e-3,
+        ),
+    ]
+
+    results = []
+    for name, bank, cirs, config, noise_std in workloads:
+        result = bench_workload(name, bank, cirs, config, noise_std)
+        results.append(result)
+        print(
+            f"{name:>8}: naive {result['naive_ms_per_detect']:.1f} ms/detect, "
+            f"fast {result['fast_ms_per_detect']:.1f} ms/detect, "
+            f"speedup {result['speedup']:.2f}x, "
+            f"divergences {result['divergences']}/{result['trials']}"
+        )
+
+    hits, misses = get_cache("detector_plans").snapshot()
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+    metrics = global_metrics()
+    report = {
+        "benchmark": "detector",
+        "quick": bool(args.quick),
+        "workloads": results,
+        "plan_cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hit_rate,
+        },
+        "counters": {
+            "fast_detects": metrics.counter("detector.fast_detects").value,
+            "naive_detects": metrics.counter("detector.naive_detects").value,
+            "incremental_updates": metrics.counter(
+                "detector.incremental_updates"
+            ).value,
+        },
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"plan cache hit rate: {hit_rate:.1%} ({hits} hits / {misses} misses)")
+    print(f"wrote {out_path}")
+
+    total_divergences = sum(r["divergences"] for r in results)
+    if total_divergences:
+        print(
+            f"ERROR: {total_divergences} fast-vs-naive divergences",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

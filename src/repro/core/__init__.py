@@ -4,6 +4,9 @@
   (Eq. 3), aligned so output indices coincide with pulse-peak positions.
 * :mod:`repro.core.detection` — the *search-and-subtract* response
   detector (Sect. IV, steps 1-7).
+* :mod:`repro.core.plan` — spectrum-cached FFT detection plans: batched
+  filter-bank spectra and cross-correlation tables that make the
+  detector's fast path possible.
 * :mod:`repro.core.threshold` — the threshold-based baseline detector
   (Falsi et al., used as comparison in Sect. VI).
 * :mod:`repro.core.pulse_id` — responder identification from pulse shape
@@ -23,6 +26,7 @@ from repro.core.detection import (
     SearchAndSubtract,
     SearchAndSubtractConfig,
 )
+from repro.core.plan import DetectorPlan, detector_plan
 from repro.core.threshold import ThresholdDetector, ThresholdConfig
 from repro.core.pulse_id import PulseShapeClassifier, ClassifiedResponse
 from repro.core.ranging import (
@@ -38,6 +42,8 @@ from repro.core.scheme import CombinedScheme, ResponderAssignment
 
 __all__ = [
     "matched_filter",
+    "DetectorPlan",
+    "detector_plan",
     "DetectedResponse",
     "SearchAndSubtract",
     "SearchAndSubtractConfig",

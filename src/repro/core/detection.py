@@ -19,6 +19,20 @@ When constructed with a multi-template bank the detector searches all
 matched-filter outputs jointly and records which template won each
 iteration; that is exactly the pulse-shape identification of Sect. V, so
 :mod:`repro.core.pulse_id` builds directly on this class.
+
+Two numerically equivalent execution engines implement the loop:
+
+* the **fast path** (default) pulls a spectrum-cached
+  :class:`~repro.core.plan.DetectorPlan` from the runtime cache,
+  evaluates the whole template bank as one batched FFT product, and —
+  because filtering is linear — realises step 5 as an O(L_template)
+  in-place update of the filter outputs using precomputed template
+  cross-correlations, instead of re-filtering the full CIR on every
+  iteration;
+* the **naive path** (``SearchAndSubtractConfig(use_fast=False)``) is
+  the literal transcription of the paper's steps: subtract from the
+  working signal, re-run every matched filter.  It is the reference the
+  fast path is regression-tested against.
 """
 
 from __future__ import annotations
@@ -29,6 +43,8 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.core.matched_filter import matched_filter
+from repro.core.plan import DetectorPlan, detector_plan
+from repro.runtime.metrics import global_metrics
 from repro.signal.pulses import Pulse
 from repro.signal.sampling import fft_upsample, place_pulse
 from repro.signal.templates import TemplateBank
@@ -84,12 +100,17 @@ class SearchAndSubtractConfig:
         ``max_responses`` peaks.
     refine_subsample:
         Parabolic sub-sample refinement of each peak position.
+    use_fast:
+        Run the spectrum-cached batched-FFT engine (default).  Set to
+        ``False`` for the naive per-template re-filtering loop — the
+        escape hatch the fast path is regression-tested against.
     """
 
     max_responses: int = 1
     upsample_factor: int = 8
     min_peak_snr: float = 0.0
     refine_subsample: bool = True
+    use_fast: bool = True
 
     def __post_init__(self) -> None:
         if self.max_responses < 1:
@@ -134,6 +155,15 @@ class SearchAndSubtract:
     def templates(self) -> List[Pulse]:
         return list(self._templates)
 
+    def _plan(self, cir_length: int, sampling_period_s: float) -> DetectorPlan:
+        """The cached frequency-domain plan for this detection shape."""
+        return detector_plan(
+            self._templates,
+            cir_length,
+            self.config.upsample_factor,
+            sampling_period_s,
+        )
+
     def _upsampled_templates(self, sampling_period_s: float) -> List[Pulse]:
         """Templates matching the upsampled CIR rate."""
         target = sampling_period_s / self.config.upsample_factor
@@ -174,7 +204,90 @@ class SearchAndSubtract:
         cir = np.asarray(cir, dtype=complex)
         if cir.ndim != 1:
             raise ValueError(f"expected a 1-D CIR, got shape {cir.shape}")
+        if self.config.use_fast:
+            responses = self._detect_fast(cir, sampling_period_s, noise_std)
+        else:
+            responses = self._detect_naive(cir, sampling_period_s, noise_std)
+        responses.sort(key=lambda response: response.delay_s)
+        return responses
 
+    # -- fast path -----------------------------------------------------------
+
+    def _detect_fast(
+        self,
+        cir: np.ndarray,
+        sampling_period_s: float,
+        noise_std: float,
+    ) -> List[DetectedResponse]:
+        """Batched filter bank + incremental subtraction (the default)."""
+        metrics = global_metrics()
+        metrics.counter("detector.fast_detects").inc()
+        factor = self.config.upsample_factor
+        plan = self._plan(len(cir), sampling_period_s)
+        with metrics.timer("detector.fast_filter_pass").time():
+            working = fft_upsample(cir, factor)
+            # One forward FFT, one batched inverse FFT for the whole bank.
+            outputs = plan.filter_bank(working)
+        magnitudes = np.abs(outputs)
+        n_fine = plan.n_fine
+        period = sampling_period_s / factor
+        # See _detect_naive for the noise-scaling rationale.
+        gate = self.config.min_peak_snr * noise_std * np.sqrt(factor)
+        scale = np.sqrt(factor)
+
+        responses: List[DetectedResponse] = []
+        for iteration in range(self.config.max_responses):
+            template_idx, peak_idx = np.unravel_index(
+                int(np.argmax(magnitudes)), magnitudes.shape
+            )
+            best_value = float(magnitudes[template_idx, peak_idx])
+            if best_value <= 0.0:
+                break
+            if gate > 0.0 and best_value < gate:
+                break
+
+            position = (
+                _parabolic_peak(magnitudes[template_idx], peak_idx)
+                if self.config.refine_subsample
+                else float(peak_idx)
+            )
+            amplitude = complex(outputs[template_idx, peak_idx])
+            responses.append(
+                DetectedResponse(
+                    index=position / factor,
+                    delay_s=position * period,
+                    amplitude=amplitude / scale,
+                    template_index=int(template_idx),
+                    scores=tuple(
+                        float(value) / scale
+                        for value in magnitudes[:, peak_idx]
+                    ),
+                )
+            )
+            if iteration + 1 >= self.config.max_responses:
+                break  # the final subtraction would never be observed
+            # Step 5, incrementally: only a template-footprint window of
+            # each filter output changes, so update it in place instead
+            # of re-filtering the whole CIR.
+            with metrics.timer("detector.incremental_update").time():
+                a, b = plan.subtract_response(
+                    outputs, int(template_idx), position, amplitude
+                )
+                if a < b:
+                    np.abs(outputs[:, a:b], out=magnitudes[:, a:b])
+            metrics.counter("detector.incremental_updates").inc()
+        return responses
+
+    # -- naive path ----------------------------------------------------------
+
+    def _detect_naive(
+        self,
+        cir: np.ndarray,
+        sampling_period_s: float,
+        noise_std: float,
+    ) -> List[DetectedResponse]:
+        """Literal per-iteration re-filtering (the reference engine)."""
+        global_metrics().counter("detector.naive_detects").inc()
         factor = self.config.upsample_factor
         working = fft_upsample(cir, factor)
         period = sampling_period_s / factor
@@ -191,8 +304,7 @@ class SearchAndSubtract:
             best = self._strongest_peak(working, templates)
             if best is None:
                 break
-            template_idx, peak_idx, outputs = best
-            magnitude = np.abs(outputs[template_idx])
+            template_idx, peak_idx, outputs, magnitude = best
             if gate > 0.0 and magnitude[peak_idx] < gate:
                 break
 
@@ -229,8 +341,6 @@ class SearchAndSubtract:
                 amplitude=-amplitude,
                 peak_index=template.peak_index,
             )
-
-        responses.sort(key=lambda response: response.delay_s)
         return responses
 
     def detect_with_ls_refinement(
@@ -261,12 +371,18 @@ class SearchAndSubtract:
 
     def _strongest_peak(
         self, working: np.ndarray, templates: List[Pulse]
-    ) -> tuple[int, int, List[np.ndarray]] | None:
-        """Best (template, index) over all matched-filter outputs."""
+    ) -> tuple[int, int, List[np.ndarray], np.ndarray] | None:
+        """Best (template, index) over all matched-filter outputs.
+
+        Returns ``(template_idx, peak_idx, outputs, magnitude)`` where
+        ``magnitude`` is the winning template's ``np.abs`` output — the
+        peak search already computed it, so callers must not recompute.
+        """
         outputs = [matched_filter(working, template) for template in templates]
         best_template = -1
         best_index = -1
         best_value = -np.inf
+        best_magnitude: np.ndarray | None = None
         for i, output in enumerate(outputs):
             magnitude = np.abs(output)
             idx = int(np.argmax(magnitude))
@@ -274,18 +390,22 @@ class SearchAndSubtract:
                 best_value = float(magnitude[idx])
                 best_template = i
                 best_index = idx
-        if best_template < 0 or best_value <= 0.0:
+                best_magnitude = magnitude
+        if best_template < 0 or best_value <= 0.0 or best_magnitude is None:
             return None
-        return best_template, best_index, outputs
+        return best_template, best_index, outputs, best_magnitude
 
     def matched_filter_output(
         self, cir: np.ndarray, sampling_period_s: float, template_index: int = 0
     ) -> np.ndarray:
         """The (upsampled) matched-filter output for one template —
         the curves plotted in the paper's Fig. 4b and Fig. 6b."""
-        working = fft_upsample(
-            np.asarray(cir, dtype=complex), self.config.upsample_factor
-        )
+        cir = np.asarray(cir, dtype=complex)
+        if self.config.use_fast:
+            plan = self._plan(len(cir), sampling_period_s)
+            working = fft_upsample(cir, self.config.upsample_factor)
+            return plan.filter_bank(working)[template_index]
+        working = fft_upsample(cir, self.config.upsample_factor)
         templates = self._upsampled_templates(sampling_period_s)
         return matched_filter(working, templates[template_index])
 

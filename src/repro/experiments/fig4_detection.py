@@ -6,23 +6,33 @@ search-and-subtract algorithm extracts them and Eq. 4 turns the delays
 into distances.
 
 ``run()`` performs a Monte-Carlo version (detection rates and distance
-errors over many rounds); ``pipeline_stages()`` reproduces the figure's
-four panels (CIR, matched-filter output, output after one subtraction,
-final detections) for a single round.
+errors over many rounds) on the :mod:`repro.runtime` trial executor:
+every round is one independently seeded trial, so ``workers=4``
+parallelises the experiment with results identical to a serial run.
+``pipeline_stages()`` reproduces the figure's four panels (CIR,
+matched-filter output, output after one subtraction, final detections)
+for a single round.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from repro.analysis.metrics import detection_rate, summarize_errors
 from repro.analysis.tables import Table
+from repro.channel.stochastic import IndoorEnvironment
 from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
 from repro.core.matched_filter import matched_filter
+from repro.core.rpm import SlotPlan
+from repro.core.scheme import CombinedScheme
 from repro.experiments.common import ExperimentResult
+from repro.netsim.medium import Medium
+from repro.netsim.node import Node
 from repro.protocol.concurrent import ConcurrentRangingSession
+from repro.runtime import MetricsRegistry, run_trials, template_bank
 from repro.signal.sampling import fft_upsample, place_pulse
 
 #: The paper's layout: d1 = 3 m, d2 = 6 m, d3 = 10 m in a hallway.
@@ -91,34 +101,74 @@ def pipeline_stages(seed: int = 11) -> PipelineStages:
     )
 
 
+def _trial(
+    rng: np.random.Generator,
+    index: int,
+    *,
+    compensate_tx_quantization: bool,
+) -> tuple:
+    """One concurrent round at the Fig. 4 layout.
+
+    Returns a tuple of per-responder estimated distances (``None`` when
+    the responder was not matched within :data:`MATCH_TOLERANCE_M`).
+    The 3-shape paper bank comes from the process-local runtime cache.
+    """
+    medium = Medium(environment=IndoorEnvironment.hallway(), rng=rng)
+    initiator = Node.at(0, 0.0, 0.0, rng=rng)
+    responders = [
+        Node.at(i + 1, float(d), 0.0, rng=rng)
+        for i, d in enumerate(DISTANCES_M)
+    ]
+    medium.add_nodes([initiator] + responders)
+
+    bank = template_bank((0x93, 0xC8, 0xE6))  # paper_bank(3)
+    scheme = CombinedScheme(SlotPlan.for_range(20.0, n_slots=1), bank)
+    session = ConcurrentRangingSession(
+        medium=medium,
+        initiator=initiator,
+        responders=responders,
+        scheme=scheme,
+        compensate_tx_quantization=compensate_tx_quantization,
+        rng=rng,
+    )
+    outcome = session.run_round()
+    estimates = []
+    for responder in outcome.outcomes:
+        ok = (
+            responder.estimated_distance_m is not None
+            and abs(responder.estimated_distance_m - responder.true_distance_m)
+            <= MATCH_TOLERANCE_M
+        )
+        estimates.append(responder.estimated_distance_m if ok else None)
+    return tuple(estimates)
+
+
 def run(
     trials: int = 200,
     seed: int = 11,
     compensate_tx_quantization: bool = False,
+    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
 ) -> ExperimentResult:
-    """Monte-Carlo reproduction of the Fig. 4 scenario."""
-    session = ConcurrentRangingSession.build(
-        responder_distances_m=list(DISTANCES_M),
-        n_slots=1,
-        n_shapes=3,
+    """Monte-Carlo reproduction of the Fig. 4 scenario.
+
+    ``workers`` parallelises the rounds; for a fixed ``seed`` the
+    reproduced numbers are identical for any worker count.
+    """
+    report = run_trials(
+        partial(_trial, compensate_tx_quantization=compensate_tx_quantization),
+        trials,
         seed=seed,
-        compensate_tx_quantization=compensate_tx_quantization,
+        workers=workers,
+        metrics=metrics,
     )
     per_responder_estimates: list[list[float]] = [[] for _ in DISTANCES_M]
     all_found: list[bool] = []
-    for _ in range(trials):
-        outcome = session.run_round()
-        found = []
-        for i, responder in enumerate(outcome.outcomes):
-            ok = (
-                responder.estimated_distance_m is not None
-                and abs(responder.estimated_distance_m - responder.true_distance_m)
-                <= MATCH_TOLERANCE_M
-            )
-            found.append(ok)
-            if ok:
-                per_responder_estimates[i].append(responder.estimated_distance_m)
-        all_found.append(all(found))
+    for estimates in report.values:
+        for i, estimate in enumerate(estimates):
+            if estimate is not None:
+                per_responder_estimates[i].append(estimate)
+        all_found.append(all(e is not None for e in estimates))
 
     result = ExperimentResult(
         experiment_id="Fig. 4",

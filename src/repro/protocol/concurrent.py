@@ -23,6 +23,7 @@ choose by constructing with ``n_slots == 1`` / ``n_shapes == 1`` etc.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
@@ -177,11 +178,10 @@ class ConcurrentRangingSession:
         self.rng = rng or np.random.default_rng()
         config = detector_config or SearchAndSubtractConfig()
         if config.max_responses < len(responders):
-            config = SearchAndSubtractConfig(
-                max_responses=len(responders),
-                upsample_factor=config.upsample_factor,
-                min_peak_snr=config.min_peak_snr,
-                refine_subsample=config.refine_subsample,
+            # dataclasses.replace keeps every other knob (upsampling,
+            # gate, fast/naive engine) exactly as configured.
+            config = dataclasses.replace(
+                config, max_responses=len(responders)
             )
         self.classifier = PulseShapeClassifier(scheme.bank, config)
 

@@ -47,7 +47,7 @@ from repro.runtime.executor import (
     WorkerTimeoutError,
     spawn_trial_seeds,
 )
-from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.metrics import MetricsRegistry, global_metrics
 
 __all__ = [
     "ArtifactCache",
@@ -64,6 +64,7 @@ __all__ = [
     "all_cache_snapshots",
     "clear_all_caches",
     "get_cache",
+    "global_metrics",
     "make_executor",
     "pulse",
     "run_trials",

@@ -33,6 +33,7 @@ __all__ = [
     "Timer",
     "Histogram",
     "MetricsRegistry",
+    "global_metrics",
 ]
 
 
@@ -248,3 +249,23 @@ class MetricsRegistry:
         return not (
             self._counters or self._gauges or self._timers or self._histograms
         )
+
+
+#: Process-local default registry (created lazily).
+_GLOBAL_REGISTRY: MetricsRegistry | None = None
+
+
+def global_metrics() -> MetricsRegistry:
+    """The process-local default registry.
+
+    Library code that has no registry handed to it (e.g. the hot-path
+    detector in :mod:`repro.core.detection`) records into this registry;
+    benchmarks and the CLI can read it back with ``render()``.  Like the
+    artifact caches it is process-local: parallel workers accumulate
+    their own copy, and only cache counters (which the executor ships as
+    deltas) are merged across processes.
+    """
+    global _GLOBAL_REGISTRY
+    if _GLOBAL_REGISTRY is None:
+        _GLOBAL_REGISTRY = MetricsRegistry()
+    return _GLOBAL_REGISTRY

@@ -40,11 +40,17 @@ def fft_upsample(signal: np.ndarray, factor: int) -> np.ndarray:
     was_real = np.isrealobj(signal)
     spectrum = np.fft.fft(signal)
     padded = np.zeros(n * factor, dtype=complex)
-    half = n // 2
+    # Number of non-negative-frequency bins (DC included).  For odd n the
+    # top positive-frequency bin is (n - 1) / 2, so the positive block
+    # holds (n + 1) // 2 bins; using n // 2 would misfile that bin into
+    # the negative-frequency block and corrupt the interpolant.
+    half = (n + 1) // 2
     padded[:half] = spectrum[:half]
-    padded[-(n - half):] = spectrum[half:]
+    if n > half:
+        padded[-(n - half):] = spectrum[half:]
     # Split the Nyquist bin symmetrically for even-length inputs so a real
-    # input stays real after interpolation.
+    # input stays real after interpolation (odd lengths have no Nyquist
+    # bin, so no split is needed).
     if n % 2 == 0:
         padded[half] = spectrum[half] / 2.0
         padded[-half] = spectrum[half] / 2.0
@@ -69,6 +75,46 @@ def fractional_delay(signal: np.ndarray, delay_samples: float) -> np.ndarray:
         np.fft.fft(signal) * np.exp(-2j * np.pi * freqs * delay_samples)
     )
     return shifted.real if was_real else shifted
+
+
+def placed_segment(
+    pulse_samples: np.ndarray,
+    peak_position_samples: float,
+    peak_index: int | None = None,
+) -> tuple:
+    """The integer start index and (fractionally shifted) samples that
+    :func:`place_pulse` would add into a buffer.
+
+    Factoring the shift out of :func:`place_pulse` lets the fast
+    detection path compute *exactly* the subtrahend the naive path would
+    place — same ``fractional_delay`` call on the same padded template —
+    and correlate it against the template bank in a short window instead
+    of re-filtering the whole signal.
+
+    Returns
+    -------
+    (start, samples):
+        ``start`` is the buffer index of ``samples[0]`` (may be
+        negative); ``samples`` is the pulse, fractionally delayed when
+        ``peak_position_samples`` has a fractional part (one padding
+        sample is appended so the shift cannot wrap energy around).
+    """
+    if pulse_samples.ndim != 1:
+        raise ValueError("pulse must be a 1-D array")
+    if peak_index is None:
+        peak_index = int(np.argmax(np.abs(pulse_samples)))
+    integer = int(np.floor(peak_position_samples))
+    fraction = float(peak_position_samples - integer)
+    if fraction != 0.0:
+        # Pad by one sample so the fractional shift cannot wrap energy
+        # from the tail back to the head.
+        padded = np.concatenate(
+            [pulse_samples, np.zeros(1, dtype=pulse_samples.dtype)]
+        )
+        shifted = fractional_delay(padded, fraction)
+    else:
+        shifted = pulse_samples
+    return integer - peak_index, shifted
 
 
 def place_pulse(
@@ -103,20 +149,9 @@ def place_pulse(
     """
     if buffer.ndim != 1 or pulse_samples.ndim != 1:
         raise ValueError("buffer and pulse must be 1-D arrays")
-    if peak_index is None:
-        peak_index = int(np.argmax(np.abs(pulse_samples)))
-
-    integer = int(np.floor(peak_position_samples))
-    fraction = float(peak_position_samples - integer)
-    if fraction != 0.0:
-        # Pad by one sample so the fractional shift cannot wrap energy
-        # from the tail back to the head.
-        padded = np.concatenate([pulse_samples, np.zeros(1, dtype=pulse_samples.dtype)])
-        shifted = fractional_delay(padded, fraction)
-    else:
-        shifted = pulse_samples
-
-    start = integer - peak_index
+    start, shifted = placed_segment(
+        pulse_samples, peak_position_samples, peak_index
+    )
     stop = start + len(shifted)
     src_start = max(0, -start)
     src_stop = len(shifted) - max(0, stop - len(buffer))

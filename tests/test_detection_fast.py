@@ -1,0 +1,343 @@
+"""Regression tests: the spectrum-cached FFT engine vs the naive loop.
+
+The contract of :mod:`repro.core.plan`: the fast path (batched filter
+bank + incremental subtraction) is *numerically equivalent* to the naive
+per-template re-filtering transcription of the paper's algorithm.  These
+tests enforce agreement to ``rtol=1e-9`` (observed agreement is at
+roundoff, ~1e-14) across bank sizes, CIR lengths (even and odd),
+noise levels, fractional positions, and edge-clipped peaks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import CIR_SAMPLING_PERIOD_S as TS
+from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
+from repro.core.matched_filter import filter_bank_outputs, matched_filter
+from repro.core.plan import DetectorPlan, detector_plan
+from repro.runtime.cache import clear_all_caches, get_cache
+from repro.signal.sampling import fft_upsample, place_pulse
+from repro.signal.templates import TemplateBank
+
+RTOL = 1e-9
+
+#: >= 3 bank sizes, >= 3 CIR lengths (incl. an odd one), >= 3 noise levels.
+BANK_SIZES = (1, 2, 3)
+CIR_LENGTHS = (257, 512, 1016)
+NOISE_STDS = (0.0, 1e-3, 3e-2)
+
+
+def synth_cir(rng, n, bank, noise_std, positions_amplitudes):
+    """A CIR with pulses from ``bank`` placed at fractional positions."""
+    cir = np.zeros(n, dtype=complex)
+    for shape_idx, position, amplitude in positions_amplitudes:
+        template = bank[shape_idx % len(bank)]
+        place_pulse(
+            cir,
+            template.samples.astype(complex),
+            position,
+            amplitude=amplitude,
+            peak_index=template.peak_index,
+        )
+    if noise_std > 0.0:
+        cir += noise_std * (
+            rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        ) / np.sqrt(2.0)
+    return cir
+
+
+def detect_both(bank, cir, noise_std=0.0, **config_kwargs):
+    """Run fast and naive engines on the same CIR."""
+    config_kwargs.setdefault("max_responses", 3)
+    fast = SearchAndSubtract(
+        bank, SearchAndSubtractConfig(use_fast=True, **config_kwargs)
+    ).detect(cir, TS, noise_std=noise_std)
+    naive = SearchAndSubtract(
+        bank, SearchAndSubtractConfig(use_fast=False, **config_kwargs)
+    ).detect(cir, TS, noise_std=noise_std)
+    return fast, naive
+
+
+def assert_equivalent(fast, naive):
+    """Delays, amplitudes, template choices, and scores all agree."""
+    assert len(fast) == len(naive)
+    for f, n in zip(fast, naive):
+        assert f.template_index == n.template_index
+        assert np.isclose(f.index, n.index, rtol=RTOL, atol=1e-9)
+        assert np.isclose(f.delay_s, n.delay_s, rtol=RTOL, atol=1e-21)
+        assert np.isclose(f.amplitude, n.amplitude, rtol=RTOL, atol=1e-12)
+        assert len(f.scores) == len(n.scores)
+        assert np.allclose(f.scores, n.scores, rtol=RTOL, atol=1e-12)
+
+
+class TestFastNaiveEquivalence:
+    """The acceptance grid: bank sizes x CIR lengths x noise levels."""
+
+    @pytest.mark.parametrize("n_templates", BANK_SIZES)
+    @pytest.mark.parametrize("cir_length", CIR_LENGTHS)
+    @pytest.mark.parametrize("noise_std", NOISE_STDS)
+    def test_grid(self, n_templates, cir_length, noise_std):
+        rng = np.random.default_rng(
+            1000 * n_templates + cir_length + int(noise_std * 1e6)
+        )
+        bank = TemplateBank.paper_bank(n_templates)
+        placements = [
+            (0, 0.22 * cir_length + rng.uniform(-1, 1), 1.0),
+            (1, 0.45 * cir_length + rng.uniform(-1, 1), 0.7 * np.exp(1.1j)),
+            (2, 0.74 * cir_length + rng.uniform(-1, 1), 0.45 * np.exp(-0.6j)),
+        ]
+        cir = synth_cir(rng, cir_length, bank, noise_std, placements)
+        fast, naive = detect_both(bank, cir, noise_std=noise_std)
+        assert len(fast) == 3
+        assert_equivalent(fast, naive)
+
+    @pytest.mark.parametrize("upsample_factor", (1, 4, 8))
+    def test_upsample_factors(self, upsample_factor):
+        rng = np.random.default_rng(77)
+        bank = TemplateBank.paper_bank(2)
+        cir = synth_cir(
+            rng, 512, bank, 1e-3,
+            [(0, 120.4, 1.0), (1, 300.0, 0.6j)],
+        )
+        fast, naive = detect_both(
+            bank, cir, noise_std=1e-3,
+            max_responses=2, upsample_factor=upsample_factor,
+        )
+        assert_equivalent(fast, naive)
+
+    def test_overlapping_responses(self):
+        """Close pulses exercise the incremental window update."""
+        rng = np.random.default_rng(5)
+        bank = TemplateBank.paper_bank(3)
+        cir = synth_cir(
+            rng, 512, bank, 1e-4,
+            [(0, 200.0, 1.0), (2, 203.7, 0.8), (1, 209.3, 0.5j)],
+        )
+        fast, naive = detect_both(bank, cir, noise_std=1e-4)
+        assert_equivalent(fast, naive)
+
+    @pytest.mark.parametrize("position", (3.0, 3.4, 1013.0, 1012.6))
+    def test_edge_clipped_peaks(self, position):
+        """Peaks near the buffer edges clip the subtracted segment."""
+        rng = np.random.default_rng(int(position * 10))
+        bank = TemplateBank.paper_bank(2)
+        cir = synth_cir(
+            rng, 1016, bank, 1e-4,
+            [(0, position, 1.0), (1, 500.0, 0.6)],
+        )
+        fast, naive = detect_both(bank, cir, noise_std=1e-4, max_responses=2)
+        assert_equivalent(fast, naive)
+
+    def test_no_subsample_refinement(self):
+        """Integer positions hit the precomputed cross-correlation table."""
+        rng = np.random.default_rng(9)
+        bank = TemplateBank.paper_bank(3)
+        cir = synth_cir(
+            rng, 512, bank, 1e-4,
+            [(0, 100.0, 1.0), (1, 250.0, 0.7), (2, 400.0, 0.5)],
+        )
+        fast, naive = detect_both(
+            bank, cir, noise_std=1e-4, refine_subsample=False
+        )
+        assert_equivalent(fast, naive)
+
+    def test_pure_noise(self):
+        """Both engines extract the same peaks from noise-only CIRs."""
+        rng = np.random.default_rng(3)
+        cir = 1e-3 * (
+            rng.standard_normal(400) + 1j * rng.standard_normal(400)
+        )
+        bank = TemplateBank.paper_bank(2)
+        fast, naive = detect_both(bank, cir, noise_std=1e-3, max_responses=2)
+        assert_equivalent(fast, naive)
+
+    def test_zero_cir_returns_nothing(self):
+        bank = TemplateBank.paper_bank(2)
+        fast, naive = detect_both(
+            bank, np.zeros(256, dtype=complex), max_responses=2
+        )
+        assert fast == [] and naive == []
+
+
+class TestEarlyStopGate:
+    def test_min_peak_snr_stops_fast_path(self):
+        """With one real response and a high gate, the fast path stops
+        after one extraction instead of reporting noise peaks."""
+        rng = np.random.default_rng(21)
+        bank = TemplateBank.paper_bank(2)
+        noise_std = 1e-2
+        cir = synth_cir(rng, 512, bank, noise_std, [(0, 200.3, 1.0)])
+        config = SearchAndSubtractConfig(
+            max_responses=4, min_peak_snr=8.0, use_fast=True
+        )
+        responses = SearchAndSubtract(bank, config).detect(
+            cir, TS, noise_std=noise_std
+        )
+        assert len(responses) == 1
+        assert responses[0].index == pytest.approx(200.3, abs=0.2)
+
+    @pytest.mark.parametrize("min_peak_snr", (0.0, 5.0, 8.0))
+    def test_gate_equivalence(self, min_peak_snr):
+        rng = np.random.default_rng(31)
+        bank = TemplateBank.paper_bank(3)
+        noise_std = 5e-3
+        cir = synth_cir(
+            rng, 512, bank, noise_std,
+            [(0, 150.2, 1.0), (1, 350.8, 0.08)],
+        )
+        fast, naive = detect_both(
+            bank, cir, noise_std=noise_std,
+            max_responses=4, min_peak_snr=min_peak_snr,
+        )
+        assert_equivalent(fast, naive)
+
+
+class TestEscapeHatch:
+    def test_use_fast_false_runs_naive_engine(self):
+        from repro.runtime.metrics import global_metrics
+
+        metrics = global_metrics()
+        naive_before = metrics.counter("detector.naive_detects").value
+        fast_before = metrics.counter("detector.fast_detects").value
+        bank = TemplateBank.paper_bank(1)
+        cir = np.zeros(128, dtype=complex)
+        SearchAndSubtract(
+            bank, SearchAndSubtractConfig(use_fast=False)
+        ).detect(cir, TS)
+        assert metrics.counter("detector.naive_detects").value == naive_before + 1
+        assert metrics.counter("detector.fast_detects").value == fast_before
+
+    def test_fast_is_default(self):
+        assert SearchAndSubtractConfig().use_fast is True
+
+
+class TestBatchedFilterBank:
+    def test_filter_bank_outputs_matches_loop(self, paper_bank, clean_cir):
+        batched = filter_bank_outputs(clean_cir, paper_bank, use_fast=True)
+        looped = filter_bank_outputs(clean_cir, paper_bank, use_fast=False)
+        assert batched.shape == looped.shape
+        assert np.allclose(batched, looped, rtol=RTOL, atol=1e-12)
+
+    def test_real_cir_keeps_real_dtype(self, paper_bank):
+        rng = np.random.default_rng(8)
+        cir = rng.standard_normal(256)
+        batched = filter_bank_outputs(cir, paper_bank, use_fast=True)
+        looped = filter_bank_outputs(cir, paper_bank, use_fast=False)
+        assert np.isrealobj(batched) == np.isrealobj(looped)
+        assert np.allclose(batched, looped, rtol=RTOL, atol=1e-12)
+
+    def test_raw_array_templates_fall_back(self, default_pulse):
+        rng = np.random.default_rng(8)
+        cir = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        raw = [default_pulse.samples]
+        out = filter_bank_outputs(cir, raw, use_fast=True)
+        assert np.allclose(out[0], matched_filter(cir, raw[0]), rtol=RTOL)
+
+    def test_matched_filter_output_equivalence(self, paper_bank, clean_cir):
+        fast = SearchAndSubtract(
+            paper_bank, SearchAndSubtractConfig(use_fast=True)
+        ).matched_filter_output(clean_cir, TS, template_index=1)
+        naive = SearchAndSubtract(
+            paper_bank, SearchAndSubtractConfig(use_fast=False)
+        ).matched_filter_output(clean_cir, TS, template_index=1)
+        assert np.allclose(fast, naive, rtol=RTOL, atol=1e-12)
+
+
+class TestPlanCache:
+    def test_plan_is_memoised(self, paper_bank):
+        clear_all_caches()
+        templates = list(paper_bank)
+        first = detector_plan(templates, 512, 8, TS)
+        second = detector_plan(templates, 512, 8, TS)
+        assert first is second
+        hits, misses = get_cache("detector_plans").snapshot()
+        assert (hits, misses) == (1, 1)
+
+    def test_distinct_shapes_get_distinct_plans(self, paper_bank):
+        templates = list(paper_bank)
+        a = detector_plan(templates, 512, 8, TS)
+        b = detector_plan(templates, 256, 8, TS)
+        c = detector_plan(templates, 512, 4, TS)
+        d = detector_plan(templates[:1], 512, 8, TS)
+        assert len({id(a), id(b), id(c), id(d)}) == 4
+
+    def test_repeated_detects_hit_cache(self, paper_bank):
+        clear_all_caches()
+        rng = np.random.default_rng(4)
+        detector = SearchAndSubtract(
+            paper_bank, SearchAndSubtractConfig(max_responses=2)
+        )
+        for _ in range(20):
+            cir = 1e-3 * (
+                rng.standard_normal(256) + 1j * rng.standard_normal(256)
+            )
+            detector.detect(cir, TS)
+        hits, misses = get_cache("detector_plans").snapshot()
+        assert misses == 1
+        assert hits == 19
+        assert hits / (hits + misses) > 0.9
+
+
+class TestPlanInternals:
+    def test_filter_bank_matches_matched_filter(self, paper_bank):
+        rng = np.random.default_rng(2)
+        factor = 4
+        cir = rng.standard_normal(200) + 1j * rng.standard_normal(200)
+        working = fft_upsample(cir, factor)
+        plan = DetectorPlan.build(list(paper_bank), 200, factor, TS)
+        outputs = plan.filter_bank(working)
+        for row, template in zip(outputs, plan.templates):
+            assert np.allclose(
+                row, matched_filter(working, template), rtol=RTOL, atol=1e-12
+            )
+
+    def test_subtract_response_matches_refilter(self, paper_bank):
+        """The incremental update equals subtract-then-refilter."""
+        rng = np.random.default_rng(6)
+        factor = 2
+        cir = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        working = fft_upsample(cir, factor)
+        plan = DetectorPlan.build(list(paper_bank), 128, factor, TS)
+        for position, amplitude in ((50.0, 1.2), (81.37, 0.5 - 0.2j)):
+            outputs = plan.filter_bank(working)
+            template = plan.templates[1]
+            place_pulse(
+                working,
+                template.samples.astype(complex),
+                position,
+                amplitude=-amplitude,
+                peak_index=template.peak_index,
+            )
+            expected = plan.filter_bank(working)
+            a, b = plan.subtract_response(outputs, 1, position, amplitude)
+            assert a < b
+            assert np.allclose(outputs, expected, rtol=RTOL, atol=1e-12)
+            # Nothing outside the reported window changed beyond roundoff.
+
+    def test_subtract_response_outside_signal_is_noop(self, paper_bank):
+        plan = DetectorPlan.build(list(paper_bank), 64, 1, TS)
+        outputs = np.ones((3, 64), dtype=complex)
+        a, b = plan.subtract_response(outputs, 0, 5000.0, 1.0)
+        assert (a, b) == (0, 0)
+        assert np.all(outputs == 1.0)
+
+    def test_build_validates_inputs(self, paper_bank):
+        with pytest.raises(ValueError):
+            DetectorPlan.build([], 64, 1, TS)
+        with pytest.raises(ValueError):
+            DetectorPlan.build(list(paper_bank), 0, 1, TS)
+        with pytest.raises(ValueError):
+            DetectorPlan.build(list(paper_bank), 64, 0, TS)
+
+    def test_filter_bank_validates_length(self, paper_bank):
+        plan = DetectorPlan.build(list(paper_bank), 64, 2, TS)
+        with pytest.raises(ValueError):
+            plan.filter_bank(np.zeros(64, dtype=complex))  # needs 128
+        with pytest.raises(ValueError):
+            plan.filter_bank(np.zeros((2, 128), dtype=complex))
+
+    def test_window_correlations_rejects_long_segments(self, paper_bank):
+        plan = DetectorPlan.build(list(paper_bank), 64, 1, TS)
+        too_long = np.zeros(plan.max_template_length + 2, dtype=complex)
+        with pytest.raises(ValueError):
+            plan.window_correlations(too_long)

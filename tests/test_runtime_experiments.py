@@ -7,7 +7,13 @@ pure throughput knob, never a statistics knob.
 
 import pytest
 
-from repro.experiments import fig7_overlap, sect5_precision, table1_pulse_id
+from repro.experiments import (
+    fig4_detection,
+    fig6_pulse_id,
+    fig7_overlap,
+    sect5_precision,
+    table1_pulse_id,
+)
 from repro.runtime import MetricsRegistry
 
 pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
@@ -27,6 +33,16 @@ class TestSerialParallelEquality:
     def test_fig7(self):
         serial = fig7_overlap.run(trials=10, seed=23, workers=1)
         parallel = fig7_overlap.run(trials=10, seed=23, workers=2)
+        assert serial.as_dict() == parallel.as_dict()
+
+    def test_fig4(self):
+        serial = fig4_detection.run(trials=8, seed=11, workers=1)
+        parallel = fig4_detection.run(trials=8, seed=11, workers=2)
+        assert serial.as_dict() == parallel.as_dict()
+
+    def test_fig6(self):
+        serial = fig6_pulse_id.run(trials=10, seed=5, workers=1)
+        parallel = fig6_pulse_id.run(trials=10, seed=5, workers=2)
         assert serial.as_dict() == parallel.as_dict()
 
     def test_sect5_seed_changes_results(self):
@@ -55,6 +71,19 @@ class TestMetricsWiring:
         sect5_precision.run(trials=10, seed=29, workers=1, metrics=metrics)
         # 3 shapes x 10 exchanges.
         assert metrics.counter("runtime.trials").value == 30
+        assert metrics.counter("runtime.trials_failed").value == 0
+
+    def test_fig4_reports_throughput(self):
+        metrics = MetricsRegistry()
+        fig4_detection.run(trials=4, seed=11, workers=1, metrics=metrics)
+        assert metrics.counter("runtime.trials").value == 4
+        assert metrics.counter("runtime.trials_failed").value == 0
+        assert "cache.templates hit rate" in metrics.render()
+
+    def test_fig6_reports_throughput(self):
+        metrics = MetricsRegistry()
+        fig6_pulse_id.run(trials=4, seed=5, workers=1, metrics=metrics)
+        assert metrics.counter("runtime.trials").value == 4
         assert metrics.counter("runtime.trials_failed").value == 0
 
     def test_fig7_counts_attempted_rounds(self):

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.signal.sampling import fft_upsample, fractional_delay, place_pulse
+from repro.signal.sampling import (
+    fft_upsample,
+    fractional_delay,
+    place_pulse,
+    placed_segment,
+)
 
 
 class TestFftUpsample:
@@ -47,6 +52,52 @@ class TestFftUpsample:
     def test_odd_length(self, rng):
         signal = rng.standard_normal(63)
         assert len(fft_upsample(signal, 2)) == 126
+
+    @pytest.mark.parametrize("n", (64, 63, 127, 128, 255, 256))
+    @pytest.mark.parametrize("factor", (2, 3, 8))
+    def test_matches_analytic_sinusoid(self, n, factor):
+        """Even *and* odd lengths interpolate a sampled sinusoid onto the
+        analytic curve.
+
+        This is the regression test for the odd-length spectrum split:
+        with ``half = n // 2`` the positive-frequency bin ``(n - 1) / 2``
+        of an odd-length signal was misfiled into the negative block,
+        corrupting every interpolated (non-original) sample.
+        """
+        k = 5  # cycles over the window; below Nyquist for every n here
+        t = np.arange(n)
+        phase = 0.7
+        signal = np.cos(2 * np.pi * k * t / n + phase)
+        up = fft_upsample(signal, factor)
+        t_fine = np.arange(n * factor) / factor
+        expected = np.cos(2 * np.pi * k * t_fine / n + phase)
+        assert np.allclose(up, expected, atol=1e-9)
+
+    @pytest.mark.parametrize("factor", (2, 4))
+    def test_odd_length_highest_bin(self, factor):
+        """The bin at (n-1)/2 — the one the old split misfiled — must
+        interpolate exactly for odd n."""
+        n = 65
+        k = (n - 1) // 2  # highest positive-frequency bin of odd n
+        t = np.arange(n)
+        signal = np.cos(2 * np.pi * k * t / n + 0.3)
+        up = fft_upsample(signal, factor)
+        t_fine = np.arange(n * factor) / factor
+        expected = np.cos(2 * np.pi * k * t_fine / n + 0.3)
+        assert np.allclose(up, expected, atol=1e-9)
+
+    def test_length_one_is_constant(self):
+        up = fft_upsample(np.array([3.5]), 4)
+        assert np.allclose(up, 3.5)
+
+    def test_complex_exponential_even_and_odd(self):
+        for n in (64, 63):
+            t = np.arange(n)
+            signal = np.exp(2j * np.pi * 7 * t / n)
+            up = fft_upsample(signal, 4)
+            t_fine = np.arange(n * 4) / 4
+            expected = np.exp(2j * np.pi * 7 * t_fine / n)
+            assert np.allclose(up, expected, atol=1e-9)
 
     def test_rejects_bad_inputs(self, rng):
         with pytest.raises(ValueError):
@@ -139,3 +190,45 @@ class TestPlacePulse:
         place_pulse(buffer, default_pulse.samples, 77.4, amplitude=1.5)
         place_pulse(buffer, default_pulse.samples, 77.4, amplitude=-1.5)
         assert np.max(np.abs(buffer)) < 1e-9
+
+
+class TestPlacedSegment:
+    """The shared placement helper the fast detector relies on must
+    describe exactly what place_pulse adds into a buffer."""
+
+    @pytest.mark.parametrize("position", (50.0, 50.25, 3.0, 2.7, 97.9))
+    def test_matches_place_pulse(self, default_pulse, position):
+        samples = default_pulse.samples.astype(complex)
+        buffer = np.zeros(100, dtype=complex)
+        place_pulse(
+            buffer, samples, position, amplitude=1.0,
+            peak_index=default_pulse.peak_index,
+        )
+        start, segment = placed_segment(
+            samples, position, default_pulse.peak_index
+        )
+        rebuilt = np.zeros(100, dtype=complex)
+        src_start = max(0, -start)
+        src_stop = len(segment) - max(0, start + len(segment) - 100)
+        if src_start < src_stop:
+            rebuilt[start + src_start : start + src_stop] = segment[
+                src_start:src_stop
+            ]
+        assert np.allclose(rebuilt, buffer, atol=1e-12)
+
+    def test_integer_position_returns_unshifted_samples(self, default_pulse):
+        samples = default_pulse.samples.astype(complex)
+        start, segment = placed_segment(
+            samples, 40.0, default_pulse.peak_index
+        )
+        assert segment is samples  # no copy, no fractional shift
+        assert start == 40 - default_pulse.peak_index
+
+    def test_fractional_position_pads_one_sample(self, default_pulse):
+        samples = default_pulse.samples.astype(complex)
+        _, segment = placed_segment(samples, 40.5, default_pulse.peak_index)
+        assert len(segment) == len(samples) + 1
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            placed_segment(np.zeros((2, 2)), 1.0)
