@@ -11,6 +11,11 @@ detection/identification pipeline runs on the stored traces.  Swap the
 archive for one recorded from real hardware and the second phase runs
 unchanged.
 
+Phase 3 "a bad day in the field": the same gateway logs a campaign run
+under injected faults (responder dropout + impulsive interference) with
+a resilience policy — partial rounds are kept, not crashed on — and the
+offline pass quantifies how much of the archive survives.
+
 Run:  python examples/record_and_replay.py
 """
 
@@ -78,12 +83,90 @@ def replay(path: Path) -> None:
     )
 
 
+def record_faulted(path: Path) -> None:
+    """A campaign logged under injected faults, resiliently."""
+    from repro.faults import (
+        FaultPlan,
+        ImpulsiveInterference,
+        ResponderDropout,
+    )
+    from repro.protocol.campaign import RangingCampaign, ResiliencePolicy
+
+    plan = FaultPlan(
+        [
+            ResponderDropout(0.3),
+            ImpulsiveInterference(
+                burst_probability=0.4, amplitude_scale=0.9
+            ),
+        ],
+        seed=7,
+    )
+    session = ConcurrentRangingSession.build(
+        responder_distances_m=DISTANCES,
+        n_shapes=3,
+        seed=2024,
+        compensate_tx_quantization=True,
+        faults=plan,
+    )
+    campaign = RangingCampaign(
+        session,
+        round_interval_s=0.05,
+        resilience=ResiliencePolicy(
+            quorum_fraction=0.6, max_round_retries=2, quarantine_after=3
+        ),
+    )
+    result = campaign.run(N_ROUNDS)
+    # Partial rounds carry no capture — the gateway logs what it got.
+    captures = [r.capture for r in result.rounds if r.capture is not None]
+    save_dataset(path, captures)
+    print(
+        f"faulted campaign: {len(captures)}/{N_ROUNDS} rounds captured, "
+        f"{result.retries} retries, {result.partial_rounds} partial, "
+        f"faults injected: {result.faults_injected}"
+    )
+
+
+def replay_faulted(path: Path) -> None:
+    """Offline pass over the faulted archive: how much survived?"""
+    captures = load_dataset(path)
+    bank = TemplateBank.paper_bank(3)
+    classifier = PulseShapeClassifier(
+        bank,
+        SearchAndSubtractConfig(
+            max_responses=3, upsample_factor=8, min_peak_snr=8.0
+        ),
+    )
+    per_capture = [
+        len(
+            classifier.classify(
+                capture.samples,
+                capture.sampling_period_s,
+                noise_std=capture.noise_std,
+            )
+        )
+        for capture in captures
+    ]
+    full = sum(1 for n in per_capture if n >= len(DISTANCES))
+    table = Table(
+        ["quantity", "value"], title="offline analysis, faulted archive"
+    )
+    table.add_row(["captures in archive", len(captures)])
+    table.add_row(["mean responses / capture", float(np.mean(per_capture))])
+    table.add_row([f"captures with all {len(DISTANCES)} responses", full])
+    table.print()
+
+
 def main():
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "gateway_log.npz"
         record(path)
         print()
         replay(path)
+        print()
+        faulted_path = Path(tmp) / "gateway_log_faulted.npz"
+        record_faulted(faulted_path)
+        print()
+        replay_faulted(faulted_path)
 
 
 if __name__ == "__main__":

@@ -40,6 +40,7 @@ from repro.experiments import (
     ablation_twr,
     ablation_upsampling,
     capacity_stress,
+    chaos_sweep,
     fig1_bandwidth,
     fig2_cir,
     fig3_timing,
@@ -58,7 +59,7 @@ from repro.experiments import (
 #: name -> (module, accepts-trials?) registry.
 EXPERIMENTS: Dict[str, tuple] = {
     "fig1": (fig1_bandwidth, False),
-    "fig2": (fig2_cir, False),
+    "fig2": (fig2_cir, True),
     "fig3": (fig3_timing, False),
     "fig4": (fig4_detection, True),
     "fig5": (fig5_pulse_shapes, False),
@@ -76,6 +77,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "ablation-upsampling": (ablation_upsampling, True),
     "capacity-stress": (capacity_stress, True),
     "localization": (localization_exp, False),
+    "chaos": (chaos_sweep, True),
 }
 
 
@@ -84,6 +86,7 @@ def _run_one(
     trials: int | None,
     seed: int | None = None,
     workers: int = 1,
+    checkpoint: str | None = None,
 ) -> None:
     module, takes_trials = EXPERIMENTS[name]
     parameters = inspect.signature(module.run).parameters
@@ -96,6 +99,14 @@ def _run_one(
         else:
             print(
                 f"note: {name} does not take --seed; ignoring",
+                file=sys.stderr,
+            )
+    if checkpoint is not None:
+        if "checkpoint_dir" in parameters:
+            kwargs["checkpoint_dir"] = checkpoint
+        else:
+            print(
+                f"note: {name} does not support --checkpoint; ignoring",
                 file=sys.stderr,
             )
     metrics = None
@@ -175,6 +186,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel trial workers for runtime-ported experiments "
         "(default: 1, serial)",
     )
+    run_parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="persist per-trial checkpoints to DIR for experiments that "
+        "support it; an interrupted run re-invoked with --checkpoint "
+        "DIR --resume picks up where it stopped",
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint: allow reusing checkpoints already in "
+        "DIR (results are identical to an uninterrupted run)",
+    )
     return parser
 
 
@@ -220,6 +245,26 @@ def main(argv: List[str] | None = None) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
+    if args.checkpoint and not args.resume:
+        import os
+
+        if os.path.isdir(args.checkpoint) and os.listdir(args.checkpoint):
+            print(
+                f"checkpoint dir {args.checkpoint!r} is not empty; pass "
+                "--resume to continue an interrupted run or choose a "
+                "fresh directory",
+                file=sys.stderr,
+            )
+            return 2
     for name in names:
-        _run_one(name, args.trials, seed=args.seed, workers=args.workers)
+        _run_one(
+            name,
+            args.trials,
+            seed=args.seed,
+            workers=args.workers,
+            checkpoint=args.checkpoint,
+        )
     return 0

@@ -13,11 +13,17 @@ Three claims are checked:
 
 from __future__ import annotations
 
+from functools import partial
+from typing import Sequence
+
+import numpy as np
+
 from repro.analysis.tables import Table
 from repro.constants import RPM_MAX_OFFSET_M
 from repro.core.rpm import paper_slot_count, safe_slot_count
 from repro.experiments.common import ExperimentResult
 from repro.protocol.scheduling import network_sweep
+from repro.runtime import MetricsRegistry, run_trials
 
 #: Pulse-shape count the paper assumes for the >1500-responder claim.
 PAPER_SHAPE_COUNT = 100
@@ -25,8 +31,40 @@ PAPER_SHAPE_COUNT = 100
 NETWORK_SIZES = (2, 5, 10, 20, 50, 100)
 
 
-def run() -> ExperimentResult:
-    """Recompute every Sect. VIII scalability number."""
+def _network_trial(
+    rng: np.random.Generator, index: int, *, sizes: Sequence[int]
+) -> tuple:
+    """One network size's scheduled-vs-concurrent cost (closed form).
+
+    The computation is deterministic — the trial seeding contract still
+    applies, it simply goes unused — so running the sweep on the trial
+    executor parallelises the table rows with results identical at any
+    worker count.
+    """
+    scheduled, concurrent = network_sweep([int(sizes[index])])[0]
+    return (
+        scheduled.n_nodes,
+        scheduled.messages,
+        concurrent.messages,
+        scheduled.energy_j,
+        concurrent.energy_j,
+        scheduled.duration_s,
+        concurrent.duration_s,
+    )
+
+
+def run(
+    seed: int = 0,
+    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+    checkpoint_dir=None,
+) -> ExperimentResult:
+    """Recompute every Sect. VIII scalability number.
+
+    The network sweep (one trial per network size) runs on
+    :func:`repro.runtime.run_trials`, so ``--workers`` parallelises the
+    rows and ``--checkpoint`` persists them.
+    """
     result = ExperimentResult(
         experiment_id="Sect. VIII",
         description="scalability: slots, capacity, and message cost",
@@ -68,31 +106,42 @@ def run() -> ExperimentResult:
         ],
         title="full-network ranging cost",
     )
-    for scheduled, concurrent in network_sweep(NETWORK_SIZES):
+    report = run_trials(
+        partial(_network_trial, sizes=NETWORK_SIZES),
+        len(NETWORK_SIZES),
+        seed=seed,
+        workers=workers,
+        metrics=metrics,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_label="sect8-network-sweep",
+    )
+    for row in report.values:
+        (n_nodes, scheduled_msgs, concurrent_msgs,
+         scheduled_j, concurrent_j, scheduled_s, concurrent_s) = row
         costs.add_row(
             [
-                scheduled.n_nodes,
-                scheduled.messages,
-                concurrent.messages,
-                scheduled.energy_j * 1e3,
-                concurrent.energy_j * 1e3,
-                scheduled.duration_s / concurrent.duration_s,
+                n_nodes,
+                scheduled_msgs,
+                concurrent_msgs,
+                scheduled_j * 1e3,
+                concurrent_j * 1e3,
+                scheduled_s / concurrent_s,
             ]
         )
     result.add_table(costs)
 
-    scheduled_100, concurrent_100 = network_sweep([100])[0]
+    row_100 = report.values[NETWORK_SIZES.index(100)]
     result.compare(
         "scheduled_messages_n100",
-        float(scheduled_100.messages),
+        float(row_100[1]),
         paper=float(100 * 99),
     )
     result.compare(
-        "concurrent_messages_n100", float(concurrent_100.messages), paper=200.0
+        "concurrent_messages_n100", float(row_100[2]), paper=200.0
     )
     result.compare(
         "energy_gain_n100",
-        scheduled_100.energy_j / concurrent_100.energy_j,
+        row_100[3] / row_100[4],
         paper=None,
     )
     result.note(

@@ -1,0 +1,57 @@
+"""repro.faults — deterministic, seedable fault injection.
+
+A :class:`FaultPlan` composes :class:`FaultInjector` instances into a
+reproducible perturbation schedule; activating it yields an
+:class:`ActiveFaults` runtime whose hooks the protocol, medium, and
+radio seams consult.  An empty plan is a guaranteed zero-cost
+pass-through: simulations are bit-identical with and without the fault
+machinery.
+
+Quickstart::
+
+    from repro.faults import (
+        FaultPlan, ResponderDropout, ImpulsiveInterference,
+    )
+    from repro.protocol.concurrent import ConcurrentRangingSession
+
+    session = ConcurrentRangingSession.build(
+        [3.0, 6.0, 10.0], n_shapes=3, seed=7,
+        faults=FaultPlan(
+            [ResponderDropout(0.2), ImpulsiveInterference(0.3)],
+            seed=99,
+        ),
+    )
+    result = session.run_round(round_index=0)
+    print(result.fault_events)            # what was injected
+    print(session.active_faults.counts)   # totals by injector
+"""
+
+from repro.faults.injectors import (
+    CirSaturation,
+    ClockDriftRamp,
+    ImpulsiveInterference,
+    NlosOnset,
+    PollLoss,
+    ReplyJitter,
+    ResponderDropout,
+)
+from repro.faults.plan import (
+    ActiveFaults,
+    FaultContext,
+    FaultInjector,
+    FaultPlan,
+)
+
+__all__ = [
+    "ActiveFaults",
+    "CirSaturation",
+    "ClockDriftRamp",
+    "FaultContext",
+    "FaultInjector",
+    "FaultPlan",
+    "ImpulsiveInterference",
+    "NlosOnset",
+    "PollLoss",
+    "ReplyJitter",
+    "ResponderDropout",
+]

@@ -1,0 +1,319 @@
+"""Concrete fault injectors.
+
+Each injector models one perturbation class the UWB literature shows to
+matter for concurrent ranging:
+
+* :class:`ResponderDropout` / :class:`PollLoss` — missing responders and
+  lost INIT (poll) frames, the paper's own robustness narrative.
+* :class:`ReplyJitter` — Gaussian reply-delay jitter plus occasional
+  time-hopping spikes (Gou et al., *Resilient Random Time-hopping Reply
+  against Distance Attacks in UWB Ranging*).
+* :class:`ClockDriftRamp` — a crystal slowly walking away from its
+  nominal rate, stressing the CFO-based drift compensation.
+* :class:`ImpulsiveInterference` — short high-amplitude bursts added to
+  the CIR accumulator (Radunović et al., *Performance of UWB Impulse
+  Radio in Presence of Impulsive Interference*).
+* :class:`CirSaturation` — accumulator clipping: strong taps compress,
+  flattening the very amplitude structure pulse-shape identification
+  relies on.
+* :class:`NlosOnset` — the LOS path disappears mid-campaign (a door
+  closes, a person steps into the corridor), biasing first-path
+  detection late.
+
+All decisions are drawn from the injector's dedicated stream handed in
+by :class:`~repro.faults.plan.ActiveFaults`; nothing touches the
+simulation's own generators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from repro.faults.plan import FaultContext, FaultInjector
+
+__all__ = [
+    "ResponderDropout",
+    "PollLoss",
+    "ReplyJitter",
+    "ClockDriftRamp",
+    "ImpulsiveInterference",
+    "CirSaturation",
+    "NlosOnset",
+]
+
+
+def _validate_probability(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def _id_set(responder_ids) -> Optional[Set[int]]:
+    if responder_ids is None:
+        return None
+    ids = {int(r) for r in responder_ids}
+    if not ids:
+        raise ValueError("responder_ids, when given, must be non-empty")
+    return ids
+
+
+class ResponderDropout(FaultInjector):
+    """A responder decodes the INIT but stays silent this round.
+
+    Models hardware resets, TX queue overruns, or a busy radio — the
+    responder consumed the poll but never keyed its reply.
+    """
+
+    name = "dropout"
+
+    def __init__(self, probability: float, responder_ids=None) -> None:
+        self.probability = _validate_probability("probability", probability)
+        self.responder_ids = _id_set(responder_ids)
+
+    def drops_response(self, ctx, responder_id, rng) -> bool:
+        if (
+            self.responder_ids is not None
+            and responder_id not in self.responder_ids
+        ):
+            return False
+        return bool(rng.random() < self.probability)
+
+
+class PollLoss(FaultInjector):
+    """The INIT (poll) frame is lost on the downlink to a responder.
+
+    Unlike :class:`ResponderDropout` the responder never learns the
+    round happened — no RX energy is spent and no reply is scheduled.
+    """
+
+    name = "poll_loss"
+
+    def __init__(self, probability: float, responder_ids=None) -> None:
+        self.probability = _validate_probability("probability", probability)
+        self.responder_ids = _id_set(responder_ids)
+
+    def drops_init(self, ctx, responder_id, rng) -> bool:
+        if (
+            self.responder_ids is not None
+            and responder_id not in self.responder_ids
+        ):
+            return False
+        return bool(rng.random() < self.probability)
+
+
+class ReplyJitter(FaultInjector):
+    """Reply-delay jitter and time-hopping spikes.
+
+    ``std_s`` adds zero-mean Gaussian jitter to every reply; with
+    probability ``spike_probability`` an additional ``spike_s`` hop is
+    applied — the adversarial/time-hopping perturbation of Gou et al.
+    Positive offsets delay the reply (reads long); the spike may be
+    negative to model early replies.
+    """
+
+    name = "reply_jitter"
+
+    def __init__(
+        self,
+        std_s: float = 0.0,
+        spike_probability: float = 0.0,
+        spike_s: float = 0.0,
+    ) -> None:
+        if std_s < 0:
+            raise ValueError(f"std_s must be >= 0, got {std_s}")
+        self.std_s = float(std_s)
+        self.spike_probability = _validate_probability(
+            "spike_probability", spike_probability
+        )
+        self.spike_s = float(spike_s)
+        if self.std_s == 0.0 and (
+            self.spike_probability == 0.0 or self.spike_s == 0.0
+        ):
+            raise ValueError(
+                "ReplyJitter without std_s or spike parameters injects "
+                "nothing; configure at least one"
+            )
+
+    def reply_delay_offset_s(self, ctx, responder_id, rng) -> float:
+        offset = 0.0
+        if self.std_s > 0.0:
+            offset += float(rng.normal(0.0, self.std_s))
+        if self.spike_probability > 0.0 and self.spike_s != 0.0:
+            if rng.random() < self.spike_probability:
+                offset += self.spike_s
+        return offset
+
+
+class ClockDriftRamp(FaultInjector):
+    """Clock drift growing linearly with the round index.
+
+    ``ppm_per_round`` accumulates each round up to ``max_ppm`` — a
+    crystal warming up or aging.  The initiator's CFO estimate tracks
+    the *nominal* clock, so the ramp shows up as a growing ranging bias.
+    """
+
+    name = "drift_ramp"
+
+    def __init__(
+        self,
+        ppm_per_round: float,
+        max_ppm: float = 50.0,
+        responder_ids=None,
+    ) -> None:
+        if ppm_per_round == 0.0:
+            raise ValueError("ppm_per_round must be non-zero")
+        if max_ppm <= 0:
+            raise ValueError(f"max_ppm must be positive, got {max_ppm}")
+        self.ppm_per_round = float(ppm_per_round)
+        self.max_ppm = float(max_ppm)
+        self.responder_ids = _id_set(responder_ids)
+
+    def clock_drift_offset_ppm(self, ctx, responder_id, rng) -> float:
+        if (
+            self.responder_ids is not None
+            and responder_id not in self.responder_ids
+        ):
+            return 0.0
+        ramp = self.ppm_per_round * ctx.round_index
+        return float(np.clip(ramp, -self.max_ppm, self.max_ppm))
+
+
+class ImpulsiveInterference(FaultInjector):
+    """Impulsive bursts added to the captured CIR.
+
+    With probability ``burst_probability`` per capture, ``n_bursts``
+    short complex spikes are added at random taps, each scaled to
+    ``amplitude_scale`` times the capture's peak magnitude and decaying
+    over ``burst_width_taps`` taps.  Strong bursts create phantom peaks
+    that the detector must reject (or mistake for responses — the
+    degradation the chaos sweep measures).
+    """
+
+    name = "interference"
+
+    def __init__(
+        self,
+        burst_probability: float = 1.0,
+        amplitude_scale: float = 1.0,
+        n_bursts: int = 1,
+        burst_width_taps: int = 3,
+    ) -> None:
+        self.burst_probability = _validate_probability(
+            "burst_probability", burst_probability
+        )
+        if amplitude_scale <= 0:
+            raise ValueError(
+                f"amplitude_scale must be positive, got {amplitude_scale}"
+            )
+        if n_bursts < 1:
+            raise ValueError(f"n_bursts must be >= 1, got {n_bursts}")
+        if burst_width_taps < 1:
+            raise ValueError(
+                f"burst_width_taps must be >= 1, got {burst_width_taps}"
+            )
+        self.amplitude_scale = float(amplitude_scale)
+        self.n_bursts = int(n_bursts)
+        self.burst_width_taps = int(burst_width_taps)
+
+    def transform_cir(self, ctx, samples, noise_std, rng) -> np.ndarray:
+        if self.burst_probability < 1.0 and rng.random() >= self.burst_probability:
+            return samples
+        out = np.array(samples, dtype=complex, copy=True)
+        peak = float(np.max(np.abs(out))) if len(out) else 0.0
+        if peak <= 0.0:
+            peak = max(noise_std, 1e-12)
+        amplitude = self.amplitude_scale * peak
+        for _ in range(self.n_bursts):
+            tap = int(rng.integers(0, len(out)))
+            phase = float(rng.uniform(0.0, 2.0 * np.pi))
+            spike = amplitude * np.exp(1j * phase)
+            for k in range(self.burst_width_taps):
+                if tap + k >= len(out):
+                    break
+                out[tap + k] += spike * (0.5 ** k)
+        return out
+
+
+class CirSaturation(FaultInjector):
+    """Accumulator saturation: tap magnitudes clip at a peak fraction.
+
+    Every tap whose magnitude exceeds ``clip_fraction`` times the
+    capture's peak is compressed onto that limit (phase preserved).
+    ``clip_fraction == 1.0`` never fires; lower values flatten the
+    amplitude structure identification depends on.
+    """
+
+    name = "saturation"
+
+    def __init__(self, clip_fraction: float) -> None:
+        clip_fraction = float(clip_fraction)
+        if not 0.0 < clip_fraction <= 1.0:
+            raise ValueError(
+                f"clip_fraction must be in (0, 1], got {clip_fraction}"
+            )
+        self.clip_fraction = clip_fraction
+
+    def transform_cir(self, ctx, samples, noise_std, rng) -> np.ndarray:
+        if self.clip_fraction >= 1.0 or len(samples) == 0:
+            return samples
+        magnitude = np.abs(samples)
+        limit = self.clip_fraction * float(magnitude.max())
+        if limit <= 0.0:
+            return samples
+        mask = magnitude > limit
+        if not np.any(mask):
+            return samples
+        out = np.array(samples, dtype=complex, copy=True)
+        out[mask] *= limit / magnitude[mask]
+        return out
+
+
+class NlosOnset(FaultInjector):
+    """The LOS path disappears from round ``onset_round`` onwards.
+
+    Channels on the configured links (default: all) lose their LOS tap
+    (or keep it attenuated to ``attenuation`` times its amplitude) —
+    first-path detection then locks onto a reflection and every range
+    reads long, the classic NLOS bias.
+    """
+
+    name = "nlos_onset"
+
+    def __init__(
+        self,
+        onset_round: int = 0,
+        attenuation: float = 0.0,
+        links: Optional[Iterable] = None,
+    ) -> None:
+        if onset_round < 0:
+            raise ValueError(
+                f"onset_round must be >= 0, got {onset_round}"
+            )
+        if attenuation < 0:
+            raise ValueError(
+                f"attenuation must be >= 0, got {attenuation}"
+            )
+        self.onset_round = int(onset_round)
+        self.attenuation = float(attenuation)
+        self.links = (
+            None
+            if links is None
+            else {frozenset((int(a), int(b))) for a, b in links}
+        )
+
+    def transform_channel(self, ctx, a_id, b_id, channel, rng):
+        if ctx.round_index < self.onset_round:
+            return channel
+        if self.links is not None and frozenset((a_id, b_id)) not in self.links:
+            return channel
+        if channel.los_tap is None:
+            return channel
+        try:
+            return channel.without_los(self.attenuation)
+        except ValueError:
+            # Removing the LOS would leave no taps at all: keep the
+            # channel rather than destroying the link entirely.
+            return channel

@@ -1,0 +1,349 @@
+"""Deterministic, seedable fault injection — the plan and its runtime.
+
+The paper's whole pitch is that concurrent ranging survives messy
+reality: missing responders, overlapping replies, NLOS onset, impulsive
+interference.  This module provides a *first-class* fault model so that
+graceful degradation can be measured instead of stumbled upon:
+
+* A :class:`FaultInjector` declares narrow hooks — drop an INIT, silence
+  a responder, jitter a reply delay, ramp a clock, transform a channel
+  realization, corrupt a CIR.  Every hook defaults to a zero-cost
+  pass-through, so an empty plan leaves the simulation *bit-identical*
+  to a run without any fault machinery.
+* A :class:`FaultPlan` is an immutable, seedable composition of
+  injectors.  Activating a plan derives one independent
+  ``numpy.random.Generator`` per injector from
+  ``SeedSequence(plan.seed)`` — the same contract as the trial executor
+  (:mod:`repro.runtime.executor`): fault decisions depend only on the
+  plan seed and the (deterministic) order of hook invocations, never on
+  the worker count or schedule.  The simulation's own random streams are
+  untouched by fault draws.
+* The :class:`ActiveFaults` runtime aggregates the injectors, records
+  every perturbation it actually applied (``counts`` by injector name,
+  per-round ``round_events``), and exposes the composed channel/CIR
+  transforms that the :class:`~repro.netsim.medium.Medium` and
+  :class:`~repro.radio.dw1000.DW1000Radio` seams accept.
+
+Per-trial variation in Monte-Carlo experiments comes from
+:meth:`FaultPlan.with_seed`::
+
+    plan = FaultPlan([ResponderDropout(0.3)], seed=99)
+    session.attach_faults(plan.with_seed((99, trial_index)))
+
+which keeps serial and parallel campaign results byte-identical for any
+worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FaultContext", "FaultInjector", "FaultPlan", "ActiveFaults"]
+
+
+class FaultContext:
+    """Where in the campaign a fault hook fires.
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based round number within the campaign (retries of one
+        round share the index; ``attempt`` distinguishes them).
+    time_s:
+        Global start time of the round.
+    n_responders:
+        Responder count of the session.
+    attempt:
+        Zero-based retry attempt of this round.
+    """
+
+    __slots__ = ("round_index", "time_s", "n_responders", "attempt")
+
+    def __init__(
+        self,
+        round_index: int = 0,
+        time_s: float = 0.0,
+        n_responders: int = 0,
+        attempt: int = 0,
+    ) -> None:
+        self.round_index = int(round_index)
+        self.time_s = float(time_s)
+        self.n_responders = int(n_responders)
+        self.attempt = int(attempt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultContext(round={self.round_index}, t={self.time_s:.6f}, "
+            f"responders={self.n_responders}, attempt={self.attempt})"
+        )
+
+
+class FaultInjector:
+    """Base injector: every hook is a no-op pass-through.
+
+    Subclasses override the hooks they perturb and set ``name`` — the key
+    under which applied faults are counted and annotated.  Hooks receive
+    a dedicated ``numpy.random.Generator`` (one stream per injector,
+    derived from the plan seed); they must *never* draw from any other
+    random source, which is what keeps fault injection deterministic and
+    side-effect-free for the simulation's own streams.
+    """
+
+    #: Counting/annotation key; override in subclasses.
+    name: str = "fault"
+
+    def on_round(self, ctx: FaultContext, rng: np.random.Generator) -> None:
+        """Called once when a round begins (advance ramps, roll state)."""
+
+    def drops_init(
+        self, ctx: FaultContext, responder_id: int, rng: np.random.Generator
+    ) -> bool:
+        """``True``: this responder never decodes the INIT/poll frame."""
+        return False
+
+    def drops_response(
+        self, ctx: FaultContext, responder_id: int, rng: np.random.Generator
+    ) -> bool:
+        """``True``: the responder decodes INIT but stays silent."""
+        return False
+
+    def reply_delay_offset_s(
+        self, ctx: FaultContext, responder_id: int, rng: np.random.Generator
+    ) -> float:
+        """Additive perturbation of the programmed reply delay [s]."""
+        return 0.0
+
+    def clock_drift_offset_ppm(
+        self, ctx: FaultContext, responder_id: int, rng: np.random.Generator
+    ) -> float:
+        """Extra clock drift [ppm] applied to the responder this round."""
+        return 0.0
+
+    def transform_channel(
+        self,
+        ctx: FaultContext,
+        a_id: int,
+        b_id: int,
+        channel,
+        rng: np.random.Generator,
+    ):
+        """Return a (possibly) perturbed channel realization for a link.
+
+        Return the *same object* to signal "untouched" — identity is how
+        the runtime decides whether to count a fault.
+        """
+        return channel
+
+    def transform_cir(
+        self,
+        ctx: FaultContext,
+        samples: np.ndarray,
+        noise_std: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return a (possibly) corrupted copy of the captured CIR.
+
+        Must not mutate ``samples`` in place; return the same array
+        object to signal "untouched".
+        """
+        return samples
+
+    # -- introspection -----------------------------------------------------
+
+    @classmethod
+    def _overrides(cls, hook: str) -> bool:
+        return getattr(cls, hook) is not getattr(FaultInjector, hook)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FaultPlan:
+    """An immutable, seedable composition of fault injectors.
+
+    Parameters
+    ----------
+    injectors:
+        The injectors to apply, in order.  Order matters for composed
+        transforms (e.g. interference *then* saturation) and is part of
+        the deterministic contract.
+    seed:
+        Entropy for the per-injector random streams (int, sequence of
+        ints, or ``numpy.random.SeedSequence``).  The same plan with the
+        same seed always makes the same decisions.
+    """
+
+    def __init__(
+        self, injectors: Iterable[FaultInjector] = (), seed=0
+    ) -> None:
+        self.injectors: Tuple[FaultInjector, ...] = tuple(injectors)
+        for injector in self.injectors:
+            if not isinstance(injector, FaultInjector):
+                raise TypeError(
+                    f"expected FaultInjector instances, got {injector!r}"
+                )
+        self.seed = seed
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.injectors) == 0
+
+    def __len__(self) -> int:
+        return len(self.injectors)
+
+    def with_seed(self, seed) -> "FaultPlan":
+        """The same injectors under different entropy (per-trial use)."""
+        return FaultPlan(self.injectors, seed=seed)
+
+    def activate(self) -> "ActiveFaults":
+        """Fresh runtime state: per-injector generators from the seed."""
+        return ActiveFaults(self)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the plan."""
+        if self.is_empty:
+            return "FaultPlan(empty)"
+        names = ", ".join(injector.name for injector in self.injectors)
+        return f"FaultPlan([{names}], seed={self.seed!r})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+class ActiveFaults:
+    """Runtime state of an activated :class:`FaultPlan`.
+
+    Aggregates hook results over the plan's injectors, owns one random
+    stream per injector, and records every perturbation that was
+    actually applied:
+
+    * ``counts`` — total applied faults keyed by injector name.
+    * ``round_events`` — ``(responder_id_or_None, kind)`` tuples for the
+      round currently in flight (reset by :meth:`begin_round`).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        if isinstance(plan.seed, np.random.SeedSequence):
+            root = plan.seed
+        else:
+            root = np.random.SeedSequence(plan.seed)
+        children = root.spawn(max(1, len(plan.injectors)))
+        self._rngs: List[np.random.Generator] = [
+            np.random.default_rng(child) for child in children
+        ]
+        self.counts: Dict[str, int] = {}
+        self.round_events: List[Tuple[Optional[int], str]] = []
+        # Pre-resolve which injectors override the transform hooks so
+        # the pass-through cost of an inactive hook is a None check.
+        self._channel_injectors = [
+            (i, injector)
+            for i, injector in enumerate(plan.injectors)
+            if type(injector)._overrides("transform_channel")
+        ]
+        self._cir_injectors = [
+            (i, injector)
+            for i, injector in enumerate(plan.injectors)
+            if type(injector)._overrides("transform_cir")
+        ]
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    def _note(self, responder_id: Optional[int], kind: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.round_events.append((responder_id, kind))
+
+    def events_for(self, responder_id: int) -> Tuple[str, ...]:
+        """Fault kinds recorded for one responder in the current round."""
+        return tuple(
+            kind for rid, kind in self.round_events if rid == responder_id
+        )
+
+    # -- aggregate hooks ---------------------------------------------------
+
+    def begin_round(self, ctx: FaultContext) -> None:
+        self.round_events = []
+        for injector, rng in zip(self.plan.injectors, self._rngs):
+            injector.on_round(ctx, rng)
+
+    def init_lost(self, ctx: FaultContext, responder_id: int) -> bool:
+        lost = False
+        for injector, rng in zip(self.plan.injectors, self._rngs):
+            if injector.drops_init(ctx, responder_id, rng):
+                self._note(responder_id, injector.name)
+                lost = True
+        return lost
+
+    def responder_dropped(self, ctx: FaultContext, responder_id: int) -> bool:
+        dropped = False
+        for injector, rng in zip(self.plan.injectors, self._rngs):
+            if injector.drops_response(ctx, responder_id, rng):
+                self._note(responder_id, injector.name)
+                dropped = True
+        return dropped
+
+    def reply_delay_offset_s(
+        self, ctx: FaultContext, responder_id: int
+    ) -> float:
+        total = 0.0
+        for injector, rng in zip(self.plan.injectors, self._rngs):
+            offset = injector.reply_delay_offset_s(ctx, responder_id, rng)
+            if offset != 0.0:
+                self._note(responder_id, injector.name)
+                total += offset
+        return total
+
+    def clock_drift_offset_ppm(
+        self, ctx: FaultContext, responder_id: int
+    ) -> float:
+        total = 0.0
+        for injector, rng in zip(self.plan.injectors, self._rngs):
+            offset = injector.clock_drift_offset_ppm(ctx, responder_id, rng)
+            if offset != 0.0:
+                self._note(responder_id, injector.name)
+                total += offset
+        return total
+
+    def channel_transform(
+        self, ctx: FaultContext
+    ) -> Optional[Callable]:
+        """The composed channel seam, or ``None`` when no injector
+        perturbs channels (zero-cost pass-through for the medium)."""
+        if not self._channel_injectors:
+            return None
+
+        def transform(a_id: int, b_id: int, channel):
+            for i, injector in self._channel_injectors:
+                perturbed = injector.transform_channel(
+                    ctx, a_id, b_id, channel, self._rngs[i]
+                )
+                if perturbed is not channel:
+                    self._note(None, injector.name)
+                channel = perturbed
+            return channel
+
+        return transform
+
+    def cir_transform(self, ctx: FaultContext) -> Optional[Callable]:
+        """The composed CIR seam, or ``None`` when no injector corrupts
+        captures (zero-cost pass-through for the radio)."""
+        if not self._cir_injectors:
+            return None
+
+        def transform(samples: np.ndarray, noise_std: float = 0.0) -> np.ndarray:
+            for i, injector in self._cir_injectors:
+                corrupted = injector.transform_cir(
+                    ctx, samples, noise_std, self._rngs[i]
+                )
+                if corrupted is not samples:
+                    self._note(None, injector.name)
+                samples = corrupted
+            return samples
+
+        return transform

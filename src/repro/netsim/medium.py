@@ -52,6 +52,12 @@ class Medium:
         taps are used instead of the stochastic environment.
     rng:
         Random generator for channel draws and noise.
+    channel_transform:
+        Optional injection seam: a callable ``(a_id, b_id, channel) ->
+        channel`` applied to every freshly drawn link realization before
+        it is cached for the coherence interval.  ``None`` (default) is
+        a zero-cost pass-through; :mod:`repro.faults` uses this seam for
+        NLOS onset and link perturbations.
     """
 
     def __init__(
@@ -59,10 +65,12 @@ class Medium:
         environment: IndoorEnvironment | None = None,
         room: Room | None = None,
         rng: np.random.Generator | None = None,
+        channel_transform=None,
     ) -> None:
         self.environment = environment or IndoorEnvironment.office()
         self.room = room
         self.rng = rng or np.random.default_rng()
+        self.channel_transform = channel_transform
         self._nodes: Dict[int, Node] = {}
         self._links: Dict[Tuple[int, int], ChannelRealization] = {}
 
@@ -106,9 +114,13 @@ class Medium:
             taps = image_source_taps(
                 self.room, node_a.position, node_b.position
             )
-            return ChannelRealization(taps)
-        distance = node_a.distance_to(node_b)
-        return self.environment.realize(distance, self.rng)
+            channel = ChannelRealization(taps)
+        else:
+            distance = node_a.distance_to(node_b)
+            channel = self.environment.realize(distance, self.rng)
+        if self.channel_transform is not None:
+            channel = self.channel_transform(a_id, b_id, channel)
+        return channel
 
     def new_coherence_interval(self) -> None:
         """Forget cached channels: the next draw is a fresh realization.

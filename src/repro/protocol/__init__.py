@@ -16,9 +16,14 @@ from repro.protocol.twr import SsTwr, TwrOutcome, DsTwr, DsTwrOutcome
 from repro.protocol.concurrent import (
     ConcurrentRangingSession,
     ConcurrentRoundResult,
+    EmptyRoundError,
     ResponderOutcome,
 )
-from repro.protocol.campaign import RangingCampaign, CampaignResult
+from repro.protocol.campaign import (
+    CampaignResult,
+    RangingCampaign,
+    ResiliencePolicy,
+)
 from repro.protocol.scheduling import (
     RoundCost,
     scheduled_round_cost,
@@ -37,9 +42,11 @@ __all__ = [
     "DsTwrOutcome",
     "ConcurrentRangingSession",
     "ConcurrentRoundResult",
+    "EmptyRoundError",
     "ResponderOutcome",
     "RangingCampaign",
     "CampaignResult",
+    "ResiliencePolicy",
     "RoundCost",
     "scheduled_round_cost",
     "concurrent_round_cost",

@@ -36,6 +36,7 @@ from repro.core.pulse_id import PulseShapeClassifier
 from repro.core.ranging import RangingResult, twr_distance_compensated
 from repro.core.rpm import SlotPlan
 from repro.core.scheme import CombinedScheme
+from repro.faults import ActiveFaults, FaultContext, FaultPlan
 from repro.netsim.medium import Medium
 from repro.netsim.node import Node
 from repro.netsim.trace import TraceRecorder
@@ -47,8 +48,32 @@ from repro.protocol.messages import (
 from repro.protocol.twr import DEFAULT_CFO_ERROR_PPM
 from repro.radio.dw1000 import CirCapture, SignalArrival
 from repro.radio.frame import frame_duration
-from repro.radio.timebase import quantize_timestamp_s
+from repro.radio.timebase import Clock, quantize_timestamp_s
 from repro.signal.templates import TemplateBank
+
+
+class EmptyRoundError(RuntimeError):
+    """No responder transmitted this round (frame loss, dropout).
+
+    Subclasses :class:`RuntimeError` for backwards compatibility with
+    callers that catch the old generic error.  Carries the round's
+    ground truth and fault annotations so resilient callers can build a
+    partial :class:`ConcurrentRoundResult` instead of crashing.
+    """
+
+    def __init__(
+        self,
+        truth: Dict[int, float],
+        fault_events: tuple = (),
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        super().__init__(
+            "no responder decoded the INIT this round (frame loss); "
+            "the initiator's receive window times out"
+        )
+        self.truth = dict(truth)
+        self.fault_events = tuple(fault_events)
+        self.trace = trace if trace is not None else TraceRecorder()
 
 
 @dataclass(frozen=True)
@@ -61,10 +86,17 @@ class ResponderOutcome:
     assigned_shape: int
     estimated_distance_m: float | None
     decoded_id: int | None
+    #: Fault kinds injected against this responder in this round
+    #: (e.g. ``("dropout",)``); empty when the round was clean.
+    faults: tuple = ()
 
     @property
     def detected(self) -> bool:
         return self.estimated_distance_m is not None
+
+    @property
+    def faulted(self) -> bool:
+        return len(self.faults) > 0
 
     @property
     def identified(self) -> bool:
@@ -79,14 +111,33 @@ class ResponderOutcome:
 
 @dataclass(frozen=True)
 class ConcurrentRoundResult:
-    """Everything produced by one concurrent ranging round."""
+    """Everything produced by one concurrent ranging round.
 
-    capture: CirCapture
+    ``capture`` is ``None`` for a *partial* round — every responder
+    stayed silent and the initiator's receive window timed out, yet the
+    round still reports per-responder outcomes with fault annotations
+    instead of raising (see
+    :meth:`ConcurrentRangingSession.run_resilient_round`).
+    """
+
+    capture: CirCapture | None
     d_twr_m: float
     classified: tuple
     ranging: RangingResult
     outcomes: tuple
     trace: TraceRecorder
+    #: ``(responder_id_or_None, fault_kind)`` annotations for every
+    #: fault injected this round (``None`` = round/initiator level).
+    fault_events: tuple = ()
+    #: How many attempts (1 + retries) this round consumed.
+    attempts: int = 1
+    #: Campaign round index this result belongs to.
+    round_index: int = 0
+
+    @property
+    def partial(self) -> bool:
+        """True when the round produced no capture (all-silent round)."""
+        return self.capture is None
 
     @property
     def distances_m(self) -> tuple:
@@ -138,6 +189,13 @@ class ConcurrentRangingSession:
         Missing responders simply do not appear in the CIR; pair with a
         ``min_peak_snr`` detector gate so the detector does not invent
         them.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`.  When given (and
+        non-empty), the plan is activated and its injectors perturb the
+        round through the narrow seams of the stack (INIT loss,
+        responder dropout, reply jitter, clock-drift ramps, channel and
+        CIR transforms).  An empty or absent plan leaves every round
+        bit-identical to a session without fault machinery.
     """
 
     def __init__(
@@ -153,6 +211,7 @@ class ConcurrentRangingSession:
         allow_duplicate_assignments: bool = False,
         init_loss_probability: float = 0.0,
         rng: np.random.Generator | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if len(responders) == 0:
             raise ValueError("need at least one responder")
@@ -184,6 +243,31 @@ class ConcurrentRangingSession:
                 config, max_responses=len(responders)
             )
         self.classifier = PulseShapeClassifier(scheme.bank, config)
+        self.fault_plan: FaultPlan | None = None
+        self._active_faults: ActiveFaults | None = None
+        self.attach_faults(faults)
+
+    # -- fault injection ----------------------------------------------------
+
+    def attach_faults(self, plan: FaultPlan | None) -> None:
+        """(Re)attach a fault plan, activating fresh injector streams.
+
+        Passing ``None`` or an empty plan detaches fault injection
+        entirely — every seam returns to its zero-cost pass-through.
+        Monte-Carlo trial functions call this with
+        ``plan.with_seed((base_seed, trial_index))`` so fault decisions
+        stay byte-identical for any worker count.
+        """
+        self.fault_plan = plan
+        if plan is not None and not plan.is_empty:
+            self._active_faults = plan.activate()
+        else:
+            self._active_faults = None
+
+    @property
+    def active_faults(self) -> ActiveFaults | None:
+        """The activated fault runtime (``None`` without a plan)."""
+        return self._active_faults
 
     # -- construction helpers ---------------------------------------------
 
@@ -242,7 +326,10 @@ class ConcurrentRangingSession:
     # -- the round ----------------------------------------------------------
 
     def run_round(
-        self, start_time_s: float | None = None
+        self,
+        start_time_s: float | None = None,
+        round_index: int = 0,
+        _attempt: int = 0,
     ) -> ConcurrentRoundResult:
         """Execute one full concurrent ranging round.
 
@@ -250,11 +337,45 @@ class ConcurrentRangingSession:
         delayed-TX quantisation error — which depends on where the
         scheduled reply time falls on the hardware grid — varies between
         rounds as it does on real hardware.  Pass an explicit time for
-        bit-reproducible single rounds.
+        bit-reproducible single rounds.  ``round_index`` feeds the fault
+        context (ramps, NLOS onset) and is recorded on the result.
+
+        Raises :class:`EmptyRoundError` when every responder stays
+        silent; :meth:`run_resilient_round` converts that into a partial
+        result instead.
         """
         rng = self.rng
         if start_time_s is None:
             start_time_s = float(rng.uniform(0.0, 1.0))
+        active = self._active_faults
+        ctx: FaultContext | None = None
+        previous_transform = None
+        if active is not None:
+            ctx = FaultContext(
+                round_index=round_index,
+                time_s=start_time_s,
+                n_responders=len(self.responders),
+                attempt=_attempt,
+            )
+            active.begin_round(ctx)
+            previous_transform = self.medium.channel_transform
+            self.medium.channel_transform = active.channel_transform(ctx)
+        try:
+            return self._run_round_inner(
+                rng, start_time_s, round_index, active, ctx
+            )
+        finally:
+            if active is not None:
+                self.medium.channel_transform = previous_transform
+
+    def _run_round_inner(
+        self,
+        rng: np.random.Generator,
+        start_time_s: float,
+        round_index: int,
+        active: ActiveFaults | None,
+        ctx: FaultContext | None,
+    ) -> ConcurrentRoundResult:
         trace = TraceRecorder()
         init_node = self.initiator
         init_config = init_node.radio.config
@@ -274,14 +395,18 @@ class ConcurrentRangingSession:
         messages: Dict[int, RespMessage] = {}
         truth: Dict[int, float] = {}
         for responder_id, node in enumerate(self.responders):
+            # Truth always records the responder so the evaluation
+            # counts silent ones as misses.
+            truth[responder_id] = init_node.distance_to(node)
+            if active is not None and active.init_lost(ctx, responder_id):
+                # Injected poll loss: the responder never decodes INIT.
+                continue
             if (
                 self.init_loss_probability > 0.0
                 and rng.random() < self.init_loss_probability
             ):
                 # Responder missed the INIT: it never learns about this
-                # round and stays silent.  Truth still records it so the
-                # evaluation counts the miss.
-                truth[responder_id] = init_node.distance_to(node)
+                # round and stays silent.
                 continue
             channel = self.medium.channel_between(
                 init_node.node_id, node.node_id
@@ -297,23 +422,47 @@ class ConcurrentRangingSession:
             )
             node.account_rx(init_airtime)
 
+            if active is not None and active.responder_dropped(
+                ctx, responder_id
+            ):
+                # Injected dropout: INIT decoded, reply never keyed.
+                continue
+
             assignment = self._assignment(responder_id)
             node.radio.set_pulse_register(assignment.register)
             nominal_local = (
                 t_rx_local + self.reply_delay_s + assignment.extra_delay_s
             )
+            if active is not None:
+                nominal_local += active.reply_delay_offset_s(
+                    ctx, responder_id
+                )
             if self.compensate_tx_quantization:
                 t_tx_local = nominal_local
             else:
                 t_tx_local = node.radio.schedule_delayed_tx(nominal_local)
-            t_tx_global = node.radio.clock.global_from_local(t_tx_local)
+            extra_drift_ppm = (
+                active.clock_drift_offset_ppm(ctx, responder_id)
+                if active is not None
+                else 0.0
+            )
+            if extra_drift_ppm != 0.0:
+                # The responder's crystal walked off its nominal rate;
+                # the initiator's CFO estimate (drawn from the nominal
+                # clock below) goes stale, biasing the compensation.
+                drifted = Clock(
+                    drift_ppm=node.radio.clock.drift_ppm + extra_drift_ppm,
+                    offset_s=node.radio.clock.offset_s,
+                )
+                t_tx_global = drifted.global_from_local(t_tx_local)
+            else:
+                t_tx_global = node.radio.clock.global_from_local(t_tx_local)
 
             messages[responder_id] = RespMessage(
                 responder_id=responder_id,
                 t_rx_local_s=t_rx_local,
                 t_tx_local_s=t_tx_local,
             )
-            truth[responder_id] = init_node.distance_to(node)
             arrivals.append(
                 SignalArrival(
                     channel=channel,
@@ -327,11 +476,32 @@ class ConcurrentRangingSession:
 
         # 3. The initiator captures one CIR of the superposition.
         if not arrivals:
-            raise RuntimeError(
-                "no responder decoded the INIT this round (frame loss); "
-                "the initiator's receive window times out"
+            raise EmptyRoundError(
+                truth=truth,
+                fault_events=(
+                    tuple(active.round_events) if active is not None else ()
+                ),
+                trace=trace,
             )
-        capture = init_node.radio.capture_cir(arrivals, rng)
+        try:
+            capture = init_node.radio.capture_cir(
+                arrivals,
+                rng,
+                cir_transform=(
+                    active.cir_transform(ctx) if active is not None else None
+                ),
+            )
+        except ValueError as error:
+            # Nothing cleared the LDE threshold (deep fade / NLOS-killed
+            # paths): physically this is a receive-window timeout, the
+            # same observable outcome as an all-silent round.
+            raise EmptyRoundError(
+                truth=truth,
+                fault_events=(
+                    tuple(active.round_events) if active is not None else ()
+                ),
+                trace=trace,
+            ) from error
         trace.record(
             min(a.first_path_arrival_s for a in arrivals),
             init_node.node_id,
@@ -374,7 +544,16 @@ class ConcurrentRangingSession:
         )
         ranging = self.scheme.decode_responses(classified, d_twr)
 
-        outcomes = self._match_outcomes(ranging, truth)
+        fault_notes = (
+            {
+                rid: active.events_for(rid)
+                for rid in truth
+                if active.events_for(rid)
+            }
+            if active is not None
+            else {}
+        )
+        outcomes = self._match_outcomes(ranging, truth, fault_notes)
         self.medium.new_coherence_interval()
         return ConcurrentRoundResult(
             capture=capture,
@@ -383,12 +562,124 @@ class ConcurrentRangingSession:
             ranging=ranging,
             outcomes=tuple(outcomes),
             trace=trace,
+            fault_events=(
+                tuple(active.round_events) if active is not None else ()
+            ),
+            round_index=round_index,
+        )
+
+    # -- resilience ---------------------------------------------------------
+
+    def run_resilient_round(
+        self,
+        start_time_s: float | None = None,
+        round_index: int = 0,
+        *,
+        quorum: int = 0,
+        max_retries: int = 0,
+        backoff_base_s: float = 0.0,
+        backoff_factor: float = 2.0,
+        backoff_jitter: float = 0.0,
+        retry_rng: np.random.Generator | None = None,
+    ) -> ConcurrentRoundResult:
+        """A round that degrades gracefully instead of raising.
+
+        Runs :meth:`run_round`; when the round is empty (every responder
+        silent) or detects fewer than ``quorum`` responders, it retries
+        up to ``max_retries`` times with exponential backoff
+        (``backoff_base_s * backoff_factor**attempt`` plus uniform
+        jitter of up to ``backoff_jitter`` of that delay, drawn from
+        ``retry_rng`` — never from the simulation's own stream).  After
+        the retry budget is spent, the best attempt seen so far is
+        returned; an all-silent final attempt yields a *partial* result
+        (``capture is None``) carrying the fault annotations rather than
+        an exception.
+        """
+        if quorum < 0:
+            raise ValueError(f"quorum must be >= 0, got {quorum}")
+        if max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        best: ConcurrentRoundResult | None = None
+        delay_s = 0.0
+        time_s = start_time_s
+        for attempt in range(max_retries + 1):
+            if time_s is not None and delay_s > 0.0:
+                time_s = time_s + delay_s
+            try:
+                result = self.run_round(
+                    start_time_s=time_s,
+                    round_index=round_index,
+                    _attempt=attempt,
+                )
+            except EmptyRoundError as error:
+                result = self._empty_round_result(
+                    error, round_index=round_index, attempts=attempt + 1
+                )
+            else:
+                result = dataclasses.replace(result, attempts=attempt + 1)
+            if best is None or result.detection_count > best.detection_count:
+                best = result
+            if not result.partial and result.detection_count >= quorum:
+                return result
+            if attempt < max_retries:
+                delay_s = backoff_base_s * (backoff_factor**attempt)
+                if backoff_jitter > 0.0 and delay_s > 0.0:
+                    jitter_rng = retry_rng or np.random.default_rng(
+                        (round_index, attempt)
+                    )
+                    delay_s *= 1.0 + backoff_jitter * float(
+                        jitter_rng.random()
+                    )
+        assert best is not None
+        return dataclasses.replace(best, attempts=max_retries + 1)
+
+    def _empty_round_result(
+        self,
+        error: EmptyRoundError,
+        round_index: int,
+        attempts: int,
+    ) -> ConcurrentRoundResult:
+        """A partial :class:`ConcurrentRoundResult` for an all-silent
+        round: no capture, no detections, every responder a miss."""
+        active = self._active_faults
+        fault_notes = (
+            {
+                rid: active.events_for(rid)
+                for rid in error.truth
+                if active.events_for(rid)
+            }
+            if active is not None
+            else {}
+        )
+        empty_ranging = RangingResult(
+            d_twr_m=float("nan"),
+            responses=(),
+            distances_m=(),
+            responder_ids=(),
+        )
+        outcomes = self._match_outcomes(
+            empty_ranging, error.truth, fault_notes
+        )
+        self.medium.new_coherence_interval()
+        return ConcurrentRoundResult(
+            capture=None,
+            d_twr_m=float("nan"),
+            classified=(),
+            ranging=empty_ranging,
+            outcomes=tuple(outcomes),
+            trace=error.trace,
+            fault_events=error.fault_events,
+            attempts=attempts,
+            round_index=round_index,
         )
 
     def _match_outcomes(
         self,
         ranging: RangingResult,
         truth: Dict[int, float],
+        fault_notes: Dict[int, tuple] | None = None,
     ) -> List[ResponderOutcome]:
         """Pair decoded (id, distance) tuples with ground truth.
 
@@ -396,7 +687,10 @@ class ConcurrentRangingSession:
         responses with unknown/duplicate IDs are matched to the remaining
         responder with the closest true distance (evaluation-only logic —
         a deployment would simply report the decoded IDs).
+        ``fault_notes`` maps responder IDs to the fault kinds injected
+        against them this round; matched outcomes carry them verbatim.
         """
+        fault_notes = fault_notes or {}
         decoded: Dict[int, float] = {}
         leftovers: List[float] = []
         for rid, distance in zip(ranging.responder_ids, ranging.distances_m):
@@ -417,6 +711,7 @@ class ConcurrentRangingSession:
                         assigned_shape=assignment.shape_index,
                         estimated_distance_m=decoded[responder_id],
                         decoded_id=responder_id,
+                        faults=fault_notes.get(responder_id, ()),
                     )
                 )
                 continue
@@ -436,6 +731,7 @@ class ConcurrentRangingSession:
                     assigned_shape=assignment.shape_index,
                     estimated_distance_m=estimate,
                     decoded_id=None,
+                    faults=fault_notes.get(responder_id, ()),
                 )
             )
         return outcomes

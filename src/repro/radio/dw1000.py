@@ -325,6 +325,7 @@ class DW1000Radio:
         self,
         arrivals: Sequence[SignalArrival],
         rng: np.random.Generator,
+        cir_transform=None,
     ) -> CirCapture:
         """Estimate the CIR of a (possibly superposed) reception.
 
@@ -334,6 +335,13 @@ class DW1000Radio:
         the earliest arrival lands near tap ``FIRST_PATH_NOMINAL_INDEX``,
         offset by a random sub-sample phase — the "unknown time offset"
         the paper corrects with the d_TWR alignment (Sect. IV, step 1).
+
+        ``cir_transform`` is an optional injection seam: a callable
+        ``(samples, noise_std) -> samples`` applied to the noisy
+        accumulator buffer *before* leading-edge detection.
+        :mod:`repro.faults` uses it for impulsive interference and
+        saturation; ``None`` (default) leaves the capture untouched.
+        The transform must not consume this method's ``rng``.
         """
         if len(arrivals) == 0:
             raise ValueError("capture_cir needs at least one arrival")
@@ -361,6 +369,9 @@ class DW1000Radio:
             + 1j * rng.standard_normal(self.cir_length)
         ) / math.sqrt(2.0)
         buffer += noise
+
+        if cir_transform is not None:
+            buffer = cir_transform(buffer, self.noise_std)
 
         fp_index = leading_edge_index(np.abs(buffer), self.noise_std)
         jitter = float(rng.normal(0.0, self.timestamp_jitter_s))

@@ -28,6 +28,7 @@ Quickstart::
 """
 
 from repro.runtime.api import TrialRunReport, make_executor, run_trials
+from repro.runtime.checkpoint import CheckpointStore, run_key
 from repro.runtime.cache import (
     ArtifactCache,
     all_cache_snapshots,
@@ -51,6 +52,7 @@ from repro.runtime.metrics import MetricsRegistry, global_metrics
 
 __all__ = [
     "ArtifactCache",
+    "CheckpointStore",
     "ExecutionPolicy",
     "MetricsRegistry",
     "ParallelExecutor",
@@ -67,6 +69,7 @@ __all__ = [
     "global_metrics",
     "make_executor",
     "pulse",
+    "run_key",
     "run_trials",
     "spawn_trial_seeds",
     "template_bank",

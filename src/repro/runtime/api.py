@@ -16,9 +16,12 @@ aggregate trials/sec and cache hit rate for the whole run.
 
 from __future__ import annotations
 
+import functools
+import time
 from dataclasses import dataclass
 from typing import Any, List, Optional
 
+from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.executor import (
     ExecutionPolicy,
     ParallelExecutor,
@@ -27,10 +30,18 @@ from repro.runtime.executor import (
     TrialFailure,
     TrialFn,
     TrialRun,
+    _assemble,
 )
 from repro.runtime.metrics import MetricsRegistry
 
 __all__ = ["TrialRunReport", "make_executor", "run_trials"]
+
+
+def _default_label(fn: TrialFn) -> str:
+    """A checkpoint label from the trial function's name."""
+    if isinstance(fn, functools.partial):
+        fn = fn.func
+    return getattr(fn, "__name__", None) or "trials"
 
 
 @dataclass
@@ -84,6 +95,10 @@ def run_trials(
     chunk_size: Optional[int] = None,
     worker_timeout_s: float = 600.0,
     fallback_to_serial: bool = True,
+    max_trial_retries: int = 0,
+    retry_backoff_s: float = 0.0,
+    checkpoint_dir=None,
+    checkpoint_label: Optional[str] = None,
     executor: Optional[TrialExecutor] = None,
 ) -> TrialRunReport:
     """Run ``n_trials`` deterministic Monte-Carlo trials of ``fn``.
@@ -111,8 +126,19 @@ def run_trials(
         ``True``: first trial exception raises
         :class:`~repro.runtime.executor.TrialError`.  ``False``: failures
         are collected on the report and remaining trials continue.
-    chunk_size, worker_timeout_s, fallback_to_serial:
+    chunk_size, worker_timeout_s, fallback_to_serial, max_trial_retries,
+    retry_backoff_s:
         See :class:`~repro.runtime.executor.ExecutionPolicy`.
+    checkpoint_dir:
+        When given, completed trials are persisted to sharded
+        checkpoints in this directory as the run progresses, and a
+        subsequent call with the same ``(seed, n_trials, label)`` skips
+        everything already on disk — an interrupted run resumes where it
+        stopped and yields results byte-identical to an uninterrupted
+        one.  Trial values must be picklable.
+    checkpoint_label:
+        Separates checkpoints of different experiments sharing seed and
+        trial count; defaults to the trial function's name.
     executor:
         Pre-built executor override (ignores ``workers`` and the policy
         arguments).
@@ -126,7 +152,49 @@ def run_trials(
             chunk_size=chunk_size,
             worker_timeout_s=worker_timeout_s,
             fallback_to_serial=fallback_to_serial,
+            max_trial_retries=max_trial_retries,
+            retry_backoff_s=retry_backoff_s,
         )
         executor = make_executor(workers=workers, policy=policy)
-    run = executor.run(fn, n_trials, seed, metrics=metrics)
+
+    if checkpoint_dir is None:
+        run = executor.run(fn, n_trials, seed, metrics=metrics)
+        return TrialRunReport(
+            run=run, metrics=metrics, workers=max(1, workers)
+        )
+
+    # Checkpointed path: the store is the source of truth.  Load what a
+    # previous (possibly killed) run already computed, dispatch only the
+    # missing indices, then assemble the full result from disk — which
+    # is what makes `resume == uninterrupted` hold by construction.
+    store = CheckpointStore.for_run(
+        checkpoint_dir,
+        seed,
+        n_trials,
+        label=checkpoint_label or _default_label(fn),
+    )
+    started = time.perf_counter()
+    done = store.load_entries()
+    if done:
+        metrics.counter("runtime.checkpoint_hits").inc(len(done))
+    missing = [i for i in range(n_trials) if i not in done]
+    elapsed_s = 0.0
+    fallback_reason = None
+    if missing:
+        partial_run = executor.run(
+            fn,
+            n_trials,
+            seed,
+            metrics=metrics,
+            indices=missing,
+            checkpoint=store,
+        )
+        elapsed_s = partial_run.elapsed_s
+        fallback_reason = partial_run.fallback_reason
+        done = store.load_entries()
+    entries = [(index, ok, payload) for index, (ok, payload) in done.items()]
+    run = _assemble(
+        n_trials, entries, elapsed_s or (time.perf_counter() - started)
+    )
+    run.fallback_reason = fallback_reason
     return TrialRunReport(run=run, metrics=metrics, workers=max(1, workers))

@@ -139,16 +139,54 @@ class ExecutionPolicy:
     worker_timeout_s:
         Per-chunk result deadline for the parallel executor.
     fallback_to_serial:
-        When ``True`` (default) the parallel executor degrades to an
-        in-process serial run if the pool cannot start, the trial
-        function cannot be pickled, or a chunk times out — results are
-        identical by construction, only slower.
+        When ``True`` (default) the parallel executor degrades
+        gracefully: it runs serially in-process if the pool cannot start
+        or the trial function cannot be pickled, and re-dispatches *only
+        the lost chunk* in-process when a worker chunk times out —
+        results are identical by construction, only slower.
+    max_trial_retries:
+        Per-trial retry budget: a trial raising an exception is re-run
+        up to this many extra times (with a fresh generator from the
+        *same* seed child, so deterministic failures stay failures and
+        results stay reproducible) before it counts as failed.
+    retry_backoff_s / retry_backoff_factor:
+        Exponential backoff between per-trial retries: attempt ``k``
+        sleeps ``retry_backoff_s * retry_backoff_factor**k`` seconds of
+        real time first.
     """
 
     fail_fast: bool = True
     chunk_size: Optional[int] = None
     worker_timeout_s: float = 600.0
     fallback_to_serial: bool = True
+    max_trial_retries: int = 0
+    retry_backoff_s: float = 0.0
+    retry_backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.worker_timeout_s > 0:
+            raise ValueError(
+                "worker_timeout_s must be positive, got "
+                f"{self.worker_timeout_s}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be >= 1 (or None), got {self.chunk_size}"
+            )
+        if self.max_trial_retries < 0:
+            raise ValueError(
+                "max_trial_retries must be >= 0, got "
+                f"{self.max_trial_retries}"
+            )
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError(
+                "retry_backoff_factor must be >= 1, got "
+                f"{self.retry_backoff_factor}"
+            )
 
 
 def spawn_trial_seeds(seed, n_trials: int) -> List[np.random.SeedSequence]:
@@ -166,17 +204,38 @@ def spawn_trial_seeds(seed, n_trials: int) -> List[np.random.SeedSequence]:
 
 
 def _run_one(
-    fn: TrialFn, index: int, seed: np.random.SeedSequence
-) -> Tuple[bool, Any]:
-    """Run one trial; returns ``(ok, value-or-TrialFailure)``."""
-    try:
-        return True, fn(np.random.default_rng(seed), index)
-    except Exception as error:  # noqa: BLE001 — captured by design
-        return False, TrialFailure(
-            index=index,
-            error=repr(error),
-            traceback=traceback_module.format_exc(),
-        )
+    fn: TrialFn,
+    index: int,
+    seed: np.random.SeedSequence,
+    policy: Optional["ExecutionPolicy"] = None,
+) -> Tuple[bool, Any, int]:
+    """Run one trial; returns ``(ok, value-or-TrialFailure, retries)``.
+
+    Each retry re-runs the trial with a *fresh* generator built from the
+    same seed child: a deterministic exception fails every attempt
+    (reported once the budget is spent) while transient failures recover
+    — and a recovered trial is byte-identical to one that never failed,
+    because the random stream restarts from the same child.
+    """
+    max_retries = policy.max_trial_retries if policy is not None else 0
+    attempt = 0
+    while True:
+        try:
+            return True, fn(np.random.default_rng(seed), index), attempt
+        except Exception as error:  # noqa: BLE001 — captured by design
+            if attempt >= max_retries:
+                return False, TrialFailure(
+                    index=index,
+                    error=repr(error),
+                    traceback=traceback_module.format_exc(),
+                ), attempt
+            assert policy is not None
+            delay_s = policy.retry_backoff_s * (
+                policy.retry_backoff_factor**attempt
+            )
+            if delay_s > 0:
+                time.sleep(delay_s)
+            attempt += 1
 
 
 def _cache_delta(
@@ -194,28 +253,32 @@ def _cache_delta(
 
 def _execute_chunk(
     fn: TrialFn,
-    start_index: int,
-    seeds: Sequence[np.random.SeedSequence],
-    fail_fast: bool,
-) -> Tuple[List[Tuple[int, bool, Any]], Dict[str, Tuple[int, int]], float]:
-    """Worker entry point: run a contiguous chunk of trials.
+    items: Sequence[Tuple[int, np.random.SeedSequence]],
+    policy: "ExecutionPolicy",
+) -> Tuple[
+    List[Tuple[int, bool, Any]], Dict[str, Tuple[int, int]], float, int
+]:
+    """Worker entry point: run a chunk of ``(trial_index, seed)`` items.
 
-    Returns ``(entries, cache_delta, chunk_seconds)`` where each entry is
-    ``(trial_index, ok, value-or-TrialFailure)``.  Under ``fail_fast`` a
-    failing trial raises :class:`TrialError`, which multiprocessing
-    ships back to the parent.
+    Items need not be contiguous (checkpoint resume dispatches only the
+    missing indices).  Returns ``(entries, cache_delta, chunk_seconds,
+    retries)`` where each entry is ``(trial_index, ok,
+    value-or-TrialFailure)``.  Under ``fail_fast`` a failing trial
+    raises :class:`TrialError`, which multiprocessing ships back to the
+    parent.
     """
     started = time.perf_counter()
     cache_before = all_cache_snapshots()
     entries: List[Tuple[int, bool, Any]] = []
-    for offset, seed in enumerate(seeds):
-        index = start_index + offset
-        ok, payload = _run_one(fn, index, seed)
-        if not ok and fail_fast:
+    retries = 0
+    for index, seed in items:
+        ok, payload, attempts = _run_one(fn, index, seed, policy)
+        retries += attempts
+        if not ok and policy.fail_fast:
             raise TrialError(payload)
         entries.append((index, ok, payload))
     delta = _cache_delta(cache_before, all_cache_snapshots())
-    return entries, delta, time.perf_counter() - started
+    return entries, delta, time.perf_counter() - started, retries
 
 
 def _record_cache_delta(
@@ -252,8 +315,21 @@ class TrialExecutor(ABC):
         n_trials: int,
         seed,
         metrics: Optional[MetricsRegistry] = None,
+        *,
+        indices: Optional[Sequence[int]] = None,
+        checkpoint=None,
     ) -> TrialRun:
-        """Execute ``fn`` for ``n_trials`` trials; results in index order."""
+        """Execute ``fn`` for ``n_trials`` trials; results in index order.
+
+        ``indices`` restricts execution to a subset of trial indices
+        (seeding is unchanged: trial ``i`` still consumes seed child
+        ``i`` of the full ``n_trials`` expansion) — the checkpoint
+        resume path uses this to run only the missing trials.
+        ``checkpoint`` is an optional
+        :class:`~repro.runtime.checkpoint.CheckpointStore`; completed
+        entries are persisted to it as the run progresses, so an
+        interrupted run can resume.
+        """
 
     def _start_run(
         self, n_trials: int, metrics: Optional[MetricsRegistry]
@@ -281,18 +357,42 @@ class SerialExecutor(TrialExecutor):
         n_trials: int,
         seed,
         metrics: Optional[MetricsRegistry] = None,
+        *,
+        indices: Optional[Sequence[int]] = None,
+        checkpoint=None,
     ) -> TrialRun:
         metrics = self._start_run(n_trials, metrics)
         metrics.gauge("runtime.workers").set(1)
         seeds = spawn_trial_seeds(seed, n_trials)
+        work = (
+            list(range(n_trials))
+            if indices is None
+            else sorted(int(i) for i in indices)
+        )
         started = time.perf_counter()
         cache_before = all_cache_snapshots()
         entries: List[Tuple[int, bool, Any]] = []
-        for index, child in enumerate(seeds):
-            ok, payload = _run_one(fn, index, child)
-            if not ok and self.policy.fail_fast:
-                raise TrialError(payload)
-            entries.append((index, ok, payload))
+        unflushed: List[Tuple[int, bool, Any]] = []
+        try:
+            for index in work:
+                ok, payload, attempts = _run_one(
+                    fn, index, seeds[index], self.policy
+                )
+                if attempts:
+                    metrics.counter("runtime.trial_retries").inc(attempts)
+                if not ok and self.policy.fail_fast:
+                    raise TrialError(payload)
+                entries.append((index, ok, payload))
+                if checkpoint is not None:
+                    unflushed.append((index, ok, payload))
+                    if len(unflushed) >= checkpoint.flush_every:
+                        checkpoint.save_entries(unflushed)
+                        unflushed = []
+        finally:
+            # Persist whatever completed, even when a trial raised —
+            # a resumed run re-does only the missing indices.
+            if checkpoint is not None and unflushed:
+                checkpoint.save_entries(unflushed)
         _record_cache_delta(
             metrics, _cache_delta(cache_before, all_cache_snapshots())
         )
@@ -322,10 +422,6 @@ class ParallelExecutor(TrialExecutor):
 
     def _chunk_size(self, n_trials: int) -> int:
         if self.policy.chunk_size is not None:
-            if self.policy.chunk_size < 1:
-                raise ValueError(
-                    f"chunk_size must be >= 1, got {self.policy.chunk_size}"
-                )
             return self.policy.chunk_size
         # ~4 chunks per worker: granular enough to balance uneven trial
         # costs, coarse enough to amortise dispatch overhead.
@@ -338,10 +434,14 @@ class ParallelExecutor(TrialExecutor):
         seed,
         metrics: MetricsRegistry,
         reason: str,
+        indices: Optional[Sequence[int]] = None,
+        checkpoint=None,
     ) -> TrialRun:
         metrics.counter("runtime.serial_fallbacks").inc()
         metrics.gauge("runtime.workers").set(1)
-        run = SerialExecutor(self.policy).run(fn, n_trials, seed, metrics)
+        run = SerialExecutor(self.policy).run(
+            fn, n_trials, seed, metrics, indices=indices, checkpoint=checkpoint
+        )
         # The serial executor already counted this run's trials; undo the
         # double count from our own _start_run.
         metrics.counter("runtime.trials").value -= n_trials
@@ -356,12 +456,20 @@ class ParallelExecutor(TrialExecutor):
         n_trials: int,
         seed,
         metrics: Optional[MetricsRegistry] = None,
+        *,
+        indices: Optional[Sequence[int]] = None,
+        checkpoint=None,
     ) -> TrialRun:
         metrics = self._start_run(n_trials, metrics)
         metrics.gauge("runtime.workers").set(self.workers)
 
-        if n_trials == 0:
-            return self._finish_run(metrics, TrialRun(n_trials=0))
+        work = (
+            list(range(n_trials))
+            if indices is None
+            else sorted(int(i) for i in indices)
+        )
+        if not work:
+            return self._finish_run(metrics, TrialRun(n_trials=n_trials))
 
         # A trial function the pool cannot pickle would fail deep inside
         # the dispatch machinery; detect it up front and degrade.
@@ -370,16 +478,19 @@ class ParallelExecutor(TrialExecutor):
         except Exception as error:  # pickling errors vary by payload
             if self.policy.fallback_to_serial:
                 return self._serial_fallback(
-                    fn, n_trials, seed, metrics, f"unpicklable fn: {error!r}"
+                    fn, n_trials, seed, metrics,
+                    f"unpicklable fn: {error!r}",
+                    indices=indices, checkpoint=checkpoint,
                 )
             raise
 
         seeds = spawn_trial_seeds(seed, n_trials)
-        chunk_size = self._chunk_size(n_trials)
+        items = [(index, seeds[index]) for index in work]
+        chunk_size = self._chunk_size(len(items))
         metrics.gauge("runtime.chunk_size").set(chunk_size)
         chunks = [
-            (start, seeds[start:start + chunk_size])
-            for start in range(0, n_trials, chunk_size)
+            items[start:start + chunk_size]
+            for start in range(0, len(items), chunk_size)
         ]
 
         import multiprocessing
@@ -396,44 +507,55 @@ class ParallelExecutor(TrialExecutor):
         except Exception as error:  # pool refused to start (sandbox, limits)
             if self.policy.fallback_to_serial:
                 return self._serial_fallback(
-                    fn, n_trials, seed, metrics, f"pool start failed: {error!r}"
+                    fn, n_trials, seed, metrics,
+                    f"pool start failed: {error!r}",
+                    indices=indices, checkpoint=checkpoint,
                 )
             raise
 
         entries: List[Tuple[int, bool, Any]] = []
+        redispatched = 0
         try:
             pending = [
                 pool.apply_async(
-                    _execute_chunk,
-                    (fn, start, chunk_seeds, self.policy.fail_fast),
+                    _execute_chunk, (fn, chunk_items, self.policy)
                 )
-                for start, chunk_seeds in chunks
+                for chunk_items in chunks
             ]
             pool.close()
-            for result in pending:
+            for chunk_items, result in zip(chunks, pending):
                 try:
-                    chunk_entries, delta, chunk_s = result.get(
+                    chunk_entries, delta, chunk_s, retries = result.get(
                         timeout=self.policy.worker_timeout_s
                     )
                 except multiprocessing.TimeoutError:
-                    pool.terminate()
-                    if self.policy.fallback_to_serial:
-                        return self._serial_fallback(
-                            fn,
-                            n_trials,
-                            seed,
-                            metrics,
-                            f"chunk exceeded {self.policy.worker_timeout_s}s",
-                        )
-                    raise WorkerTimeoutError(
-                        f"a chunk of {chunk_size} trial(s) exceeded the "
-                        f"{self.policy.worker_timeout_s}s worker timeout"
-                    ) from None
+                    if not self.policy.fallback_to_serial:
+                        pool.terminate()
+                        raise WorkerTimeoutError(
+                            f"a chunk of {len(chunk_items)} trial(s) "
+                            f"exceeded the {self.policy.worker_timeout_s}s "
+                            "worker timeout"
+                        ) from None
+                    # Worker crash/hang recovery: re-run ONLY the lost
+                    # chunk in-process; the other chunks keep streaming
+                    # from the pool (the hung worker's slot is written
+                    # off).  Identical results by construction — the
+                    # chunk's trials still consume their own seed
+                    # children.
+                    redispatched += 1
+                    metrics.counter("runtime.chunk_redispatches").inc()
+                    chunk_entries, delta, chunk_s, retries = _execute_chunk(
+                        fn, chunk_items, self.policy
+                    )
                 except TrialError:
                     pool.terminate()
                     raise
                 entries.extend(chunk_entries)
+                if checkpoint is not None:
+                    checkpoint.save_entries(chunk_entries)
                 _record_cache_delta(metrics, delta)
+                if retries:
+                    metrics.counter("runtime.trial_retries").inc(retries)
                 metrics.counter("runtime.chunks").inc()
                 metrics.histogram("runtime.chunk_seconds").observe(chunk_s)
         finally:
@@ -446,4 +568,8 @@ class ParallelExecutor(TrialExecutor):
             metrics, _cache_delta(cache_before, all_cache_snapshots())
         )
         run = _assemble(n_trials, entries, time.perf_counter() - started)
+        if redispatched:
+            run.fallback_reason = (
+                f"re-dispatched {redispatched} timed-out chunk(s) in-process"
+            )
         return self._finish_run(metrics, run)

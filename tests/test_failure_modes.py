@@ -1,4 +1,11 @@
-"""Failure-injection and edge-case tests across the stack."""
+"""Failure-injection and edge-case tests across the stack.
+
+The hand-built scenario classes (``TestMissingResponder``,
+``TestBlockedLinks``, ``TestNlosBias``) predate :mod:`repro.faults` and
+are kept as regression aliases for the low-level seams; the
+``*ViaFaults`` classes re-express the same scenarios end-to-end through
+the fault-injection machinery.
+"""
 
 import numpy as np
 import pytest
@@ -122,6 +129,104 @@ class TestNlosBias:
         nlos_times = [first_path(nlos_channel) for _ in range(10)]
         bias = np.mean(nlos_times) - np.mean(los_times)
         assert bias == pytest.approx(8e-9, abs=1.5e-9)
+
+
+def _fault_session(faults=None, seed=3, distances=(3.0, 6.0, 10.0)):
+    from repro.protocol.concurrent import ConcurrentRangingSession
+
+    return ConcurrentRangingSession.build(
+        distances,
+        seed=seed,
+        detector_config=SearchAndSubtractConfig(
+            max_responses=3, min_peak_snr=8.0
+        ),
+        faults=faults,
+    )
+
+
+class TestMissingResponderViaFaults:
+    """Missing-responder scenario expressed through repro.faults.
+
+    ``TestMissingResponder`` above checks the detector seam with a
+    hand-built CIR; here a targeted :class:`ResponderDropout` silences
+    one responder inside a full session round and the loss is *reported*
+    — annotated on the outcome and in the round's fault log — instead of
+    surfacing as a phantom identification.
+    """
+
+    def test_targeted_dropout_is_annotated_and_unidentified(self):
+        from repro.faults import FaultPlan, ResponderDropout
+
+        plan = FaultPlan([ResponderDropout(1.0, responder_ids=[2])], seed=0)
+        result = _fault_session(plan).run_resilient_round(start_time_s=0.25)
+        by_id = {o.responder_id: o for o in result.outcomes}
+        assert "dropout" in by_id[2].faults
+        assert by_id[2].faulted
+        assert not by_id[2].identified
+        assert (2, "dropout") in result.fault_events
+        # The other responders still range and identify normally.
+        for rid in set(by_id) - {2}:
+            assert by_id[rid].identified
+            assert not by_id[rid].faulted
+
+    def test_empty_plan_is_bit_identical_to_no_plan(self):
+        from repro.faults import FaultPlan
+
+        clean = _fault_session(None).run_round(start_time_s=0.25)
+        empty = _fault_session(FaultPlan([], seed=9)).run_round(
+            start_time_s=0.25
+        )
+        assert clean.d_twr_m == empty.d_twr_m
+        assert [o.estimated_distance_m for o in clean.outcomes] == [
+            o.estimated_distance_m for o in empty.outcomes
+        ]
+        assert empty.fault_events == ()
+
+
+class TestBlockedLinksViaFaults:
+    """Blocked-LOS scenario expressed through repro.faults.
+
+    ``TestBlockedLinks``/``TestNlosBias`` above drive the geometry and
+    radio seams directly; :class:`NlosOnset` produces the same late-read
+    bias end-to-end, switching on at a configurable round.
+    """
+
+    def _errors(self, faults, n_rounds=8, seed=11):
+        session = _fault_session(faults, seed=seed, distances=(5.0,))
+        errors = []
+        for index in range(n_rounds):
+            outcome = session.run_resilient_round(
+                start_time_s=0.1, round_index=index
+            ).outcomes[0]
+            if outcome.error_m is not None:
+                errors.append(outcome.error_m)
+        return errors
+
+    def test_nlos_onset_biases_ranges_late(self):
+        from repro.faults import FaultPlan, NlosOnset
+
+        clean = self._errors(None)
+        faulted = self._errors(FaultPlan([NlosOnset(onset_round=0)], seed=1))
+        # Clean rounds land within centimetres; losing the LOS locks the
+        # leading edge onto a reflection and every range reads long.
+        assert abs(np.mean(clean)) < 0.05
+        assert len(faulted) >= 1
+        assert np.mean(faulted) > 0.1
+
+    def test_onset_round_gates_the_fault(self):
+        from repro.faults import FaultPlan, NlosOnset
+
+        session = _fault_session(
+            FaultPlan([NlosOnset(onset_round=2)], seed=1),
+            seed=11,
+            distances=(5.0,),
+        )
+        pre = session.run_resilient_round(start_time_s=0.1, round_index=0)
+        post = session.run_resilient_round(start_time_s=0.1, round_index=2)
+        assert all(kind != "nlos_onset" for _, kind in pre.fault_events)
+        assert any(kind == "nlos_onset" for _, kind in post.fault_events)
+        # Pre-onset the link ranges cleanly.
+        assert abs(pre.outcomes[0].error_m) < 0.05
 
 
 class TestDegenerateGeometry:

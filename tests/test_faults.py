@@ -1,0 +1,287 @@
+"""Unit tests for the fault-injection plan, runtime, and injectors."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    ActiveFaults,
+    CirSaturation,
+    ClockDriftRamp,
+    FaultContext,
+    FaultInjector,
+    FaultPlan,
+    ImpulsiveInterference,
+    NlosOnset,
+    PollLoss,
+    ReplyJitter,
+    ResponderDropout,
+)
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan([], seed=7)
+        assert plan.is_empty
+        assert len(plan) == 0
+        assert plan.describe() == "FaultPlan(empty)"
+
+    def test_rejects_non_injectors(self):
+        with pytest.raises(TypeError):
+            FaultPlan([object()], seed=0)
+
+    def test_with_seed_keeps_injectors(self):
+        plan = FaultPlan([ResponderDropout(0.5)], seed=1)
+        reseeded = plan.with_seed((1, 42))
+        assert reseeded.injectors == plan.injectors
+        assert reseeded.seed == (1, 42)
+
+    def test_describe_names_injectors(self):
+        plan = FaultPlan([ResponderDropout(0.5), PollLoss(0.1)], seed=3)
+        text = plan.describe()
+        assert "dropout" in text
+        assert "poll_loss" in text
+
+    def test_tuple_seeds_accepted(self):
+        # Trial functions derive fault entropy from (base_seed, index);
+        # SeedSequence must accept the tuple directly (hash() would break
+        # serial == parallel under PYTHONHASHSEED randomisation).
+        active = FaultPlan([ResponderDropout(0.5)], seed=(9, 3)).activate()
+        assert isinstance(active, ActiveFaults)
+
+
+class TestActiveFaultsDeterminism:
+    def _decisions(self, seed, n=64):
+        active = FaultPlan([ResponderDropout(0.5)], seed=seed).activate()
+        ctx = FaultContext()
+        return [active.responder_dropped(ctx, rid) for rid in range(n)]
+
+    def test_same_seed_same_decisions(self):
+        assert self._decisions(11) == self._decisions(11)
+
+    def test_different_seed_different_decisions(self):
+        assert self._decisions(11) != self._decisions(12)
+
+    def test_per_injector_streams_are_independent(self):
+        """Adding an injector must not shift another injector's stream."""
+        ctx = FaultContext()
+        alone = FaultPlan([ResponderDropout(0.5)], seed=5).activate()
+        first_alone = [
+            alone.responder_dropped(ctx, rid) for rid in range(32)
+        ]
+        combined = FaultPlan(
+            [ResponderDropout(0.5), PollLoss(0.5)], seed=5
+        ).activate()
+        first_combined = []
+        for rid in range(32):
+            first_combined.append(
+                combined.plan.injectors[0].drops_response(
+                    ctx, rid, combined._rngs[0]
+                )
+            )
+        assert first_alone == first_combined
+
+
+class TestBookkeeping:
+    def test_counts_and_round_events(self):
+        active = FaultPlan(
+            [ResponderDropout(1.0, responder_ids=[2])], seed=0
+        ).activate()
+        ctx = FaultContext()
+        active.begin_round(ctx)
+        assert not active.responder_dropped(ctx, 1)
+        assert active.responder_dropped(ctx, 2)
+        assert active.counts == {"dropout": 1}
+        assert active.round_events == [(2, "dropout")]
+        assert active.events_for(2) == ("dropout",)
+        assert active.events_for(1) == ()
+        assert active.total_injected == 1
+
+    def test_begin_round_resets_events_not_counts(self):
+        active = FaultPlan([ResponderDropout(1.0)], seed=0).activate()
+        ctx = FaultContext()
+        active.begin_round(ctx)
+        active.responder_dropped(ctx, 1)
+        active.begin_round(FaultContext(round_index=1))
+        assert active.round_events == []
+        assert active.counts == {"dropout": 1}
+
+    def test_no_transform_injectors_means_none_seams(self):
+        active = FaultPlan([ResponderDropout(0.5)], seed=0).activate()
+        ctx = FaultContext()
+        assert active.channel_transform(ctx) is None
+        assert active.cir_transform(ctx) is None
+
+
+class TestInjectorValidation:
+    def test_dropout_probability_bounds(self):
+        with pytest.raises(ValueError):
+            ResponderDropout(1.5)
+        with pytest.raises(ValueError):
+            ResponderDropout(-0.1)
+
+    def test_empty_responder_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ResponderDropout(0.5, responder_ids=[])
+
+    def test_reply_jitter_noop_config_rejected(self):
+        with pytest.raises(ValueError):
+            ReplyJitter()
+        with pytest.raises(ValueError):
+            ReplyJitter(std_s=-1e-9)
+
+    def test_drift_ramp_validation(self):
+        with pytest.raises(ValueError):
+            ClockDriftRamp(0.0)
+        with pytest.raises(ValueError):
+            ClockDriftRamp(1.0, max_ppm=0.0)
+
+    def test_interference_validation(self):
+        with pytest.raises(ValueError):
+            ImpulsiveInterference(amplitude_scale=0.0)
+        with pytest.raises(ValueError):
+            ImpulsiveInterference(n_bursts=0)
+
+    def test_saturation_validation(self):
+        with pytest.raises(ValueError):
+            CirSaturation(0.0)
+        with pytest.raises(ValueError):
+            CirSaturation(1.5)
+
+    def test_nlos_onset_validation(self):
+        with pytest.raises(ValueError):
+            NlosOnset(onset_round=-1)
+        with pytest.raises(ValueError):
+            NlosOnset(attenuation=-0.5)
+
+
+class TestInjectorBehaviour:
+    def test_drift_ramp_grows_and_clips(self):
+        injector = ClockDriftRamp(10.0, max_ppm=25.0)
+        rng = np.random.default_rng(0)
+        ramp = [
+            injector.clock_drift_offset_ppm(
+                FaultContext(round_index=r), 1, rng
+            )
+            for r in range(5)
+        ]
+        assert ramp == [0.0, 10.0, 20.0, 25.0, 25.0]
+
+    def test_reply_jitter_spike_applies(self):
+        injector = ReplyJitter(spike_probability=1.0, spike_s=3e-9)
+        rng = np.random.default_rng(0)
+        offset = injector.reply_delay_offset_s(FaultContext(), 1, rng)
+        assert offset == pytest.approx(3e-9)
+
+    def test_interference_adds_energy_without_mutating_input(self):
+        injector = ImpulsiveInterference(amplitude_scale=2.0, n_bursts=2)
+        samples = np.zeros(64, dtype=complex)
+        samples[10] = 1.0
+        original = samples.copy()
+        rng = np.random.default_rng(3)
+        out = injector.transform_cir(FaultContext(), samples, 0.0, rng)
+        assert out is not samples
+        assert np.array_equal(samples, original)
+        assert np.sum(np.abs(out)) > np.sum(np.abs(samples))
+
+    def test_saturation_caps_magnitudes(self):
+        injector = CirSaturation(0.5)
+        samples = np.array([1.0 + 0j, 0.2 + 0j, 0.6j])
+        out = injector.transform_cir(
+            FaultContext(), samples, 0.0, np.random.default_rng(0)
+        )
+        limit = 0.5 * 1.0
+        assert np.all(np.abs(out) <= limit + 1e-12)
+        # Phase (sign/direction) is preserved.
+        assert out[2].real == pytest.approx(0.0)
+        assert out[2].imag > 0
+
+    def test_saturation_unity_is_identity(self):
+        injector = CirSaturation(1.0)
+        samples = np.array([1.0 + 0j, 0.2 + 0j])
+        out = injector.transform_cir(
+            FaultContext(), samples, 0.0, np.random.default_rng(0)
+        )
+        assert out is samples
+
+    def test_nlos_pre_onset_is_identity(self):
+        from repro.channel.cir import ChannelRealization, ChannelTap
+
+        channel = ChannelRealization(
+            [
+                ChannelTap(delay_s=1e-8, amplitude=1e-3, kind="los", order=0),
+                ChannelTap(delay_s=2e-8, amplitude=5e-4, kind="reflection"),
+            ]
+        )
+        injector = NlosOnset(onset_round=3)
+        rng = np.random.default_rng(0)
+        same = injector.transform_channel(
+            FaultContext(round_index=1), 0, 1, channel, rng
+        )
+        assert same is channel
+        changed = injector.transform_channel(
+            FaultContext(round_index=3), 0, 1, channel, rng
+        )
+        assert changed is not channel
+        assert changed.los_tap is None
+
+    def test_nlos_keeps_channel_when_los_is_only_tap(self):
+        from repro.channel.cir import ChannelRealization, ChannelTap
+
+        channel = ChannelRealization(
+            [ChannelTap(delay_s=1e-8, amplitude=1e-3, kind="los", order=0)]
+        )
+        injector = NlosOnset(onset_round=0)
+        same = injector.transform_channel(
+            FaultContext(), 0, 1, channel, np.random.default_rng(0)
+        )
+        assert same is channel
+
+
+class TestComposedTransforms:
+    def test_channel_transform_counts_only_real_changes(self):
+        from repro.channel.cir import ChannelRealization, ChannelTap
+
+        nlos = ChannelRealization(
+            [ChannelTap(delay_s=2e-8, amplitude=5e-4, kind="reflection")]
+        )
+        active = FaultPlan([NlosOnset(onset_round=0)], seed=0).activate()
+        transform = active.channel_transform(FaultContext())
+        assert transform is not None
+        # A channel without a LOS tap passes through untouched — and is
+        # not counted as an injected fault.
+        assert transform(0, 1, nlos) is nlos
+        assert active.total_injected == 0
+
+    def test_cir_transform_composes_in_order(self):
+        """Interference then saturation: the burst must be clipped."""
+        active = FaultPlan(
+            [
+                ImpulsiveInterference(amplitude_scale=5.0, n_bursts=1),
+                CirSaturation(0.5),
+            ],
+            seed=4,
+        ).activate()
+        transform = active.cir_transform(FaultContext())
+        samples = np.zeros(128, dtype=complex)
+        samples[20] = 1.0
+        out = transform(samples, 1e-6)
+        peak = float(np.max(np.abs(out)))
+        assert np.all(np.abs(out) <= 0.5 * 5.0 + 1e-9)
+        assert active.counts["interference"] == 1
+        assert active.counts["saturation"] == 1
+        assert peak > 0
+
+
+class TestBaseInjector:
+    def test_all_hooks_are_pass_through(self):
+        injector = FaultInjector()
+        ctx = FaultContext()
+        rng = np.random.default_rng(0)
+        assert injector.drops_init(ctx, 1, rng) is False
+        assert injector.drops_response(ctx, 1, rng) is False
+        assert injector.reply_delay_offset_s(ctx, 1, rng) == 0.0
+        assert injector.clock_drift_offset_ppm(ctx, 1, rng) == 0.0
+        sentinel = object()
+        assert injector.transform_channel(ctx, 0, 1, sentinel, rng) is sentinel
+        samples = np.zeros(4, dtype=complex)
+        assert injector.transform_cir(ctx, samples, 0.0, rng) is samples

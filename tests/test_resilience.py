@@ -1,0 +1,236 @@
+"""Graceful-degradation tests: resilient rounds, quorum, quarantine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.detection import SearchAndSubtractConfig
+from repro.faults import FaultInjector, FaultPlan, ResponderDropout
+from repro.protocol.campaign import RangingCampaign, ResiliencePolicy
+from repro.protocol.concurrent import ConcurrentRangingSession
+from repro.runtime import MetricsRegistry
+
+DISTANCES_M = (3.0, 6.0, 10.0)
+
+
+def make_session(faults=None, seed=3, distances=DISTANCES_M):
+    return ConcurrentRangingSession.build(
+        distances,
+        seed=seed,
+        detector_config=SearchAndSubtractConfig(
+            max_responses=len(distances), min_peak_snr=8.0
+        ),
+        faults=faults,
+    )
+
+
+class DropUntilRound(FaultInjector):
+    """Test injector: one responder stays silent until a given round."""
+
+    name = "dropout"
+
+    def __init__(self, responder_id: int, until_round: int) -> None:
+        self.responder_id = responder_id
+        self.until_round = until_round
+
+    def drops_response(self, ctx, responder_id, rng) -> bool:
+        return (
+            responder_id == self.responder_id
+            and ctx.round_index < self.until_round
+        )
+
+
+class TestResiliencePolicyValidation:
+    def test_defaults_are_valid(self):
+        ResiliencePolicy()
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1])
+    def test_quorum_fraction_bounds(self, fraction):
+        with pytest.raises(ValueError, match="quorum_fraction"):
+            ResiliencePolicy(quorum_fraction=fraction)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_round_retries"):
+            ResiliencePolicy(max_round_retries=-1)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError, match="backoff_base_s"):
+            ResiliencePolicy(backoff_base_s=-1e-3)
+
+    def test_sub_unit_backoff_factor_rejected(self):
+        with pytest.raises(ValueError, match="backoff_factor"):
+            ResiliencePolicy(backoff_factor=0.9)
+
+    @pytest.mark.parametrize("jitter", [-0.1, 1.5])
+    def test_backoff_jitter_bounds(self, jitter):
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            ResiliencePolicy(backoff_jitter=jitter)
+
+    def test_quarantine_after_lower_bound(self):
+        with pytest.raises(ValueError, match="quarantine_after"):
+            ResiliencePolicy(quarantine_after=0)
+
+    def test_quorum_math(self):
+        policy = ResiliencePolicy(quorum_fraction=0.6)
+        assert policy.quorum(0) == 0
+        assert policy.quorum(3) == math.ceil(0.6 * 3)
+        assert ResiliencePolicy(quorum_fraction=1.0).quorum(5) == 5
+        assert ResiliencePolicy(quorum_fraction=0.0).quorum(5) == 0
+
+
+class TestResilientRound:
+    def test_all_silent_round_becomes_partial_result(self):
+        plan = FaultPlan([ResponderDropout(1.0)], seed=0)
+        result = make_session(plan).run_resilient_round(
+            start_time_s=0.25, quorum=2, max_retries=1
+        )
+        assert result.partial
+        assert result.attempts == 2  # initial try + one retry
+        assert math.isnan(result.d_twr_m)
+        assert len(result.outcomes) == len(DISTANCES_M)
+        assert all(not o.detected for o in result.outcomes)
+        # The loss is annotated, not raised.
+        assert all("dropout" in o.faults for o in result.outcomes)
+
+    def test_clean_round_accepted_first_attempt(self):
+        result = make_session(None).run_resilient_round(
+            start_time_s=0.25, quorum=len(DISTANCES_M), max_retries=3
+        )
+        assert result.attempts == 1
+        assert not result.partial
+
+    def test_retry_budget_spent_below_quorum(self):
+        # Everyone silent and a non-zero quorum: every attempt falls
+        # short, the budget is spent, and the best (empty) try is kept.
+        plan = FaultPlan([ResponderDropout(1.0)], seed=0)
+        result = make_session(plan).run_resilient_round(
+            start_time_s=0.25,
+            quorum=1,
+            max_retries=2,
+        )
+        assert result.attempts == 3
+        assert result.partial
+        assert result.detection_count == 0
+
+    def test_resilient_round_is_deterministic(self):
+        def run_once():
+            plan = FaultPlan([ResponderDropout(0.5)], seed=7)
+            return make_session(plan, seed=5).run_resilient_round(
+                start_time_s=0.25, quorum=3, max_retries=2
+            )
+
+        a, b = run_once(), run_once()
+        assert a.attempts == b.attempts
+        assert [o.estimated_distance_m for o in a.outcomes] == [
+            o.estimated_distance_m for o in b.outcomes
+        ]
+
+
+class TestCampaignResilience:
+    def test_no_policy_path_is_deterministic_and_clean(self):
+        def run_once():
+            campaign = RangingCampaign(make_session(None), 0.05)
+            return campaign.run(3)
+
+        a, b = run_once(), run_once()
+        assert [r.d_twr_m for r in a.rounds] == [r.d_twr_m for r in b.rounds]
+        assert a.retries == 0
+        assert a.partial_rounds == 0
+        assert a.quarantined_responders == ()
+        assert a.faults_injected == {}
+
+    def test_dead_responder_is_quarantined_not_raised(self):
+        metrics = MetricsRegistry()
+        plan = FaultPlan([ResponderDropout(1.0, responder_ids=[2])], seed=0)
+        campaign = RangingCampaign(
+            # Session seed 0: the silent responder is never mistaken for
+            # a multipath phantom, so the quarantine sticks.
+            make_session(plan, seed=0),
+            0.05,
+            resilience=ResiliencePolicy(
+                quorum_fraction=0.6,
+                max_round_retries=1,
+                quarantine_after=2,
+                seed=1,
+            ),
+            metrics=metrics,
+        )
+        result = campaign.run(4)
+        assert result.quarantined_responders == (2,)
+        assert result.faults_injected.get("dropout", 0) > 0
+        assert metrics.counter("campaign.quarantined_responders").value == 1
+        assert metrics.counter("faults.dropout").value > 0
+
+    def test_returning_responder_has_quarantine_lifted(self):
+        metrics = MetricsRegistry()
+        plan = FaultPlan([DropUntilRound(2, until_round=4)], seed=0)
+        campaign = RangingCampaign(
+            make_session(plan),
+            0.05,
+            resilience=ResiliencePolicy(
+                quorum_fraction=0.6,
+                max_round_retries=0,
+                quarantine_after=2,
+                seed=1,
+            ),
+            metrics=metrics,
+        )
+        result = campaign.run(7)
+        # Quarantined while silent, lifted once it identifies again.
+        assert metrics.counter("campaign.quarantined_responders").value == 1
+        assert metrics.counter("campaign.quarantine_lifted").value >= 1
+        assert 2 not in result.quarantined_responders
+
+    def test_empty_plan_campaign_matches_no_plan(self):
+        clean = RangingCampaign(make_session(None), 0.05).run(3)
+        empty = RangingCampaign(
+            make_session(FaultPlan([], seed=13)), 0.05
+        ).run(3)
+        assert [r.d_twr_m for r in clean.rounds] == [
+            r.d_twr_m for r in empty.rounds
+        ]
+        assert empty.faults_injected == {}
+
+    def test_all_silent_campaign_survives(self):
+        plan = FaultPlan([ResponderDropout(1.0)], seed=0)
+        campaign = RangingCampaign(
+            make_session(plan),
+            0.05,
+            resilience=ResiliencePolicy(
+                quorum_fraction=0.5, max_round_retries=1, quarantine_after=2
+            ),
+        )
+        result = campaign.run(3)  # must not raise
+        assert result.partial_rounds == 3
+        assert result.retries == 3  # one retry per round
+        assert all(math.isnan(r.d_twr_m) for r in result.rounds)
+        assert set(result.quarantined_responders) == {0, 1, 2}
+
+    def test_retry_jitter_is_process_stable(self):
+        """Two campaigns with the same policy seed draw identical retry
+        jitter (no hash()-based seeding)."""
+
+        def run_once():
+            plan = FaultPlan([ResponderDropout(0.6)], seed=21)
+            campaign = RangingCampaign(
+                make_session(plan, seed=5),
+                0.05,
+                resilience=ResiliencePolicy(
+                    quorum_fraction=1.0,
+                    max_round_retries=2,
+                    backoff_jitter=0.5,
+                    seed=77,
+                ),
+            )
+            return campaign.run(3)
+
+        a, b = run_once(), run_once()
+        assert a.retries == b.retries
+        assert [r.d_twr_m for r in a.rounds] == [
+            np.float64(r.d_twr_m) for r in b.rounds
+        ] or all(
+            (math.isnan(x.d_twr_m) and math.isnan(y.d_twr_m))
+            or x.d_twr_m == y.d_twr_m
+            for x, y in zip(a.rounds, b.rounds)
+        )

@@ -1,5 +1,7 @@
 """Unit tests for the trial executors: determinism, failures, fallback."""
 
+import os
+import time
 from functools import partial
 
 import numpy as np
@@ -11,6 +13,7 @@ from repro.runtime import (
     ParallelExecutor,
     SerialExecutor,
     TrialError,
+    WorkerTimeoutError,
     run_trials,
     spawn_trial_seeds,
 )
@@ -126,11 +129,10 @@ class TestParallelExecutor:
         assert [int(v) for v in run.values] == list(range(9))
 
     def test_chunk_size_validation(self):
-        policy = ExecutionPolicy(chunk_size=0)
+        # Validation moved to construction time: the policy itself rejects
+        # a degenerate chunk size before any executor touches it.
         with pytest.raises(ValueError):
-            ParallelExecutor(workers=2, policy=policy).run(
-                draw_normal, 4, seed=0
-            )
+            ExecutionPolicy(chunk_size=0)
 
     def test_workers_validation(self):
         with pytest.raises(ValueError):
@@ -216,3 +218,161 @@ class TestRunTrials:
 def scaled_draw_zero(rng, index):
     """Index plus a zero-width random draw — order-sensitive payload."""
     return index + 0.0 * float(rng.normal())
+
+
+#: Pid of the process that imported this module.  Fork-based pool workers
+#: inherit this value while ``os.getpid()`` differs, which lets a trial
+#: function hang *only* inside a worker and stay instant when the parent
+#: re-dispatches the chunk in-process.
+_PARENT_PID = os.getpid()
+
+
+def hang_in_worker(rng, index):
+    """Trial 0 hangs inside pool workers; every trial is instant in the
+    parent process — simulates a wedged worker the parent must recover."""
+    if index == 0 and os.getpid() != _PARENT_PID:
+        time.sleep(30.0)
+    return index + 0.0 * float(rng.normal())
+
+
+#: Per-process attempt ledger for :func:`flaky_once`.
+_ATTEMPTS = {}
+
+
+def flaky_once(rng, index):
+    """Fails each index's first attempt in the current process, then
+    returns the same draw a never-failing trial would (the retry restarts
+    the generator from the same seed child)."""
+    count = _ATTEMPTS.get(index, 0)
+    _ATTEMPTS[index] = count + 1
+    if count == 0:
+        raise RuntimeError(f"transient failure at trial {index}")
+    return float(rng.normal())
+
+
+class TestExecutionPolicyValidation:
+    def test_defaults_are_valid(self):
+        ExecutionPolicy()  # must not raise
+
+    @pytest.mark.parametrize("timeout", [0.0, -1.0])
+    def test_non_positive_worker_timeout_rejected(self, timeout):
+        with pytest.raises(ValueError, match="worker_timeout_s"):
+            ExecutionPolicy(worker_timeout_s=timeout)
+
+    @pytest.mark.parametrize("chunk_size", [0, -3])
+    def test_non_positive_chunk_size_rejected(self, chunk_size):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ExecutionPolicy(chunk_size=chunk_size)
+
+    def test_chunk_size_none_is_valid(self):
+        assert ExecutionPolicy(chunk_size=None).chunk_size is None
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_trial_retries"):
+            ExecutionPolicy(max_trial_retries=-1)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError, match="retry_backoff_s"):
+            ExecutionPolicy(retry_backoff_s=-0.1)
+
+    def test_sub_unit_backoff_factor_rejected(self):
+        with pytest.raises(ValueError, match="retry_backoff_factor"):
+            ExecutionPolicy(retry_backoff_factor=0.5)
+
+
+class TestTrialRetries:
+    def setup_method(self):
+        _ATTEMPTS.clear()
+
+    def test_transient_failures_recover_byte_identically(self):
+        policy = ExecutionPolicy(max_trial_retries=2)
+        metrics = MetricsRegistry()
+        run = SerialExecutor(policy).run(
+            flaky_once, 6, seed=9, metrics=metrics
+        )
+        clean = SerialExecutor().run(draw_normal, 6, seed=9)
+        # Recovered trials restart from the same seed child, so results
+        # match a run that never failed.
+        assert run.values == clean.values
+        assert run.n_failed == 0
+        assert metrics.counter("runtime.trial_retries").value == 6
+
+    def test_deterministic_failure_exhausts_budget(self):
+        policy = ExecutionPolicy(max_trial_retries=2, fail_fast=False)
+        run = SerialExecutor(policy).run(fail_on_three, 6, seed=0)
+        assert run.values == [0, 1, 2, 4, 5]
+        assert run.failures[0].index == 3
+
+    def test_parallel_retries_recover(self):
+        policy = ExecutionPolicy(max_trial_retries=1)
+        metrics = MetricsRegistry()
+        run = ParallelExecutor(workers=2, policy=policy).run(
+            flaky_once, 8, seed=9, metrics=metrics
+        )
+        clean = SerialExecutor().run(draw_normal, 8, seed=9)
+        assert run.values == clean.values
+        assert metrics.counter("runtime.trial_retries").value == 8
+
+
+class TestWorkerTimeoutRecovery:
+    def test_redispatch_recovers_hung_chunk(self):
+        policy = ExecutionPolicy(chunk_size=2, worker_timeout_s=1.0)
+        metrics = MetricsRegistry()
+        run = ParallelExecutor(workers=2, policy=policy).run(
+            hang_in_worker, 6, seed=0, metrics=metrics
+        )
+        serial = SerialExecutor().run(hang_in_worker, 6, seed=0)
+        # Only the lost chunk re-runs in-process; results stay identical.
+        assert run.values == serial.values
+        assert metrics.counter("runtime.chunk_redispatches").value == 1
+        assert "re-dispatched" in run.fallback_reason
+        # No double count of trials through the recovery path.
+        assert metrics.counter("runtime.trials").value == 6
+
+    def test_timeout_raises_without_fallback(self):
+        policy = ExecutionPolicy(
+            chunk_size=2, worker_timeout_s=0.5, fallback_to_serial=False
+        )
+        metrics = MetricsRegistry()
+        with pytest.raises(WorkerTimeoutError):
+            ParallelExecutor(workers=2, policy=policy).run(
+                hang_in_worker, 6, seed=0, metrics=metrics
+            )
+
+
+class TestPoolStartFailure:
+    class _BrokenContext:
+        def Pool(self, *args, **kwargs):
+            raise OSError("pool start refused (simulated)")
+
+    def test_pool_start_failure_falls_back_to_serial(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing,
+            "get_context",
+            lambda *a, **k: TestPoolStartFailure._BrokenContext(),
+        )
+        metrics = MetricsRegistry()
+        run = ParallelExecutor(workers=2).run(
+            draw_normal, 6, seed=3, metrics=metrics
+        )
+        serial = SerialExecutor().run(draw_normal, 6, seed=3)
+        assert run.values == serial.values
+        assert "pool start failed" in run.fallback_reason
+        assert metrics.counter("runtime.serial_fallbacks").value == 1
+        assert metrics.counter("runtime.trials").value == 6
+
+    def test_pool_start_failure_raises_without_fallback(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing,
+            "get_context",
+            lambda *a, **k: TestPoolStartFailure._BrokenContext(),
+        )
+        policy = ExecutionPolicy(fallback_to_serial=False)
+        with pytest.raises(OSError):
+            ParallelExecutor(workers=2, policy=policy).run(
+                draw_normal, 6, seed=3
+            )

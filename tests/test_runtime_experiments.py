@@ -8,10 +8,12 @@ pure throughput knob, never a statistics knob.
 import pytest
 
 from repro.experiments import (
+    fig2_cir,
     fig4_detection,
     fig6_pulse_id,
     fig7_overlap,
     sect5_precision,
+    sect8_scalability,
     table1_pulse_id,
 )
 from repro.runtime import MetricsRegistry
@@ -44,6 +46,22 @@ class TestSerialParallelEquality:
         serial = fig6_pulse_id.run(trials=10, seed=5, workers=1)
         parallel = fig6_pulse_id.run(trials=10, seed=5, workers=2)
         assert serial.as_dict() == parallel.as_dict()
+
+    def test_fig2(self):
+        serial = fig2_cir.run(trials=6, seed=2, workers=1)
+        parallel = fig2_cir.run(trials=6, seed=2, workers=2)
+        assert serial.as_dict() == parallel.as_dict()
+
+    def test_sect8(self):
+        serial = sect8_scalability.run(seed=0, workers=1)
+        parallel = sect8_scalability.run(seed=0, workers=2)
+        assert serial.as_dict() == parallel.as_dict()
+
+    def test_fig2_exemplary_capture_unchanged_by_port(self):
+        """The headline figure stays bit-stable: the Monte-Carlo layer
+        added by the runtime port must not disturb the seed-2 capture."""
+        result = fig2_cir.run(trials=2, seed=2)
+        assert result.metric("detected_components").measured == 6.0
 
     def test_sect5_seed_changes_results(self):
         a = sect5_precision.run(trials=15, seed=29)
@@ -84,6 +102,19 @@ class TestMetricsWiring:
         metrics = MetricsRegistry()
         fig6_pulse_id.run(trials=4, seed=5, workers=1, metrics=metrics)
         assert metrics.counter("runtime.trials").value == 4
+        assert metrics.counter("runtime.trials_failed").value == 0
+
+    def test_fig2_reports_throughput(self):
+        metrics = MetricsRegistry()
+        fig2_cir.run(trials=4, seed=2, workers=1, metrics=metrics)
+        assert metrics.counter("runtime.trials").value == 4
+        assert metrics.counter("runtime.trials_failed").value == 0
+
+    def test_sect8_counts_sweep_rows(self):
+        metrics = MetricsRegistry()
+        sect8_scalability.run(seed=0, workers=1, metrics=metrics)
+        # One trial per network size.
+        assert metrics.counter("runtime.trials").value == 6
         assert metrics.counter("runtime.trials_failed").value == 0
 
     def test_fig7_counts_attempted_rounds(self):
