@@ -1,16 +1,23 @@
 #!/usr/bin/env python
 """Benchmark: spectrum-cached FFT detection engine vs the naive loop.
 
-Times the search-and-subtract detector's two execution engines on the
+Times the search-and-subtract detector's execution engines on the
 repository's hot workloads and writes ``BENCH_detector.json``:
 
 * **table1** — the Table I / Fig. 4 shape: a 4-template bank, a
   1016-tap CIR, 8x upsampling, 4 extraction iterations.
 * **fig7** — the overlap-study shape: a single template, 2 iterations.
+* **batched** — 64 table1-shaped CIRs through
+  :func:`repro.core.batch.detect_batch` at batch sizes 1, 8 and 64,
+  compared against the serial fast path (one detect per CIR).
+* **parallel_plan_reuse** — a ``run_trials(workers=2)`` sweep measuring
+  the ``detector_plans`` cache hit rate across worker processes.
 
 Every trial is detected with *both* engines and the results are compared
-at ``rtol=1e-9``; any divergence makes the script exit non-zero, so CI
-can run it as a cheap end-to-end regression gate (``--quick``).
+at ``rtol=1e-9``; any divergence — or a B=64 batched run slower than
+1.2x the serial fast path, or a worker-side plan-cache hit rate below
+95 % — makes the script exit non-zero, so CI can run it as a cheap
+end-to-end regression gate (``--quick``).
 
 Usage::
 
@@ -29,13 +36,23 @@ from pathlib import Path
 import numpy as np
 
 from repro.constants import CIR_SAMPLING_PERIOD_S as TS
+from repro.core.batch import detect_batch
 from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
-from repro.runtime.cache import clear_all_caches, get_cache
+from repro.runtime import MetricsRegistry, run_trials
+from repro.runtime.cache import clear_all_caches, get_cache, template_bank
 from repro.runtime.metrics import global_metrics
 from repro.signal.sampling import place_pulse
-from repro.signal.templates import TemplateBank
+from repro.signal.templates import PAPER_REGISTERS, TemplateBank
 
 RTOL = 1e-9
+
+#: B=64 batched detection must never regress past this factor of the
+#: serial fast path (it should in fact be faster).
+BATCH_REGRESSION_FACTOR = 1.2
+
+#: Minimum acceptable per-worker ``detector_plans`` hit rate in the
+#: parallel executor: each worker builds the plan at most once.
+MIN_PLAN_HIT_RATE = 0.95
 
 
 def make_cirs(rng, n_trials, cir_length, bank, n_responses, noise_std):
@@ -131,6 +148,121 @@ def bench_workload(name, bank, cirs, config, noise_std):
     }
 
 
+def bench_batched(
+    bank, config, noise_std, rng, batch_sizes=(1, 8, 64), n_trials=64
+):
+    """Time cross-trial batched detection against the serial fast path.
+
+    The serial reference detects the same ``n_trials`` CIRs one at a
+    time through the (already fast) spectrum-cached engine; each batched
+    pass splits them into groups of B and runs one
+    :func:`~repro.core.batch.detect_batch` call per group.  Per-trial
+    results must match the serial reference at ``rtol=1e-9``.
+    """
+    cirs = np.stack(make_cirs(rng, n_trials, 1016, bank, 4, noise_std))
+    detector = SearchAndSubtract(bank, config)
+
+    t0 = time.perf_counter()
+    serial_results = [
+        detector.detect(cirs[b], TS, noise_std=noise_std)
+        for b in range(n_trials)
+    ]
+    serial_s = time.perf_counter() - t0
+
+    rows = []
+    for batch_size in batch_sizes:
+        def _pass():
+            batched_results = []
+            for start in range(0, n_trials, batch_size):
+                batched_results.extend(
+                    detect_batch(
+                        cirs[start:start + batch_size],
+                        bank,
+                        TS,
+                        config,
+                        noise_std=noise_std,
+                    )
+                )
+            return batched_results
+
+        # Cold pass pays the one-off batch-plan build (scratch buffer
+        # allocation); the warm pass is the steady state a Monte-Carlo
+        # run amortises to, and is what the regression gate judges.
+        t0 = time.perf_counter()
+        batched_results = _pass()
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        batched_results = _pass()
+        batched_s = time.perf_counter() - t0
+
+        divergences = sum(
+            0 if responses_equal(batched, serial) else 1
+            for batched, serial in zip(batched_results, serial_results)
+        )
+        rows.append(
+            {
+                "batch_size": batch_size,
+                "cold_s": cold_s,
+                "batched_s": batched_s,
+                "ms_per_detect": 1e3 * batched_s / n_trials,
+                "speedup_vs_serial_fast": (
+                    serial_s / batched_s if batched_s > 0 else float("inf")
+                ),
+                "divergences": divergences,
+            }
+        )
+    return {
+        "workload": "table1",
+        "trials": n_trials,
+        "cir_length": int(cirs.shape[1]),
+        "serial_fast_s": serial_s,
+        "serial_fast_ms_per_detect": 1e3 * serial_s / n_trials,
+        "batches": rows,
+    }
+
+
+def _plan_reuse_trial(rng, index):
+    """One table1-shaped detect; exercises worker-side plan reuse."""
+    bank = template_bank(PAPER_REGISTERS)
+    cir = make_cirs(rng, 1, 1016, bank, 4, 1e-3)[0]
+    detector = SearchAndSubtract(
+        bank, SearchAndSubtractConfig(max_responses=4, upsample_factor=8)
+    )
+    return len(detector.detect(cir, TS, noise_std=1e-3))
+
+
+def bench_plan_reuse(trials=60, workers=2):
+    """Measure the ``detector_plans`` hit rate across pool workers.
+
+    Caches are cleared first, so each worker process pays exactly one
+    plan build (its first trial) and every subsequent trial in that
+    worker is a hit — the hit rate floor is ``1 - workers / trials``.
+    Worker-side hits/misses travel back as cache deltas on the shared
+    metrics registry.
+    """
+    clear_all_caches()
+    metrics = MetricsRegistry()
+    t0 = time.perf_counter()
+    report = run_trials(
+        _plan_reuse_trial, trials, seed=2018, workers=workers,
+        metrics=metrics,
+    )
+    elapsed_s = time.perf_counter() - t0
+    hits = metrics.counter("cache.detector_plans.hits").value
+    misses = metrics.counter("cache.detector_plans.misses").value
+    total = hits + misses
+    return {
+        "trials": trials,
+        "workers": workers,
+        "elapsed_s": elapsed_s,
+        "trials_per_s": report.trials_per_s,
+        "fallback_reason": report.run.fallback_reason,
+        "detector_plans_hits": hits,
+        "detector_plans_misses": misses,
+        "hit_rate": hits / total if total else 0.0,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -179,39 +311,88 @@ def main(argv=None) -> int:
             f"divergences {result['divergences']}/{result['trials']}"
         )
 
+    batched = bench_batched(
+        bank4,
+        SearchAndSubtractConfig(max_responses=4, upsample_factor=8),
+        1e-3,
+        rng,
+    )
+    for row in batched["batches"]:
+        print(
+            f"batched B={row['batch_size']:>2}: "
+            f"{row['ms_per_detect']:.2f} ms/detect, "
+            f"{row['speedup_vs_serial_fast']:.2f}x vs serial fast, "
+            f"divergences {row['divergences']}/{batched['trials']}"
+        )
+
     hits, misses = get_cache("detector_plans").snapshot()
     hit_rate = hits / (hits + misses) if hits + misses else 0.0
     metrics = global_metrics()
+    counters = {
+        "fast_detects": metrics.counter("detector.fast_detects").value,
+        "naive_detects": metrics.counter("detector.naive_detects").value,
+        "incremental_updates": metrics.counter(
+            "detector.incremental_updates"
+        ).value,
+        "batch_detects": metrics.counter("detector.batch_detects").value,
+        "batch_trials": metrics.counter("detector.batch_trials").value,
+    }
+
+    # Last: this section clears the caches to force worker-side builds.
+    plan_reuse = bench_plan_reuse()
+    print(
+        f"parallel plan reuse ({plan_reuse['workers']} workers, "
+        f"{plan_reuse['trials']} trials): detector_plans hit rate "
+        f"{plan_reuse['hit_rate']:.1%}"
+    )
+
     report = {
         "benchmark": "detector",
         "quick": bool(args.quick),
         "workloads": results,
+        "batched": batched,
+        "parallel_plan_reuse": plan_reuse,
         "plan_cache": {
             "hits": hits,
             "misses": misses,
             "hit_rate": hit_rate,
         },
-        "counters": {
-            "fast_detects": metrics.counter("detector.fast_detects").value,
-            "naive_detects": metrics.counter("detector.naive_detects").value,
-            "incremental_updates": metrics.counter(
-                "detector.incremental_updates"
-            ).value,
-        },
+        "counters": counters,
     }
     out_path = Path(args.out)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"plan cache hit rate: {hit_rate:.1%} ({hits} hits / {misses} misses)")
     print(f"wrote {out_path}")
 
-    total_divergences = sum(r["divergences"] for r in results)
+    failed = False
+    total_divergences = sum(r["divergences"] for r in results) + sum(
+        row["divergences"] for row in batched["batches"]
+    )
     if total_divergences:
         print(
-            f"ERROR: {total_divergences} fast-vs-naive divergences",
+            f"ERROR: {total_divergences} engine divergences",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    b64 = next(
+        row for row in batched["batches"] if row["batch_size"] == 64
+    )
+    if b64["batched_s"] > BATCH_REGRESSION_FACTOR * batched["serial_fast_s"]:
+        print(
+            f"ERROR: B=64 batched pass took {b64['batched_s']:.3f}s, over "
+            f"{BATCH_REGRESSION_FACTOR}x the serial fast path "
+            f"({batched['serial_fast_s']:.3f}s)",
+            file=sys.stderr,
+        )
+        failed = True
+    if plan_reuse["hit_rate"] < MIN_PLAN_HIT_RATE:
+        print(
+            f"ERROR: worker-side detector_plans hit rate "
+            f"{plan_reuse['hit_rate']:.1%} below {MIN_PLAN_HIT_RATE:.0%}",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

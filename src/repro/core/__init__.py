@@ -7,6 +7,10 @@
 * :mod:`repro.core.plan` — spectrum-cached FFT detection plans: batched
   filter-bank spectra and cross-correlation tables that make the
   detector's fast path possible.
+* :mod:`repro.core.batch` — cross-trial batched detection: B CIRs of
+  one shape run through a single 2-D FFT engine pass
+  (:func:`~repro.core.batch.detect_batch`), per-trial results identical
+  to the serial fast path.
 * :mod:`repro.core.threshold` — the threshold-based baseline detector
   (Falsi et al., used as comparison in Sect. VI).
 * :mod:`repro.core.pulse_id` — responder identification from pulse shape
@@ -26,8 +30,17 @@ from repro.core.detection import (
     SearchAndSubtract,
     SearchAndSubtractConfig,
 )
-from repro.core.plan import DetectorPlan, detector_plan
-from repro.core.threshold import ThresholdDetector, ThresholdConfig
+from repro.core.plan import DetectorPlan, detector_plan, plan_cache_key
+from repro.core.batch import (
+    BatchDetectorPlan,
+    batch_detector_plan,
+    detect_batch,
+)
+from repro.core.threshold import (
+    ThresholdDetector,
+    ThresholdConfig,
+    detect_threshold_batch,
+)
 from repro.core.pulse_id import PulseShapeClassifier, ClassifiedResponse
 from repro.core.ranging import (
     twr_distance,
@@ -42,8 +55,13 @@ from repro.core.scheme import CombinedScheme, ResponderAssignment
 
 __all__ = [
     "matched_filter",
+    "BatchDetectorPlan",
     "DetectorPlan",
+    "batch_detector_plan",
+    "detect_batch",
+    "detect_threshold_batch",
     "detector_plan",
+    "plan_cache_key",
     "DetectedResponse",
     "SearchAndSubtract",
     "SearchAndSubtractConfig",

@@ -1,0 +1,242 @@
+"""Cross-trial batched detection: many CIRs through one FFT engine pass.
+
+The spectrum-cached engine of :mod:`repro.core.plan` already collapses
+the per-CIR filter bank into one forward FFT x 2-D spectrum matrix x
+one batched inverse FFT.  This module batches across the *other* axis —
+trials.  A Monte-Carlo experiment evaluating B independent CIRs of the
+same shape (same template bank, CIR length, upsampling factor) stacks
+them into a ``(B, N)`` array and pays:
+
+* **one** batched upsampling transform
+  (:func:`repro.signal.sampling.fft_upsample_batch`) instead of B,
+* **one** ``(B, fft_length)`` forward FFT instead of B,
+* **one** ``(B, n_templates, fft_length)`` batched inverse FFT instead
+  of B,
+
+then runs the *identical* per-trial search-and-subtract extraction loop
+(:func:`repro.core.detection.extract_responses`) on each trial's output
+slice, incremental step-5 updates included.  Because the extraction
+code is literally shared with the serial fast path, the only place the
+two paths can diverge is the transforms themselves — and pocketfft
+evaluates a row of a 2-D transform with the same kernel as the 1-D
+call, so results are byte-identical in practice and bounded at
+``rtol <= 1e-9`` by ``tests/test_properties_detection.py`` regardless.
+
+Batch plans are memoised per ``(bank, CIR length, factor, B)`` shape in
+the same ``detector_plans`` cache the single-CIR path uses; the key
+*includes* the batch size (see :func:`repro.core.plan.plan_cache_key`),
+so a B=64 plan — which carries ``(B, n_templates, fft_length)`` scratch
+buffers and is not a :class:`~repro.core.plan.DetectorPlan` at all —
+can never be served to the single-CIR path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+from scipy import fft as sp_fft
+
+from repro.core.detection import (
+    DetectedResponse,
+    SearchAndSubtractConfig,
+    _per_trial_noise,
+    extract_responses,
+)
+from repro.core.plan import DetectorPlan, plan_cache_key
+from repro.runtime.cache import get_cache
+from repro.runtime.metrics import global_metrics
+from repro.signal.pulses import Pulse
+from repro.signal.sampling import fft_upsample_batch
+
+__all__ = ["BatchDetectorPlan", "batch_detector_plan", "detect_batch"]
+
+
+class BatchDetectorPlan:
+    """A :class:`DetectorPlan` extended with batch-shaped artifacts.
+
+    Wraps the (cached, batch-independent) base plan and adds what only
+    makes sense for a fixed batch size B: a preallocated
+    ``(B, n_templates, fft_length)`` complex scratch buffer for the
+    spectrum product, which at B=64 x 4 templates x ~9.4k bins is tens
+    of megabytes we do not want to reallocate on every engine pass.
+
+    Because the scratch buffer is mutated on every call, a batch plan is
+    *not* shape-interchangeable: serving it where a different B (or the
+    single-CIR :class:`DetectorPlan`) is expected would at best raise a
+    broadcasting error and at worst silently alias another batch's
+    spectra.  That is why :func:`repro.core.plan.plan_cache_key` keys
+    plans by batch size — the regression test lives in
+    ``tests/test_properties_detection.py::TestPlanCacheBatchKey``.
+    """
+
+    def __init__(self, base: DetectorPlan, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.base = base
+        self.batch_size = int(batch_size)
+        self._product = np.empty(
+            (self.batch_size, len(base.templates), base.fft_length),
+            dtype=complex,
+        )
+
+    @property
+    def n_templates(self) -> int:
+        return len(self.base.templates)
+
+    def filter_bank(self, working: np.ndarray) -> np.ndarray:
+        """Matched-filter B upsampled signals against the whole bank.
+
+        ``working`` is ``(B, n_fine)``; returns the
+        ``(B, n_templates, n_fine)`` complex output tensor whose slice
+        ``[b]`` equals ``self.base.filter_bank(working[b])`` — one
+        forward FFT dispatch and one batched inverse FFT dispatch for
+        the entire batch.
+
+        Both dispatches pass ``workers=-1``: with B x n_templates
+        independent rows the transforms row-parallelise trivially, and
+        pocketfft's worker path evaluates each row with the same kernel
+        as the serial call, so per-row results stay bit-identical (the
+        property suite asserts ``rtol <= 1e-9`` regardless).  This is a
+        batched-only win — the serial path has a single row per
+        transform and nothing to parallelise over.
+        """
+        working = np.asarray(working)
+        if working.ndim != 2:
+            raise ValueError(
+                f"expected a (B, n_fine) batch, got shape {working.shape}"
+            )
+        if working.shape != (self.batch_size, self.base.n_fine):
+            raise ValueError(
+                f"plan built for shape {(self.batch_size, self.base.n_fine)},"
+                f" got {working.shape}"
+            )
+        forward = sp_fft.fft(
+            working, self.base.fft_length, axis=1, workers=-1
+        )
+        np.multiply(
+            forward[:, np.newaxis, :],
+            self.base.spectra[np.newaxis, :, :],
+            out=self._product,
+        )
+        outputs = sp_fft.ifft(self._product, axis=2, workers=-1)
+        return np.ascontiguousarray(outputs[:, :, : self.base.n_fine])
+
+
+def batch_detector_plan(
+    templates: Sequence[Pulse],
+    cir_length: int,
+    upsample_factor: int,
+    sampling_period_s: float,
+    batch_size: int,
+) -> BatchDetectorPlan:
+    """A memoised :class:`BatchDetectorPlan` for a batched shape.
+
+    The underlying :class:`DetectorPlan` artifacts (spectra,
+    cross-correlation tables) are shared with the single-CIR path via
+    its own cache entry; only the thin batch wrapper (plus its scratch
+    buffer) is stored per batch size.  Both lookups count toward the
+    ``detector_plans`` hit rate shown in the runtime metrics report.
+    """
+    from repro.core.plan import detector_plan
+
+    key = plan_cache_key(
+        templates, cir_length, upsample_factor, sampling_period_s,
+        batch_size=batch_size,
+    )
+
+    def _build() -> BatchDetectorPlan:
+        with global_metrics().timer("detector.batch_plan_build").time():
+            base = detector_plan(
+                templates, cir_length, upsample_factor, sampling_period_s
+            )
+            return BatchDetectorPlan(base, batch_size)
+
+    return get_cache("detector_plans").get_or_create(key, _build)
+
+
+def detect_batch(
+    cirs,
+    templates,
+    sampling_period_s: float,
+    config: SearchAndSubtractConfig | None = None,
+    noise_std=0.0,
+) -> List[List[DetectedResponse]]:
+    """Run search-and-subtract on B stacked CIRs in one batched pass.
+
+    Parameters
+    ----------
+    cirs:
+        ``(B, N)`` array (or sequence of B equal-length 1-D arrays) of
+        complex CIR samples at the radio's native tap rate.  ``B == 0``
+        returns ``[]``.
+    templates:
+        Template bank (a :class:`~repro.signal.templates.TemplateBank`,
+        a single :class:`~repro.signal.pulses.Pulse`, or a sequence of
+        pulses), exactly as accepted by
+        :class:`~repro.core.detection.SearchAndSubtract`.
+    sampling_period_s:
+        Tap spacing of every CIR in the batch.
+    config:
+        Detector knobs; defaults to ``SearchAndSubtractConfig()``.
+        ``use_fast`` is ignored here — this *is* the fast engine; use
+        :meth:`SearchAndSubtract.detect_batch` for the escape hatch.
+    noise_std:
+        Scalar shared by all trials, or a length-B sequence of per-trial
+        noise standard deviations (for the early-stop gate).
+
+    Returns
+    -------
+    list of list of :class:`DetectedResponse`
+        Entry ``b`` equals ``SearchAndSubtract(templates, config)
+        .detect(cirs[b], sampling_period_s, noise_std=noise_std[b])``
+        — same responses, same delay-ascending order.
+    """
+    if isinstance(templates, Pulse):
+        templates = [templates]
+    templates = list(templates)
+    if len(templates) == 0:
+        raise ValueError("detect_batch needs at least one template")
+    config = config or SearchAndSubtractConfig()
+
+    cirs = np.asarray(cirs, dtype=complex)
+    if cirs.ndim == 1:
+        raise ValueError(
+            "detect_batch expects a (B, N) batch of CIRs; wrap a single "
+            "CIR as cirs[np.newaxis, :] or call detect() instead"
+        )
+    if cirs.ndim != 2:
+        raise ValueError(f"expected a (B, N) batch, got shape {cirs.shape}")
+    batch_size, cir_length = cirs.shape
+    if batch_size == 0:
+        return []
+    stds = _per_trial_noise(noise_std, batch_size)
+
+    metrics = global_metrics()
+    metrics.counter("detector.batch_detects").inc()
+    metrics.counter("detector.batch_trials").inc(batch_size)
+    plan = batch_detector_plan(
+        templates,
+        cir_length,
+        config.upsample_factor,
+        sampling_period_s,
+        batch_size,
+    )
+    with metrics.timer("detector.batch_filter_pass").time():
+        working = fft_upsample_batch(cirs, config.upsample_factor)
+        outputs = plan.filter_bank(working)
+    magnitudes = np.abs(outputs)
+
+    results: List[List[DetectedResponse]] = []
+    for b in range(batch_size):
+        responses = extract_responses(
+            plan.base,
+            outputs[b],
+            magnitudes[b],
+            config,
+            sampling_period_s,
+            stds[b],
+        )
+        responses.sort(key=lambda response: response.delay_s)
+        results.append(responses)
+    return results

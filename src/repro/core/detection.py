@@ -136,6 +136,91 @@ def _parabolic_peak(magnitude: np.ndarray, index: int) -> float:
     return float(index + np.clip(0.5 * (left - right) / denom, -0.5, 0.5))
 
 
+def _per_trial_noise(noise_std, n_trials: int) -> List[float]:
+    """Broadcast a scalar-or-sequence ``noise_std`` to one value per trial."""
+    if np.ndim(noise_std) == 0:
+        return [float(noise_std)] * n_trials
+    stds = [float(v) for v in noise_std]
+    if len(stds) != n_trials:
+        raise ValueError(
+            f"got {len(stds)} noise stds for {n_trials} trial(s)"
+        )
+    return stds
+
+
+def extract_responses(
+    plan: DetectorPlan,
+    outputs: np.ndarray,
+    magnitudes: np.ndarray,
+    config: SearchAndSubtractConfig,
+    sampling_period_s: float,
+    noise_std: float,
+) -> List[DetectedResponse]:
+    """The search-and-subtract extraction loop over one filter-bank output.
+
+    ``outputs`` is the ``(n_templates, n_fine)`` complex filter-bank
+    matrix for one CIR and ``magnitudes`` its ``np.abs``; both are
+    consumed destructively (the incremental step-5 update writes into
+    them in place).  This single function is the decision core shared by
+    the serial fast path (:meth:`SearchAndSubtract.detect`) and the
+    cross-trial batched engine (:func:`repro.core.batch.detect_batch`)
+    — sharing it is what makes the two paths *identical by
+    construction* once their filter-bank outputs agree.
+
+    Returns responses in extraction (amplitude) order; callers sort by
+    delay (paper step 7).
+    """
+    metrics = global_metrics()
+    factor = config.upsample_factor
+    period = sampling_period_s / factor
+    # See SearchAndSubtract._detect_naive for the noise-scaling rationale.
+    gate = config.min_peak_snr * noise_std * np.sqrt(factor)
+    scale = np.sqrt(factor)
+
+    responses: List[DetectedResponse] = []
+    for iteration in range(config.max_responses):
+        template_idx, peak_idx = np.unravel_index(
+            int(np.argmax(magnitudes)), magnitudes.shape
+        )
+        best_value = float(magnitudes[template_idx, peak_idx])
+        if best_value <= 0.0:
+            break
+        if gate > 0.0 and best_value < gate:
+            break
+
+        position = (
+            _parabolic_peak(magnitudes[template_idx], peak_idx)
+            if config.refine_subsample
+            else float(peak_idx)
+        )
+        amplitude = complex(outputs[template_idx, peak_idx])
+        responses.append(
+            DetectedResponse(
+                index=position / factor,
+                delay_s=position * period,
+                amplitude=amplitude / scale,
+                template_index=int(template_idx),
+                scores=tuple(
+                    float(value) / scale
+                    for value in magnitudes[:, peak_idx]
+                ),
+            )
+        )
+        if iteration + 1 >= config.max_responses:
+            break  # the final subtraction would never be observed
+        # Step 5, incrementally: only a template-footprint window of
+        # each filter output changes, so update it in place instead
+        # of re-filtering the whole CIR.
+        with metrics.timer("detector.incremental_update").time():
+            a, b = plan.subtract_response(
+                outputs, int(template_idx), position, amplitude
+            )
+            if a < b:
+                np.abs(outputs[:, a:b], out=magnitudes[:, a:b])
+        metrics.counter("detector.incremental_updates").inc()
+    return responses
+
+
 class SearchAndSubtract:
     """Iterative matched-filter detector over one or more templates."""
 
@@ -229,54 +314,48 @@ class SearchAndSubtract:
             # One forward FFT, one batched inverse FFT for the whole bank.
             outputs = plan.filter_bank(working)
         magnitudes = np.abs(outputs)
-        n_fine = plan.n_fine
-        period = sampling_period_s / factor
-        # See _detect_naive for the noise-scaling rationale.
-        gate = self.config.min_peak_snr * noise_std * np.sqrt(factor)
-        scale = np.sqrt(factor)
+        return extract_responses(
+            plan, outputs, magnitudes, self.config, sampling_period_s,
+            noise_std,
+        )
 
-        responses: List[DetectedResponse] = []
-        for iteration in range(self.config.max_responses):
-            template_idx, peak_idx = np.unravel_index(
-                int(np.argmax(magnitudes)), magnitudes.shape
-            )
-            best_value = float(magnitudes[template_idx, peak_idx])
-            if best_value <= 0.0:
-                break
-            if gate > 0.0 and best_value < gate:
-                break
+    def detect_batch(
+        self,
+        cirs,
+        sampling_period_s: float,
+        noise_std=0.0,
+    ) -> List[List[DetectedResponse]]:
+        """Detect a whole batch of equal-length CIRs in one engine pass.
 
-            position = (
-                _parabolic_peak(magnitudes[template_idx], peak_idx)
-                if self.config.refine_subsample
-                else float(peak_idx)
-            )
-            amplitude = complex(outputs[template_idx, peak_idx])
-            responses.append(
-                DetectedResponse(
-                    index=position / factor,
-                    delay_s=position * period,
-                    amplitude=amplitude / scale,
-                    template_index=int(template_idx),
-                    scores=tuple(
-                        float(value) / scale
-                        for value in magnitudes[:, peak_idx]
-                    ),
-                )
-            )
-            if iteration + 1 >= self.config.max_responses:
-                break  # the final subtraction would never be observed
-            # Step 5, incrementally: only a template-footprint window of
-            # each filter output changes, so update it in place instead
-            # of re-filtering the whole CIR.
-            with metrics.timer("detector.incremental_update").time():
-                a, b = plan.subtract_response(
-                    outputs, int(template_idx), position, amplitude
-                )
-                if a < b:
-                    np.abs(outputs[:, a:b], out=magnitudes[:, a:b])
-            metrics.counter("detector.incremental_updates").inc()
-        return responses
+        Delegates to :func:`repro.core.batch.detect_batch`: the B CIRs
+        are stacked into one 2-D array, upsampled with a single batched
+        FFT, and matched-filtered against the whole bank as one forward
+        transform x spectrum matrix x batched inverse transform per
+        search-and-subtract iteration.  Per-trial results are identical
+        to calling :meth:`detect` on each CIR (same extraction loop,
+        same plan artifacts; the batched transforms agree with the
+        serial ones to roundoff — byte-identical on pocketfft builds).
+
+        ``noise_std`` may be a scalar (shared by all trials) or a
+        sequence of per-trial values.  With
+        ``config.use_fast=False`` the naive serial engine runs per CIR
+        instead — the escape hatch the batched path is tested against.
+        """
+        from repro.core.batch import detect_batch as _detect_batch
+
+        if not self.config.use_fast:
+            stds = _per_trial_noise(noise_std, len(cirs))
+            return [
+                self.detect(cir, sampling_period_s, noise_std=std)
+                for cir, std in zip(cirs, stds)
+            ]
+        return _detect_batch(
+            cirs,
+            self._templates,
+            sampling_period_s,
+            config=self.config,
+            noise_std=noise_std,
+        )
 
     # -- naive path ----------------------------------------------------------
 

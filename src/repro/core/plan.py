@@ -48,7 +48,7 @@ from repro.runtime.metrics import global_metrics
 from repro.signal.pulses import Pulse
 from repro.signal.sampling import placed_segment
 
-__all__ = ["DetectorPlan", "detector_plan"]
+__all__ = ["DetectorPlan", "detector_plan", "plan_cache_key"]
 
 
 def _anchored_spectra(
@@ -331,6 +331,39 @@ def _template_key(template: Pulse) -> tuple:
     )
 
 
+def plan_cache_key(
+    templates: Sequence[Pulse],
+    cir_length: int,
+    upsample_factor: int,
+    sampling_period_s: float,
+    batch_size: int | None = None,
+) -> tuple:
+    """The ``detector_plans`` cache key for one detection shape.
+
+    The key *must* include the batch shape: a cross-trial
+    :class:`~repro.core.batch.BatchDetectorPlan` carries batch-sized
+    scratch buffers (and is a different type altogether), so serving a
+    B=64 entry to the single-CIR path — or a single-CIR
+    :class:`DetectorPlan` to ``detect_batch`` — would crash at best and
+    silently corrupt outputs at worst.  ``batch_size=None`` denotes the
+    single-CIR plan; the batched engine passes its B.  Even ``B == 1``
+    must *not* collide with the single-CIR entry (the two are different
+    types — a collision is exactly the "B plan served to the single-CIR
+    path" bug, just in the other direction), hence the explicit
+    ``"single"`` / ``("batch", B)`` discriminator rather than a bare
+    integer.  ``tests/test_properties_detection.py::TestPlanCacheBatchKey``
+    is the regression test that would have caught a key without this
+    component.
+    """
+    return (
+        tuple(_template_key(t) for t in templates),
+        int(cir_length),
+        int(upsample_factor),
+        float(sampling_period_s),
+        "single" if batch_size is None else ("batch", int(batch_size)),
+    )
+
+
 def detector_plan(
     templates: Sequence[Pulse],
     cir_length: int,
@@ -345,11 +378,8 @@ def detector_plan(
     ``detector.plan_build`` in the process-local
     :func:`repro.runtime.metrics.global_metrics` registry.
     """
-    key = (
-        tuple(_template_key(t) for t in templates),
-        int(cir_length),
-        int(upsample_factor),
-        float(sampling_period_s),
+    key = plan_cache_key(
+        templates, cir_length, upsample_factor, sampling_period_s
     )
 
     def _build() -> DetectorPlan:

@@ -8,6 +8,25 @@ then continue scanning after that window; stop after ``N - 1`` peaks.
 Its weakness — and the reason the paper's search-and-subtract wins — is
 structural: two responses closer together than one pulse duration fall
 into a single window and are reported as one peak.
+
+Two numerically equivalent engines implement the scan, mirroring the
+fast/naive split of :mod:`repro.core.detection` so fast-vs-naive and
+search-vs-threshold comparisons stay apples-to-apples:
+
+* the **incremental path** (default) pre-extracts the threshold
+  crossings once and hops from trigger to trigger with O(log n) sorted
+  lookups — the per-iteration cost is one window ``argmax``, incremental
+  in the number of *peaks* rather than linear in the number of samples;
+* the **naive path** (``ThresholdConfig(use_fast=False)``) is the
+  literal sample-by-sample transcription above, kept as the reference
+  the fast scan is differential-tested against
+  (``tests/test_properties_detection.py``).
+
+Both engines share the upsampling and threshold computation, so their
+results are *identical* — not merely close.  The batched entry point
+:meth:`ThresholdDetector.detect_batch` additionally shares one 2-D
+upsampling FFT across B trials (see :mod:`repro.core.batch` for the
+same trick on the search-and-subtract side).
 """
 
 from __future__ import annotations
@@ -17,9 +36,10 @@ from typing import List
 
 import numpy as np
 
-from repro.core.detection import DetectedResponse
+from repro.core.detection import DetectedResponse, _per_trial_noise
+from repro.runtime.metrics import global_metrics
 from repro.signal.pulses import Pulse
-from repro.signal.sampling import fft_upsample
+from repro.signal.sampling import fft_upsample, fft_upsample_batch
 
 
 @dataclass(frozen=True)
@@ -42,12 +62,17 @@ class ThresholdConfig:
     upsample_factor:
         FFT upsampling applied before scanning (for a fair comparison
         with the search-and-subtract detector).
+    use_fast:
+        Run the incremental trigger-hopping scan (default).  Set to
+        ``False`` for the sample-by-sample reference loop the fast scan
+        is differential-tested against.
     """
 
     max_responses: int = 1
     noise_multiplier: float = 6.0
     min_peak_fraction: float = 0.25
     upsample_factor: int = 8
+    use_fast: bool = True
 
     def __post_init__(self) -> None:
         if self.max_responses < 1:
@@ -83,6 +108,100 @@ class ThresholdDetector:
         period = sampling_period_s / self.config.upsample_factor
         return max(1, int(round(duration_s / period)))
 
+    # -- scan engines --------------------------------------------------------
+
+    def _scan_naive(
+        self, magnitude: np.ndarray, threshold: float, window: int
+    ) -> List[int]:
+        """Literal sample-by-sample scan; returns upsampled peak indices."""
+        global_metrics().counter("threshold.naive_scans").inc()
+        peaks: List[int] = []
+        position = 0
+        n = len(magnitude)
+        while position < n and len(peaks) < self.config.max_responses:
+            if magnitude[position] < threshold:
+                position += 1
+                continue
+            stop = min(position + window, n)
+            peaks.append(position + int(np.argmax(magnitude[position:stop])))
+            position = stop
+            # Hysteresis: re-arm only once the signal falls below the
+            # threshold, so a pulse's own decaying tail cannot trigger a
+            # phantom second detection.
+            while position < n and magnitude[position] >= threshold:
+                position += 1
+        return peaks
+
+    def _scan_fast(
+        self, magnitude: np.ndarray, threshold: float, window: int
+    ) -> List[int]:
+        """Incremental trigger-hopping scan — same peaks, O(peaks log n).
+
+        The naive loop's only data dependencies are (i) the next sample
+        at-or-after the scan position that is *above* the threshold (the
+        trigger) and (ii) the next sample at-or-after the window end
+        that is *below* it (the hysteresis re-arm).  Pre-extracting the
+        sorted above/below index sets turns both into binary searches,
+        so the per-peak cost is one window ``argmax`` plus two
+        ``searchsorted`` calls instead of a Python-level walk over every
+        sample — the threshold-path analogue of the search-and-subtract
+        engine's incremental step-5 update.
+        """
+        global_metrics().counter("threshold.fast_scans").inc()
+        n = len(magnitude)
+        above = magnitude >= threshold
+        above_idx = np.flatnonzero(above)
+        below_idx = np.flatnonzero(~above)
+        peaks: List[int] = []
+        position = 0
+        while position < n and len(peaks) < self.config.max_responses:
+            # (i) next trigger at-or-after the scan position.
+            j = int(np.searchsorted(above_idx, position))
+            if j >= len(above_idx):
+                break
+            trigger = int(above_idx[j])
+            stop = min(trigger + window, n)
+            peaks.append(trigger + int(np.argmax(magnitude[trigger:stop])))
+            # (ii) hysteresis: re-arm at the first below-threshold
+            # sample at-or-after the window end.
+            k = int(np.searchsorted(below_idx, stop))
+            position = int(below_idx[k]) if k < len(below_idx) else n
+        return peaks
+
+    def _extract(
+        self,
+        magnitude: np.ndarray,
+        sampling_period_s: float,
+        noise_std: float,
+    ) -> List[DetectedResponse]:
+        """Threshold + scan + response packaging over one upsampled
+        magnitude signal (shared by the serial and batched paths)."""
+        factor = self.config.upsample_factor
+        period = sampling_period_s / factor
+        peak = float(magnitude.max())
+        if peak <= 0.0:
+            return []
+        threshold = max(
+            self.config.noise_multiplier * noise_std * np.sqrt(factor),
+            self.config.min_peak_fraction * peak,
+        )
+        window = self._window_samples(sampling_period_s)
+        scan = self._scan_fast if self.config.use_fast else self._scan_naive
+        responses = [
+            DetectedResponse(
+                index=local_max / factor,
+                delay_s=local_max * period,
+                amplitude=complex(magnitude[local_max] / np.sqrt(factor)),
+                template_index=0,
+                scores=(float(magnitude[local_max] / np.sqrt(factor)),),
+            )
+            for local_max in scan(magnitude, threshold, window)
+        ]
+        responses.sort(key=lambda response: response.delay_s)
+        return responses
+
+    # -- entry points --------------------------------------------------------
+
     def detect(
         self,
         cir: np.ndarray,
@@ -98,43 +217,53 @@ class ThresholdDetector:
         cir = np.asarray(cir, dtype=complex)
         if cir.ndim != 1:
             raise ValueError(f"expected a 1-D CIR, got shape {cir.shape}")
+        magnitude = np.abs(fft_upsample(cir, self.config.upsample_factor))
+        return self._extract(magnitude, sampling_period_s, noise_std)
 
-        factor = self.config.upsample_factor
-        magnitude = np.abs(fft_upsample(cir, factor))
-        period = sampling_period_s / factor
-        peak = float(magnitude.max())
-        if peak <= 0.0:
-            return []
-        threshold = max(
-            self.config.noise_multiplier * noise_std * np.sqrt(factor),
-            self.config.min_peak_fraction * peak,
-        )
-        window = self._window_samples(sampling_period_s)
+    def detect_batch(
+        self,
+        cirs,
+        sampling_period_s: float,
+        noise_std=0.0,
+    ) -> List[List[DetectedResponse]]:
+        """Scan B equal-length CIRs with one shared upsampling FFT.
 
-        responses: List[DetectedResponse] = []
-        position = 0
-        n = len(magnitude)
-        while position < n and len(responses) < self.config.max_responses:
-            if magnitude[position] < threshold:
-                position += 1
-                continue
-            stop = min(position + window, n)
-            local_max = position + int(np.argmax(magnitude[position:stop]))
-            responses.append(
-                DetectedResponse(
-                    index=local_max / factor,
-                    delay_s=local_max * period,
-                    amplitude=complex(magnitude[local_max] / np.sqrt(factor)),
-                    template_index=0,
-                    scores=(float(magnitude[local_max] / np.sqrt(factor)),),
-                )
+        ``noise_std`` may be a scalar or a length-B sequence.  Entry
+        ``b`` of the result equals
+        ``self.detect(cirs[b], sampling_period_s, noise_std[b])`` — the
+        scan itself is per-trial and identical; only the upsampling
+        transform is batched (and agrees with the serial one to
+        roundoff; byte-identical on pocketfft builds).
+        """
+        cirs = np.asarray(cirs, dtype=complex)
+        if cirs.ndim != 2:
+            raise ValueError(
+                f"expected a (B, N) batch of CIRs, got shape {cirs.shape}"
             )
-            position = stop
-            # Hysteresis: re-arm only once the signal falls below the
-            # threshold, so a pulse's own decaying tail cannot trigger a
-            # phantom second detection.
-            while position < n and magnitude[position] >= threshold:
-                position += 1
+        if cirs.shape[0] == 0:
+            return []
+        stds = _per_trial_noise(noise_std, cirs.shape[0])
+        metrics = global_metrics()
+        metrics.counter("threshold.batch_detects").inc()
+        metrics.counter("threshold.batch_trials").inc(cirs.shape[0])
+        with metrics.timer("threshold.batch_upsample").time():
+            magnitudes = np.abs(
+                fft_upsample_batch(cirs, self.config.upsample_factor)
+            )
+        return [
+            self._extract(magnitudes[b], sampling_period_s, stds[b])
+            for b in range(cirs.shape[0])
+        ]
 
-        responses.sort(key=lambda response: response.delay_s)
-        return responses
+
+def detect_threshold_batch(
+    cirs,
+    pulse: Pulse,
+    sampling_period_s: float,
+    config: ThresholdConfig | None = None,
+    noise_std=0.0,
+) -> List[List[DetectedResponse]]:
+    """Functional alias mirroring :func:`repro.core.batch.detect_batch`."""
+    return ThresholdDetector(pulse, config).detect_batch(
+        cirs, sampling_period_s, noise_std=noise_std
+    )

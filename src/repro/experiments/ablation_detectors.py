@@ -5,19 +5,35 @@ sweep the true separation between two responses (0-6 ns) and the CIR
 SNR, and measure both detectors' both-found rates.  Expected shape: the
 threshold detector collapses below one pulse window of separation, while
 search-and-subtract keeps working down to a fraction of a pulse width.
+
+Each synthetic CIR is one independently seeded trial on the
+:mod:`repro.runtime` executor, and the trial function ships as a
+:class:`~repro.runtime.BatchTrial`: with ``run(..., batch_size=B)`` the
+executor groups B trials per engine call —
+:func:`repro.core.batch.detect_batch` for search-and-subtract and
+:meth:`~repro.core.threshold.ThresholdDetector.detect_batch` for the
+baseline — one 2-D FFT pass per group instead of B filter-bank passes.
+Both paths share :func:`_make_cir` (same per-trial RNG stream) and the
+engines are numerically identical, so ``batch_size`` changes throughput
+only; ``tests/test_runtime_experiments.py`` asserts the equality.
 """
 
 from __future__ import annotations
+
+from functools import partial
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.analysis.metrics import detection_rate
 from repro.analysis.tables import Table
+from repro.constants import CIR_SAMPLING_PERIOD_S
+from repro.core.batch import detect_batch
 from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
 from repro.core.threshold import ThresholdConfig, ThresholdDetector
-from repro.constants import CIR_SAMPLING_PERIOD_S
 from repro.experiments.common import ExperimentResult
-from repro.signal.pulses import dw1000_pulse
+from repro.runtime import BatchTrial, MetricsRegistry, pulse, run_trials
+from repro.signal.pulses import TC_PGDELAY_DEFAULT
 from repro.signal.sampling import place_pulse
 
 CIR_LENGTH = 1016
@@ -26,66 +42,120 @@ MATCH_TOLERANCE_SAMPLES = 2.0
 
 SEPARATIONS_NS = (0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0)
 SNR_DB = 30.0
+NOISE_STD = 1.0
+
+_SEARCH_CONFIG = SearchAndSubtractConfig(max_responses=2, upsample_factor=8)
+_THRESHOLD_CONFIG = ThresholdConfig(max_responses=2, upsample_factor=8)
 
 
-def _trial(
-    separation_ns: float,
-    snr_db: float,
-    rng: np.random.Generator,
-    search: SearchAndSubtract,
-    threshold: ThresholdDetector,
-    template,
-) -> tuple[bool, bool]:
-    """One synthetic two-pulse CIR; returns (search_ok, threshold_ok)."""
-    amplitude = 10.0 ** (snr_db / 20.0)
-    noise_std = 1.0
-    cir = np.zeros(CIR_LENGTH, dtype=complex)
-    positions = (
+def _positions(separation_ns: float) -> Tuple[float, float]:
+    """True pulse positions (native-sample units) for a separation."""
+    return (
         BASE_POSITION,
         BASE_POSITION + separation_ns * 1e-9 / CIR_SAMPLING_PERIOD_S,
     )
-    for position in positions:
+
+
+def _make_cir(
+    rng: np.random.Generator, separation_ns: float, snr_db: float, template
+) -> np.ndarray:
+    """One synthetic two-pulse CIR.
+
+    Shared by the per-trial and batched paths so both consume the
+    trial's RNG stream identically — the precondition for
+    ``batch_size=B`` runs equalling ``batch_size=1`` runs exactly.
+    """
+    amplitude = 10.0 ** (snr_db / 20.0)
+    cir = np.zeros(CIR_LENGTH, dtype=complex)
+    for position in _positions(separation_ns):
         phase = np.exp(1j * rng.uniform(0, 2 * np.pi))
         place_pulse(
             cir, template.samples.astype(complex), position, amplitude * phase
         )
-    cir += noise_std * (
+    cir += NOISE_STD * (
         rng.standard_normal(CIR_LENGTH) + 1j * rng.standard_normal(CIR_LENGTH)
     ) / np.sqrt(2.0)
+    return cir
 
-    def both_found(detections) -> bool:
-        available = list(detections)
-        for truth in positions:
-            best, best_err = None, MATCH_TOLERANCE_SAMPLES
-            for det in available:
-                err = abs(det.index - truth)
-                if err <= best_err:
-                    best, best_err = det, err
-            if best is None:
-                return False
-            available.remove(best)
-        return True
 
-    search_detections = search.detect(
-        cir, CIR_SAMPLING_PERIOD_S, noise_std=noise_std
+def _both_found(detections, separation_ns: float) -> bool:
+    """Each true position matched by a distinct detection within
+    tolerance."""
+    available = list(detections)
+    for truth in _positions(separation_ns):
+        best, best_err = None, MATCH_TOLERANCE_SAMPLES
+        for det in available:
+            err = abs(det.index - truth)
+            if err <= best_err:
+                best, best_err = det, err
+        if best is None:
+            return False
+        available.remove(best)
+    return True
+
+
+def _separation_trial(
+    rng: np.random.Generator,
+    index: int,
+    *,
+    separation_ns: float,
+    snr_db: float = SNR_DB,
+) -> Tuple[bool, bool]:
+    """Per-trial path: one CIR through both serial detectors."""
+    template = pulse(TC_PGDELAY_DEFAULT)
+    cir = _make_cir(rng, separation_ns, snr_db, template)
+    search = SearchAndSubtract(template, _SEARCH_CONFIG)
+    threshold = ThresholdDetector(template, _THRESHOLD_CONFIG)
+    search_found = search.detect(
+        cir, CIR_SAMPLING_PERIOD_S, noise_std=NOISE_STD
     )
-    threshold_detections = threshold.detect(
-        cir, CIR_SAMPLING_PERIOD_S, noise_std=noise_std
+    threshold_found = threshold.detect(
+        cir, CIR_SAMPLING_PERIOD_S, noise_std=NOISE_STD
     )
-    return both_found(search_detections), both_found(threshold_detections)
+    return (
+        _both_found(search_found, separation_ns),
+        _both_found(threshold_found, separation_ns),
+    )
 
 
-def run(trials: int = 100, seed: int = 37) -> ExperimentResult:
+def _separation_batch(
+    rngs: List[np.random.Generator],
+    indices: List[int],
+    *,
+    separation_ns: float,
+    snr_db: float = SNR_DB,
+) -> List[Tuple[bool, bool]]:
+    """Batched path: B CIRs through one engine pass per detector."""
+    template = pulse(TC_PGDELAY_DEFAULT)
+    cirs = np.stack(
+        [_make_cir(rng, separation_ns, snr_db, template) for rng in rngs]
+    )
+    search_lists = detect_batch(
+        cirs, template, CIR_SAMPLING_PERIOD_S, _SEARCH_CONFIG,
+        noise_std=NOISE_STD,
+    )
+    threshold_lists = ThresholdDetector(
+        template, _THRESHOLD_CONFIG
+    ).detect_batch(cirs, CIR_SAMPLING_PERIOD_S, noise_std=NOISE_STD)
+    return [
+        (
+            _both_found(search_found, separation_ns),
+            _both_found(threshold_found, separation_ns),
+        )
+        for search_found, threshold_found in zip(
+            search_lists, threshold_lists
+        )
+    ]
+
+
+def run(
+    trials: int = 100,
+    seed: int = 37,
+    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+    batch_size: int = 1,
+) -> ExperimentResult:
     """Sweep separation at fixed SNR."""
-    rng = np.random.default_rng(seed)
-    template = dw1000_pulse()
-    search = SearchAndSubtract(
-        template, SearchAndSubtractConfig(max_responses=2, upsample_factor=8)
-    )
-    threshold = ThresholdDetector(
-        template, ThresholdConfig(max_responses=2, upsample_factor=8)
-    )
-
     result = ExperimentResult(
         experiment_id="Ablation A1",
         description="detector success vs response separation",
@@ -96,13 +166,21 @@ def run(trials: int = 100, seed: int = 37) -> ExperimentResult:
     )
     search_rates = []
     threshold_rates = []
-    for separation in SEPARATIONS_NS:
-        outcomes = [
-            _trial(separation, SNR_DB, rng, search, threshold, template)
-            for _ in range(trials)
-        ]
-        s_rate = detection_rate([s for s, _ in outcomes])
-        t_rate = detection_rate([t for _, t in outcomes])
+    for cell, separation in enumerate(SEPARATIONS_NS):
+        fn = BatchTrial(
+            partial(_separation_trial, separation_ns=separation),
+            partial(_separation_batch, separation_ns=separation),
+        )
+        report = run_trials(
+            fn,
+            trials,
+            seed=[seed, cell],
+            workers=workers,
+            metrics=metrics,
+            batch_size=batch_size,
+        )
+        s_rate = detection_rate([s for s, _ in report.values])
+        t_rate = detection_rate([t for _, t in report.values])
         search_rates.append(s_rate)
         threshold_rates.append(t_rate)
         table.add_row([separation, s_rate, t_rate])

@@ -6,7 +6,8 @@ into a parallel, observable, reproducible workload:
 * :mod:`repro.runtime.executor` — :class:`SerialExecutor` /
   :class:`ParallelExecutor` with per-trial deterministic seeding
   (``SeedSequence.spawn``), chunked dispatch, per-trial exception
-  capture, worker timeouts, and graceful serial fallback.
+  capture, worker timeouts, graceful serial fallback, and cross-trial
+  batching (:class:`BatchTrial` + the ``batch_size`` policy knob).
 * :mod:`repro.runtime.cache` — process-local memo caches for immutable
   artifacts (template banks, pulses) with hit/miss accounting.
 * :mod:`repro.runtime.metrics` — counters, gauges, timers, histograms,
@@ -38,6 +39,7 @@ from repro.runtime.cache import (
     template_bank,
 )
 from repro.runtime.executor import (
+    BatchTrial,
     ExecutionPolicy,
     ParallelExecutor,
     SerialExecutor,
@@ -52,6 +54,7 @@ from repro.runtime.metrics import MetricsRegistry, global_metrics
 
 __all__ = [
     "ArtifactCache",
+    "BatchTrial",
     "CheckpointStore",
     "ExecutionPolicy",
     "MetricsRegistry",

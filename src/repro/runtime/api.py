@@ -97,6 +97,7 @@ def run_trials(
     fallback_to_serial: bool = True,
     max_trial_retries: int = 0,
     retry_backoff_s: float = 0.0,
+    batch_size: int = 1,
     checkpoint_dir=None,
     checkpoint_label: Optional[str] = None,
     executor: Optional[TrialExecutor] = None,
@@ -129,6 +130,14 @@ def run_trials(
     chunk_size, worker_timeout_s, fallback_to_serial, max_trial_retries,
     retry_backoff_s:
         See :class:`~repro.runtime.executor.ExecutionPolicy`.
+    batch_size:
+        When ``fn`` is a :class:`~repro.runtime.executor.BatchTrial`,
+        group up to this many consecutive trials of each chunk into one
+        batched engine call (e.g. one
+        :func:`repro.core.batch.detect_batch` pass across the group).
+        Per-trial seeding is unchanged, so results equal the
+        ``batch_size=1`` run for any value.  Ignored for plain trial
+        functions.
     checkpoint_dir:
         When given, completed trials are persisted to sharded
         checkpoints in this directory as the run progresses, and a
@@ -154,6 +163,7 @@ def run_trials(
             fallback_to_serial=fallback_to_serial,
             max_trial_retries=max_trial_retries,
             retry_backoff_s=retry_backoff_s,
+            batch_size=batch_size,
         )
         executor = make_executor(workers=workers, policy=policy)
 

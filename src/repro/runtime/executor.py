@@ -48,6 +48,7 @@ __all__ = [
     "TrialError",
     "WorkerTimeoutError",
     "TrialRun",
+    "BatchTrial",
     "ExecutionPolicy",
     "TrialExecutor",
     "SerialExecutor",
@@ -57,6 +58,50 @@ __all__ = [
 
 #: Trial function type: ``fn(rng, index) -> value``.
 TrialFn = Callable[[np.random.Generator, int], Any]
+
+#: Batched trial function type: ``fn(rngs, indices) -> values`` with one
+#: generator and one value per trial.
+BatchTrialFn = Callable[
+    [List[np.random.Generator], List[int]], Sequence[Any]
+]
+
+
+@dataclass(frozen=True)
+class BatchTrial:
+    """A per-trial function paired with a batched equivalent.
+
+    The batched form ``batch(rngs, indices)`` must return one value per
+    trial, with entry ``k`` equal to what ``single(rngs[k], indices[k])``
+    would have returned — the executors *assume* this equivalence, and
+    the ported experiments prove it in
+    ``tests/test_runtime_experiments.py`` by asserting ``batch_size=B``
+    runs equal ``batch_size=1`` runs.
+
+    Each trial still consumes its own seed child: the executor builds
+    ``rngs[k] = np.random.default_rng(seed_child(indices[k]))`` before
+    the batched call, so batching changes neither the random streams nor
+    the results — only how many trials share one engine pass (e.g. one
+    2-D FFT across the batch via :func:`repro.core.batch.detect_batch`).
+
+    If the batched call raises (or returns the wrong number of values),
+    the executor falls back to running the group's trials one at a time
+    through ``single`` — counted under ``runtime.batch_fallbacks`` — so
+    per-trial retry and ``fail_fast`` semantics are preserved exactly.
+
+    Build instances from ``functools.partial`` over module-level
+    functions to keep them picklable for the parallel path.
+    """
+
+    single: TrialFn
+    batch: BatchTrialFn
+
+    def __call__(self, rng: np.random.Generator, index: int) -> Any:
+        return self.single(rng, index)
+
+    def run_batch(
+        self, rngs: List[np.random.Generator], indices: List[int]
+    ) -> Sequence[Any]:
+        return self.batch(rngs, indices)
 
 
 @dataclass(frozen=True)
@@ -153,6 +198,15 @@ class ExecutionPolicy:
         Exponential backoff between per-trial retries: attempt ``k``
         sleeps ``retry_backoff_s * retry_backoff_factor**k`` seconds of
         real time first.
+    batch_size:
+        Trials per batched engine call when the trial function is a
+        :class:`BatchTrial`.  ``1`` (default) runs every trial through
+        the per-trial path; ``B >= 2`` groups up to ``B`` consecutive
+        trials of each chunk into one ``run_batch`` call.  Seeding is
+        unchanged (trial ``i`` still consumes seed child ``i``), so
+        results are identical for any batch size as long as the batched
+        function matches its per-trial form.  Ignored for plain trial
+        functions.
     """
 
     fail_fast: bool = True
@@ -162,6 +216,7 @@ class ExecutionPolicy:
     max_trial_retries: int = 0
     retry_backoff_s: float = 0.0
     retry_backoff_factor: float = 2.0
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if not self.worker_timeout_s > 0:
@@ -186,6 +241,10 @@ class ExecutionPolicy:
             raise ValueError(
                 "retry_backoff_factor must be >= 1, got "
                 f"{self.retry_backoff_factor}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
             )
 
 
@@ -238,6 +297,62 @@ def _run_one(
             attempt += 1
 
 
+def _iter_groups(
+    items: Sequence[Tuple[int, np.random.SeedSequence]], batch_size: int
+):
+    """Split a chunk's items into consecutive groups of ``batch_size``."""
+    for start in range(0, len(items), batch_size):
+        yield items[start:start + batch_size]
+
+
+def _run_group(
+    fn: TrialFn,
+    group: Sequence[Tuple[int, np.random.SeedSequence]],
+    policy: "ExecutionPolicy",
+) -> Tuple[List[Tuple[int, bool, Any, int]], int, int]:
+    """Run one group of ``(trial_index, seed)`` items.
+
+    Returns ``(results, batches, batch_fallbacks)`` with each result a
+    ``(trial_index, ok, value-or-TrialFailure, retries)`` tuple in group
+    order.  A group takes the batched engine path when the policy asks
+    for batching (``batch_size > 1``), the trial function is a
+    :class:`BatchTrial`, and the group has at least two trials (a
+    trailing singleton gains nothing from a B=1 engine pass).  Any
+    exception from the batched call — or a wrong-length return —
+    degrades the group to the per-trial path, preserving retry and
+    failure-capture semantics exactly.
+    """
+    if (
+        policy.batch_size > 1
+        and isinstance(fn, BatchTrial)
+        and len(group) > 1
+    ):
+        indices = [index for index, _ in group]
+        rngs = [np.random.default_rng(seed) for _, seed in group]
+        try:
+            values = list(fn.run_batch(rngs, indices))
+            if len(values) != len(group):
+                raise ValueError(
+                    f"run_batch returned {len(values)} values for "
+                    f"{len(group)} trials"
+                )
+        except Exception:  # noqa: BLE001 — degrade, never lose trials
+            fallback = 1
+        else:
+            return (
+                [(i, True, v, 0) for i, v in zip(indices, values)],
+                1,
+                0,
+            )
+    else:
+        fallback = 0
+    results = []
+    for index, seed in group:
+        ok, payload, attempts = _run_one(fn, index, seed, policy)
+        results.append((index, ok, payload, attempts))
+    return results, 0, fallback
+
+
 def _cache_delta(
     before: Dict[str, Tuple[int, int]],
     after: Dict[str, Tuple[int, int]],
@@ -256,29 +371,48 @@ def _execute_chunk(
     items: Sequence[Tuple[int, np.random.SeedSequence]],
     policy: "ExecutionPolicy",
 ) -> Tuple[
-    List[Tuple[int, bool, Any]], Dict[str, Tuple[int, int]], float, int
+    List[Tuple[int, bool, Any]],
+    Dict[str, Tuple[int, int]],
+    float,
+    int,
+    Tuple[int, int],
 ]:
     """Worker entry point: run a chunk of ``(trial_index, seed)`` items.
 
     Items need not be contiguous (checkpoint resume dispatches only the
     missing indices).  Returns ``(entries, cache_delta, chunk_seconds,
-    retries)`` where each entry is ``(trial_index, ok,
-    value-or-TrialFailure)``.  Under ``fail_fast`` a failing trial
-    raises :class:`TrialError`, which multiprocessing ships back to the
-    parent.
+    retries, (batches, batch_fallbacks))`` where each entry is
+    ``(trial_index, ok, value-or-TrialFailure)``.  With
+    ``policy.batch_size > 1`` and a :class:`BatchTrial` function, the
+    chunk's trials run in groups through the batched engine path (see
+    :func:`_run_group`).  Under ``fail_fast`` a failing trial raises
+    :class:`TrialError`, which multiprocessing ships back to the parent.
     """
     started = time.perf_counter()
     cache_before = all_cache_snapshots()
     entries: List[Tuple[int, bool, Any]] = []
     retries = 0
-    for index, seed in items:
-        ok, payload, attempts = _run_one(fn, index, seed, policy)
-        retries += attempts
-        if not ok and policy.fail_fast:
-            raise TrialError(payload)
-        entries.append((index, ok, payload))
+    batches = 0
+    batch_fallbacks = 0
+    for group in _iter_groups(items, policy.batch_size):
+        results, group_batches, group_fallbacks = _run_group(
+            fn, group, policy
+        )
+        batches += group_batches
+        batch_fallbacks += group_fallbacks
+        for index, ok, payload, attempts in results:
+            retries += attempts
+            if not ok and policy.fail_fast:
+                raise TrialError(payload)
+            entries.append((index, ok, payload))
     delta = _cache_delta(cache_before, all_cache_snapshots())
-    return entries, delta, time.perf_counter() - started, retries
+    return (
+        entries,
+        delta,
+        time.perf_counter() - started,
+        retries,
+        (batches, batch_fallbacks),
+    )
 
 
 def _record_cache_delta(
@@ -373,21 +507,27 @@ class SerialExecutor(TrialExecutor):
         cache_before = all_cache_snapshots()
         entries: List[Tuple[int, bool, Any]] = []
         unflushed: List[Tuple[int, bool, Any]] = []
+        items = [(index, seeds[index]) for index in work]
         try:
-            for index in work:
-                ok, payload, attempts = _run_one(
-                    fn, index, seeds[index], self.policy
+            for group in _iter_groups(items, self.policy.batch_size):
+                results, batches, fallbacks = _run_group(
+                    fn, group, self.policy
                 )
-                if attempts:
-                    metrics.counter("runtime.trial_retries").inc(attempts)
-                if not ok and self.policy.fail_fast:
-                    raise TrialError(payload)
-                entries.append((index, ok, payload))
-                if checkpoint is not None:
-                    unflushed.append((index, ok, payload))
-                    if len(unflushed) >= checkpoint.flush_every:
-                        checkpoint.save_entries(unflushed)
-                        unflushed = []
+                if batches:
+                    metrics.counter("runtime.batches").inc(batches)
+                if fallbacks:
+                    metrics.counter("runtime.batch_fallbacks").inc(fallbacks)
+                for index, ok, payload, attempts in results:
+                    if attempts:
+                        metrics.counter("runtime.trial_retries").inc(attempts)
+                    if not ok and self.policy.fail_fast:
+                        raise TrialError(payload)
+                    entries.append((index, ok, payload))
+                    if checkpoint is not None:
+                        unflushed.append((index, ok, payload))
+                        if len(unflushed) >= checkpoint.flush_every:
+                            checkpoint.save_entries(unflushed)
+                            unflushed = []
         finally:
             # Persist whatever completed, even when a trial raised —
             # a resumed run re-does only the missing indices.
@@ -425,7 +565,13 @@ class ParallelExecutor(TrialExecutor):
             return self.policy.chunk_size
         # ~4 chunks per worker: granular enough to balance uneven trial
         # costs, coarse enough to amortise dispatch overhead.
-        return max(1, -(-n_trials // (self.workers * 4)))
+        size = max(1, -(-n_trials // (self.workers * 4)))
+        if self.policy.batch_size > 1:
+            # Round up to a whole number of batches so the batched
+            # engine path sees full groups (a short group only at the
+            # very end of each chunk's item list).
+            size = -(-size // self.policy.batch_size) * self.policy.batch_size
+        return size
 
     def _serial_fallback(
         self,
@@ -525,9 +671,9 @@ class ParallelExecutor(TrialExecutor):
             pool.close()
             for chunk_items, result in zip(chunks, pending):
                 try:
-                    chunk_entries, delta, chunk_s, retries = result.get(
-                        timeout=self.policy.worker_timeout_s
-                    )
+                    (
+                        chunk_entries, delta, chunk_s, retries, batch_stats
+                    ) = result.get(timeout=self.policy.worker_timeout_s)
                 except multiprocessing.TimeoutError:
                     if not self.policy.fallback_to_serial:
                         pool.terminate()
@@ -544,9 +690,9 @@ class ParallelExecutor(TrialExecutor):
                     # children.
                     redispatched += 1
                     metrics.counter("runtime.chunk_redispatches").inc()
-                    chunk_entries, delta, chunk_s, retries = _execute_chunk(
-                        fn, chunk_items, self.policy
-                    )
+                    (
+                        chunk_entries, delta, chunk_s, retries, batch_stats
+                    ) = _execute_chunk(fn, chunk_items, self.policy)
                 except TrialError:
                     pool.terminate()
                     raise
@@ -556,6 +702,12 @@ class ParallelExecutor(TrialExecutor):
                 _record_cache_delta(metrics, delta)
                 if retries:
                     metrics.counter("runtime.trial_retries").inc(retries)
+                if batch_stats[0]:
+                    metrics.counter("runtime.batches").inc(batch_stats[0])
+                if batch_stats[1]:
+                    metrics.counter("runtime.batch_fallbacks").inc(
+                        batch_stats[1]
+                    )
                 metrics.counter("runtime.chunks").inc()
                 metrics.histogram("runtime.chunk_seconds").observe(chunk_s)
         finally:

@@ -10,6 +10,19 @@ from repro.signal.pulses import dw1000_pulse
 from repro.signal.templates import TemplateBank
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "Regenerate tests/golden/*.json from the current code instead "
+            "of comparing against it (see tests/test_golden_metrics.py); "
+            "review the resulting diff like any other code change."
+        ),
+    )
+
+
 @pytest.fixture
 def rng():
     """A deterministic random generator, fresh per test."""

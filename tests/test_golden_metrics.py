@@ -1,0 +1,125 @@
+"""Golden regression suite: pinned experiment metrics under fixed seeds.
+
+Every metric of the headline experiments is computed once under a fixed
+seed and stored in ``tests/golden/experiment_metrics.json``.  The tests
+re-run the same configurations and require the same metric *names* and
+values within ``rtol <= 1e-9`` — any drift (a refactor changing RNG
+consumption order, a detector "optimisation" changing decisions, a new
+engine path that is not actually equivalent) fails loudly with the
+offending metric.
+
+Trial counts are deliberately tiny: the point is bit-stability of the
+full pipeline (protocol -> channel -> detection -> analysis), not
+statistical power — the statistical bands live in
+``tests/test_runtime_experiments.py`` and ``benchmarks/``.
+
+Regenerating (after an *intentional* behaviour change)::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_metrics.py --update-golden
+
+then review the JSON diff like any other code change: every changed
+value is a behaviour change you are signing off on.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    ablation_detectors,
+    fig7_overlap,
+    sect5_precision,
+    table1_pulse_id,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "experiment_metrics.json"
+
+RTOL = 1e-9
+
+#: Case name -> zero-argument callable producing an ExperimentResult.
+#: The name encodes the exact configuration so a changed trial count or
+#: seed shows up as a new entry instead of silently comparing apples to
+#: oranges.
+CASES = {
+    "table1_pulse_id(trials=5, seed=17)": (
+        lambda: table1_pulse_id.run(trials=5, seed=17)
+    ),
+    "fig7_overlap(trials=10, seed=23)": (
+        lambda: fig7_overlap.run(trials=10, seed=23)
+    ),
+    "sect5_precision(trials=30, seed=29)": (
+        lambda: sect5_precision.run(trials=30, seed=29)
+    ),
+    "ablation_detectors(trials=10, seed=37)": (
+        lambda: ablation_detectors.run(trials=10, seed=37)
+    ),
+}
+
+
+def _measure(name: str) -> dict:
+    return {
+        key: float(value) for key, value in CASES[name]().as_dict().items()
+    }
+
+
+def _load_golden() -> dict:
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_metrics(name, request):
+    measured = _measure(name)
+    if request.config.getoption("--update-golden"):
+        data = _load_golden() if GOLDEN_PATH.exists() else {}
+        data[name] = measured
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"golden entry for {name} regenerated")
+    assert GOLDEN_PATH.exists(), (
+        "golden file missing; generate it with "
+        "`python -m pytest tests/test_golden_metrics.py --update-golden`"
+    )
+    golden = _load_golden()
+    assert name in golden, (
+        f"no golden entry for {name!r}; run --update-golden and commit "
+        "the diff"
+    )
+    want = golden[name]
+    assert set(measured) == set(want), (
+        "metric names drifted: "
+        f"missing={sorted(set(want) - set(measured))}, "
+        f"new={sorted(set(measured) - set(want))}"
+    )
+    for key, value in sorted(want.items()):
+        got = measured[key]
+        if math.isnan(value):
+            assert math.isnan(got), f"{name}:{key} was NaN, now {got}"
+        else:
+            assert got == pytest.approx(value, rel=RTOL, abs=1e-12), (
+                f"{name}:{key} drifted from {value!r} to {got!r}"
+            )
+
+
+def test_golden_cases_are_repeatable():
+    """Precondition for pinning: the same configuration must yield the
+    same metrics twice within one process."""
+    first = table1_pulse_id.run(trials=3, seed=17).as_dict()
+    second = table1_pulse_id.run(trials=3, seed=17).as_dict()
+    assert first == second
+
+
+def test_golden_file_is_committed_and_well_formed():
+    """The suite must not silently pass because the file is absent."""
+    assert GOLDEN_PATH.exists()
+    data = _load_golden()
+    assert set(data) == set(CASES)
+    for name, metrics in data.items():
+        assert metrics, f"empty golden entry for {name}"
+        for key, value in metrics.items():
+            assert isinstance(key, str)
+            assert isinstance(value, float)

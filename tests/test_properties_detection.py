@@ -1,0 +1,277 @@
+"""Differential property tests: every detection engine path agrees.
+
+The detector ships with deliberately redundant implementations —
+
+* search-and-subtract: the **naive** per-template re-filtering loop
+  (``use_fast=False``), the **fast** spectrum-cached serial engine, and
+  the **batched** cross-trial engine (:func:`repro.core.batch.detect_batch`);
+* threshold baseline: the **naive** sample-by-sample scan
+  (``use_fast=False``), the **fast** trigger-hopping scan, and the
+  batched-upsampling :meth:`~repro.core.threshold.ThresholdDetector.detect_batch`.
+
+The redundancy only buys confidence if the paths are continuously
+proven equivalent, so this module hammers randomly generated CIRs —
+odd and even lengths, fractional and edge-clipped pulse placements,
+single- and multi-template banks — through every path and requires the
+*same decisions* (response count, template choice) with numerics
+matching at ``rtol <= 1e-9`` (in practice byte-identical on pocketfft
+builds, but the tolerance keeps the suite platform-safe).
+
+``TestPlanCacheBatchKey`` pins the cache-key regression: a batch-shaped
+plan (which carries mutable ``(B, n_templates, fft_length)`` scratch)
+must never be served where the single-CIR :class:`DetectorPlan` is
+expected — not even at B=1.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import CIR_SAMPLING_PERIOD_S
+from repro.core.batch import BatchDetectorPlan, batch_detector_plan, detect_batch
+from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
+from repro.core.plan import DetectorPlan, detector_plan, plan_cache_key
+from repro.core.threshold import ThresholdConfig, ThresholdDetector
+from repro.signal.pulses import dw1000_pulse
+from repro.signal.sampling import place_pulse
+from repro.signal.templates import TemplateBank
+
+TS = CIR_SAMPLING_PERIOD_S
+RTOL = 1e-9
+
+_PULSE = dw1000_pulse()
+_BANK = TemplateBank.paper_bank(2)
+
+#: Odd, even, prime, and power-of-two-unfriendly lengths: exercises the
+#: ``next_fast_len`` padding and the upsampler's odd/even Nyquist split.
+_LENGTHS = (257, 318, 509, 1016)
+
+
+def _random_cir(
+    rng: np.random.Generator,
+    length: int,
+    n_pulses: int,
+    clipped: bool = False,
+    noise: float = 0.01,
+) -> np.ndarray:
+    """A CIR with fractional-position pulses and complex white noise.
+
+    ``clipped=True`` allows placements hanging off either edge of the
+    buffer (``place_pulse`` clips the out-of-range part), the case where
+    a sloppy window computation in any engine would first diverge.
+    """
+    cir = np.zeros(length, dtype=complex)
+    template = _PULSE.samples.astype(complex)
+    for _ in range(n_pulses):
+        if clipped:
+            position = float(rng.uniform(-20.0, length + 20.0))
+        else:
+            position = float(rng.uniform(40.0, length - 40.0))
+        amplitude = rng.uniform(0.2, 1.0) * np.exp(
+            1j * rng.uniform(0, 2 * np.pi)
+        )
+        place_pulse(cir, template, position, amplitude)
+    cir += noise * (
+        rng.standard_normal(length) + 1j * rng.standard_normal(length)
+    ) / np.sqrt(2.0)
+    return cir
+
+
+def _assert_responses_close(got, want):
+    """Same decisions, numerics within RTOL."""
+    assert len(got) == len(want)
+    for response, reference in zip(got, want):
+        assert response.template_index == reference.template_index
+        assert response.index == pytest.approx(
+            reference.index, rel=RTOL, abs=1e-9
+        )
+        assert response.delay_s == pytest.approx(
+            reference.delay_s, rel=RTOL, abs=1e-18
+        )
+        assert abs(response.amplitude - reference.amplitude) <= RTOL * max(
+            1.0, abs(reference.amplitude)
+        )
+        assert len(response.scores) == len(reference.scores)
+        for score, ref_score in zip(response.scores, reference.scores):
+            assert score == pytest.approx(ref_score, rel=RTOL, abs=1e-12)
+
+
+class TestSearchEnginesAgree:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        length=st.sampled_from(_LENGTHS),
+        n_pulses=st.integers(1, 3),
+        clipped=st.booleans(),
+    )
+    def test_fast_matches_naive(self, seed, length, n_pulses, clipped):
+        rng = np.random.default_rng(seed)
+        cir = _random_cir(rng, length, n_pulses, clipped=clipped)
+        fast = SearchAndSubtract(
+            _BANK, SearchAndSubtractConfig(max_responses=n_pulses)
+        ).detect(cir, TS, noise_std=0.01)
+        naive = SearchAndSubtract(
+            _BANK,
+            SearchAndSubtractConfig(max_responses=n_pulses, use_fast=False),
+        ).detect(cir, TS, noise_std=0.01)
+        _assert_responses_close(fast, naive)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        length=st.sampled_from(_LENGTHS),
+        batch=st.integers(1, 5),
+        clipped=st.booleans(),
+    )
+    def test_batched_matches_fast(self, seed, length, batch, clipped):
+        rng = np.random.default_rng(seed)
+        cirs = np.stack(
+            [
+                _random_cir(rng, length, rng.integers(1, 4), clipped=clipped)
+                for _ in range(batch)
+            ]
+        )
+        config = SearchAndSubtractConfig(max_responses=3)
+        detector = SearchAndSubtract(_BANK, config)
+        serial = [detector.detect(cirs[b], TS, noise_std=0.01) for b in range(batch)]
+        batched = detect_batch(cirs, _BANK, TS, config, noise_std=0.01)
+        assert len(batched) == batch
+        for got, want in zip(batched, serial):
+            _assert_responses_close(got, want)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), length=st.sampled_from(_LENGTHS))
+    def test_per_trial_noise_vector_matches_scalar_calls(self, seed, length):
+        """A length-B noise vector means trial b sees noise_std[b]."""
+        rng = np.random.default_rng(seed)
+        cirs = np.stack([_random_cir(rng, length, 2) for _ in range(3)])
+        stds = [0.005, 0.02, 0.08]
+        config = SearchAndSubtractConfig(max_responses=2, min_peak_snr=4.0)
+        detector = SearchAndSubtract(_PULSE, config)
+        serial = [
+            detector.detect(cirs[b], TS, noise_std=stds[b]) for b in range(3)
+        ]
+        batched = detect_batch(cirs, _PULSE, TS, config, noise_std=stds)
+        for got, want in zip(batched, serial):
+            _assert_responses_close(got, want)
+
+
+class TestThresholdEnginesAgree:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        length=st.sampled_from(_LENGTHS),
+        n_pulses=st.integers(1, 3),
+        clipped=st.booleans(),
+    )
+    def test_fast_scan_matches_naive(self, seed, length, n_pulses, clipped):
+        rng = np.random.default_rng(seed)
+        cir = _random_cir(rng, length, n_pulses, clipped=clipped)
+        fast = ThresholdDetector(
+            _PULSE, ThresholdConfig(max_responses=n_pulses)
+        ).detect(cir, TS, noise_std=0.01)
+        naive = ThresholdDetector(
+            _PULSE, ThresholdConfig(max_responses=n_pulses, use_fast=False)
+        ).detect(cir, TS, noise_std=0.01)
+        # The two scans walk the *same* upsampled magnitude array, so
+        # their peaks must agree exactly — no tolerance.
+        assert [r.index for r in fast] == [r.index for r in naive]
+        assert [r.amplitude for r in fast] == [r.amplitude for r in naive]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        length=st.sampled_from(_LENGTHS),
+        batch=st.integers(1, 5),
+    )
+    def test_batched_matches_serial(self, seed, length, batch):
+        rng = np.random.default_rng(seed)
+        cirs = np.stack(
+            [_random_cir(rng, length, rng.integers(1, 4)) for _ in range(batch)]
+        )
+        detector = ThresholdDetector(_PULSE, ThresholdConfig(max_responses=3))
+        serial = [detector.detect(cirs[b], TS, noise_std=0.01) for b in range(batch)]
+        batched = detector.detect_batch(cirs, TS, noise_std=0.01)
+        assert len(batched) == batch
+        for got, want in zip(batched, serial):
+            _assert_responses_close(got, want)
+
+
+class TestDegenerateBatches:
+    def test_empty_batch_returns_empty(self):
+        assert detect_batch(np.zeros((0, 256)), _PULSE, TS) == []
+        detector = ThresholdDetector(_PULSE)
+        assert detector.detect_batch(np.zeros((0, 256)), TS) == []
+
+    def test_single_trial_batch_equals_serial(self):
+        """B=1 is the degenerate batch the cache-key bug used to break:
+        a warm single-CIR plan must not be served to the batch path."""
+        rng = np.random.default_rng(3)
+        cir = _random_cir(rng, 509, 2)
+        detector = SearchAndSubtract(
+            _BANK, SearchAndSubtractConfig(max_responses=2)
+        )
+        serial = detector.detect(cir, TS, noise_std=0.01)  # warms the plan
+        batched = detect_batch(
+            cir[np.newaxis, :], _BANK, TS,
+            SearchAndSubtractConfig(max_responses=2), noise_std=0.01,
+        )
+        assert len(batched) == 1
+        _assert_responses_close(batched[0], serial)
+
+    def test_empty_template_bank_rejected(self):
+        with pytest.raises(ValueError):
+            detect_batch(np.zeros((2, 256)), [], TS)
+
+    def test_1d_input_rejected_with_guidance(self):
+        with pytest.raises(ValueError, match="np.newaxis"):
+            detect_batch(np.zeros(256, dtype=complex), _PULSE, TS)
+
+    def test_all_zero_batch_detects_nothing(self):
+        config = SearchAndSubtractConfig(max_responses=3, min_peak_snr=5.0)
+        results = detect_batch(
+            np.zeros((3, 257)), _PULSE, TS, config, noise_std=1.0
+        )
+        assert results == [[], [], []]
+        detector = ThresholdDetector(_PULSE, ThresholdConfig(max_responses=3))
+        assert detector.detect_batch(np.zeros((3, 257)), TS) == [[], [], []]
+
+    def test_mismatched_noise_vector_rejected(self):
+        with pytest.raises(ValueError):
+            detect_batch(
+                np.zeros((3, 257)), _PULSE, TS, noise_std=[0.1, 0.2]
+            )
+
+
+class TestPlanCacheBatchKey:
+    """A batch plan must never be served to the single-CIR path (or to a
+    different batch size) — the key includes the batch shape."""
+
+    def test_single_and_batch_keys_differ(self):
+        single = plan_cache_key([_PULSE], 509, 8, TS)
+        assert single != plan_cache_key([_PULSE], 509, 8, TS, batch_size=1)
+        assert single != plan_cache_key([_PULSE], 509, 8, TS, batch_size=64)
+
+    def test_batch_sizes_key_separately(self):
+        keys = {
+            plan_cache_key([_PULSE], 509, 8, TS, batch_size=b)
+            for b in (1, 2, 8, 64)
+        }
+        assert len(keys) == 4
+
+    def test_same_shape_same_key(self):
+        assert plan_cache_key([_PULSE], 509, 8, TS, batch_size=8) == (
+            plan_cache_key([dw1000_pulse()], 509, 8, TS, batch_size=8)
+        )
+
+    def test_plan_types_never_cross(self):
+        """Warm both caches for one shape; each lookup must return its
+        own plan type, with the batch plan wrapping the shared base."""
+        base = detector_plan([_PULSE], 509, 8, TS)
+        batch = batch_detector_plan([_PULSE], 509, 8, TS, batch_size=4)
+        assert isinstance(base, DetectorPlan)
+        assert isinstance(batch, BatchDetectorPlan)
+        assert batch.base is base  # artifacts shared, wrapper distinct
+        # Repeat lookups come from the cache and keep their types.
+        assert detector_plan([_PULSE], 509, 8, TS) is base
+        assert batch_detector_plan([_PULSE], 509, 8, TS, batch_size=4) is batch

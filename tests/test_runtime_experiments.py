@@ -8,10 +8,12 @@ pure throughput knob, never a statistics knob.
 import pytest
 
 from repro.experiments import (
+    ablation_detectors,
     fig2_cir,
     fig4_detection,
     fig6_pulse_id,
     fig7_overlap,
+    nlos_study,
     sect5_precision,
     sect8_scalability,
     table1_pulse_id,
@@ -55,6 +57,16 @@ class TestSerialParallelEquality:
     def test_sect8(self):
         serial = sect8_scalability.run(seed=0, workers=1)
         parallel = sect8_scalability.run(seed=0, workers=2)
+        assert serial.as_dict() == parallel.as_dict()
+
+    def test_nlos(self):
+        serial = nlos_study.run(trials=6, seed=47, workers=1)
+        parallel = nlos_study.run(trials=6, seed=47, workers=2)
+        assert serial.as_dict() == parallel.as_dict()
+
+    def test_ablation(self):
+        serial = ablation_detectors.run(trials=8, seed=37, workers=1)
+        parallel = ablation_detectors.run(trials=8, seed=37, workers=2)
         assert serial.as_dict() == parallel.as_dict()
 
     def test_fig2_exemplary_capture_unchanged_by_port(self):
@@ -123,6 +135,38 @@ class TestMetricsWiring:
         # Rejection sampling may attempt more rounds than evaluated trials.
         assert metrics.counter("runtime.trials").value >= 8
         assert result.metric("search_and_subtract_rate").measured >= 0.0
+
+
+class TestBatchedExecution:
+    """``batch_size`` is a throughput knob, never a statistics knob."""
+
+    def test_ablation_batched_equals_serial(self):
+        base = ablation_detectors.run(trials=8, seed=37, batch_size=1)
+        batched = ablation_detectors.run(trials=8, seed=37, batch_size=4)
+        assert base.as_dict() == batched.as_dict()
+
+    def test_ablation_batched_parallel_equals_serial(self):
+        base = ablation_detectors.run(trials=8, seed=37, batch_size=1)
+        batched = ablation_detectors.run(
+            trials=8, seed=37, workers=2, batch_size=4
+        )
+        assert base.as_dict() == batched.as_dict()
+
+    def test_ablation_batched_counts_batches(self):
+        metrics = MetricsRegistry()
+        ablation_detectors.run(
+            trials=8, seed=37, batch_size=4, metrics=metrics
+        )
+        # 7 separation cells x (8 trials / batches of 4).
+        assert metrics.counter("runtime.batches").value == 14
+        assert metrics.counter("runtime.batch_fallbacks").value == 0
+
+    def test_nlos_reports_throughput(self):
+        metrics = MetricsRegistry()
+        nlos_study.run(trials=3, seed=47, metrics=metrics)
+        # 4 environments x 3 rounds.
+        assert metrics.counter("runtime.trials").value == 12
+        assert metrics.counter("runtime.trials_failed").value == 0
 
 
 class TestStatisticalSanity:
