@@ -10,14 +10,20 @@ repository's hot workloads and writes ``BENCH_detector.json``:
 * **batched** — 64 table1-shaped CIRs through
   :func:`repro.core.batch.detect_batch` at batch sizes 1, 8 and 64,
   compared against the serial fast path (one detect per CIR).
+* **classifier** — the same 64 CIRs through the batched pulse-shape
+  identification engine (:func:`repro.core.batch_id.classify_batch`) at
+  batch sizes 1, 8 and 64, cold (plan build included) and warm,
+  compared against serial
+  :meth:`~repro.core.pulse_id.PulseShapeClassifier.classify` calls.
 * **parallel_plan_reuse** — a ``run_trials(workers=2)`` sweep measuring
   the ``detector_plans`` cache hit rate across worker processes.
 
 Every trial is detected with *both* engines and the results are compared
-at ``rtol=1e-9``; any divergence — or a B=64 batched run slower than
-1.2x the serial fast path, or a worker-side plan-cache hit rate below
-95 % — makes the script exit non-zero, so CI can run it as a cheap
-end-to-end regression gate (``--quick``).
+at ``rtol=1e-9``; any divergence (detection *or* classification) — or a
+B=64 batched detection/classification run slower than 1.2x its serial
+reference, or a worker-side plan-cache hit rate below 95 % — makes the
+script exit non-zero, so CI can run it as a cheap end-to-end regression
+gate (``--quick``).
 
 Usage::
 
@@ -37,7 +43,9 @@ import numpy as np
 
 from repro.constants import CIR_SAMPLING_PERIOD_S as TS
 from repro.core.batch import detect_batch
+from repro.core.batch_id import classify_batch
 from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
+from repro.core.pulse_id import PulseShapeClassifier
 from repro.runtime import MetricsRegistry, run_trials
 from repro.runtime.cache import clear_all_caches, get_cache, template_bank
 from repro.runtime.metrics import global_metrics
@@ -49,6 +57,10 @@ RTOL = 1e-9
 #: B=64 batched detection must never regress past this factor of the
 #: serial fast path (it should in fact be faster).
 BATCH_REGRESSION_FACTOR = 1.2
+
+#: Same gate for the batched classifier: the warm B=64 pass must stay
+#: within 20 % of the serial classify loop (and should beat it).
+CLASSIFIER_REGRESSION_FACTOR = 1.2
 
 #: Minimum acceptable per-worker ``detector_plans`` hit rate in the
 #: parallel executor: each worker builds the plan at most once.
@@ -96,6 +108,23 @@ def responses_equal(fast, naive):
         if not np.isclose(f.amplitude, n.amplitude, rtol=RTOL, atol=1e-12):
             return False
         if not np.allclose(f.scores, n.scores, rtol=RTOL, atol=1e-12):
+            return False
+    return True
+
+
+def classified_equal(batched, serial):
+    """The batched classifier's outputs must match the serial ones."""
+    if len(batched) != len(serial):
+        return False
+    for b, s in zip(batched, serial):
+        if b.shape_index != s.shape_index:
+            return False
+        if np.isinf(b.confidence) or np.isinf(s.confidence):
+            if b.confidence != s.confidence:
+                return False
+        elif not np.isclose(b.confidence, s.confidence, rtol=RTOL, atol=1e-12):
+            return False
+        if not responses_equal([b.response], [s.response]):
             return False
     return True
 
@@ -221,6 +250,83 @@ def bench_batched(
     }
 
 
+def bench_classifier(
+    bank, config, noise_std, rng, batch_sizes=(1, 8, 64), n_trials=64
+):
+    """Time the batched pulse-shape identification engine.
+
+    The serial reference classifies the same ``n_trials`` CIRs one at a
+    time through :class:`~repro.core.pulse_id.PulseShapeClassifier`;
+    each batched pass splits them into groups of B and runs one
+    :func:`~repro.core.batch_id.classify_batch` call per group.
+    Per-trial classifications must match the serial reference at
+    ``rtol=1e-9``.
+    """
+    cirs = np.stack(
+        make_cirs(rng, n_trials, 1016, bank, config.max_responses, noise_std)
+    )
+    classifier = PulseShapeClassifier(bank, config)
+
+    t0 = time.perf_counter()
+    serial_results = [
+        classifier.classify(cirs[b], TS, noise_std=noise_std)
+        for b in range(n_trials)
+    ]
+    serial_s = time.perf_counter() - t0
+
+    rows = []
+    for batch_size in batch_sizes:
+        def _pass():
+            batched_results = []
+            for start in range(0, n_trials, batch_size):
+                batched_results.extend(
+                    classify_batch(
+                        cirs[start:start + batch_size],
+                        bank,
+                        TS,
+                        config,
+                        noise_std=noise_std,
+                    )
+                )
+            return batched_results
+
+        # Cold pass pays the one-off classifier-plan build; the warm
+        # pass is the Monte-Carlo steady state the regression gate
+        # judges.
+        t0 = time.perf_counter()
+        batched_results = _pass()
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        batched_results = _pass()
+        batched_s = time.perf_counter() - t0
+
+        divergences = sum(
+            0 if classified_equal(batched, serial) else 1
+            for batched, serial in zip(batched_results, serial_results)
+        )
+        rows.append(
+            {
+                "batch_size": batch_size,
+                "cold_s": cold_s,
+                "batched_s": batched_s,
+                "ms_per_classify": 1e3 * batched_s / n_trials,
+                "speedup_vs_serial": (
+                    serial_s / batched_s if batched_s > 0 else float("inf")
+                ),
+                "divergences": divergences,
+            }
+        )
+    return {
+        "workload": "table1",
+        "trials": n_trials,
+        "cir_length": int(cirs.shape[1]),
+        "n_templates": len(list(bank)),
+        "serial_s": serial_s,
+        "serial_ms_per_classify": 1e3 * serial_s / n_trials,
+        "batches": rows,
+    }
+
+
 def _plan_reuse_trial(rng, index):
     """One table1-shaped detect; exercises worker-side plan reuse."""
     bank = template_bank(PAPER_REGISTERS)
@@ -325,6 +431,20 @@ def main(argv=None) -> int:
             f"divergences {row['divergences']}/{batched['trials']}"
         )
 
+    classifier = bench_classifier(
+        bank4,
+        SearchAndSubtractConfig(max_responses=4, upsample_factor=8),
+        1e-3,
+        rng,
+    )
+    for row in classifier["batches"]:
+        print(
+            f"classifier B={row['batch_size']:>2}: "
+            f"{row['ms_per_classify']:.2f} ms/classify, "
+            f"{row['speedup_vs_serial']:.2f}x vs serial, "
+            f"divergences {row['divergences']}/{classifier['trials']}"
+        )
+
     hits, misses = get_cache("detector_plans").snapshot()
     hit_rate = hits / (hits + misses) if hits + misses else 0.0
     metrics = global_metrics()
@@ -336,6 +456,12 @@ def main(argv=None) -> int:
         ).value,
         "batch_detects": metrics.counter("detector.batch_detects").value,
         "batch_trials": metrics.counter("detector.batch_trials").value,
+        "batch_classifies": metrics.counter(
+            "classifier.batch_classifies"
+        ).value,
+        "classifier_batch_trials": metrics.counter(
+            "classifier.batch_trials"
+        ).value,
     }
 
     # Last: this section clears the caches to force worker-side builds.
@@ -351,6 +477,7 @@ def main(argv=None) -> int:
         "quick": bool(args.quick),
         "workloads": results,
         "batched": batched,
+        "classifier": classifier,
         "parallel_plan_reuse": plan_reuse,
         "plan_cache": {
             "hits": hits,
@@ -365,8 +492,10 @@ def main(argv=None) -> int:
     print(f"wrote {out_path}")
 
     failed = False
-    total_divergences = sum(r["divergences"] for r in results) + sum(
-        row["divergences"] for row in batched["batches"]
+    total_divergences = (
+        sum(r["divergences"] for r in results)
+        + sum(row["divergences"] for row in batched["batches"])
+        + sum(row["divergences"] for row in classifier["batches"])
     )
     if total_divergences:
         print(
@@ -382,6 +511,18 @@ def main(argv=None) -> int:
             f"ERROR: B=64 batched pass took {b64['batched_s']:.3f}s, over "
             f"{BATCH_REGRESSION_FACTOR}x the serial fast path "
             f"({batched['serial_fast_s']:.3f}s)",
+            file=sys.stderr,
+        )
+        failed = True
+    c64 = next(
+        row for row in classifier["batches"] if row["batch_size"] == 64
+    )
+    if c64["batched_s"] > CLASSIFIER_REGRESSION_FACTOR * classifier["serial_s"]:
+        print(
+            f"ERROR: B=64 batched classifier pass took "
+            f"{c64['batched_s']:.3f}s, over "
+            f"{CLASSIFIER_REGRESSION_FACTOR}x the serial classify loop "
+            f"({classifier['serial_s']:.3f}s)",
             file=sys.stderr,
         )
         failed = True

@@ -29,7 +29,6 @@ Global execution flags for ``run``:
 from __future__ import annotations
 
 import argparse
-import inspect
 import sys
 from typing import Dict, List
 
@@ -87,48 +86,70 @@ def _run_one(
     seed: int | None = None,
     workers: int = 1,
     checkpoint: str | None = None,
+    batch_size=None,
 ) -> None:
-    module, takes_trials = EXPERIMENTS[name]
-    parameters = inspect.signature(module.run).parameters
-    kwargs = {}
-    if takes_trials and trials is not None:
-        kwargs["trials"] = trials
-    if seed is not None:
-        if "seed" in parameters:
-            kwargs["seed"] = seed
-        else:
-            print(
-                f"note: {name} does not take --seed; ignoring",
-                file=sys.stderr,
-            )
-    if checkpoint is not None:
-        if "checkpoint_dir" in parameters:
-            kwargs["checkpoint_dir"] = checkpoint
-        else:
-            print(
-                f"note: {name} does not support --checkpoint; ignoring",
-                file=sys.stderr,
-            )
-    metrics = None
-    if "workers" in parameters:
-        kwargs["workers"] = workers
-        if "metrics" in parameters:
-            from repro.runtime import MetricsRegistry
+    """Run one experiment, matching CLI flags against its signature.
 
-            metrics = MetricsRegistry()
-            kwargs["metrics"] = metrics
-    elif workers > 1:
-        print(
-            f"note: {name} has not been ported to the parallel runtime; "
-            "running serially",
-            file=sys.stderr,
-        )
+    The standard-vocabulary flags (``trials``, ``seed``, ``workers``,
+    ``batch_size``, ``checkpoint``) are matched against the
+    experiment's ``run()`` by :func:`repro.experiments.common.
+    build_run_kwargs`; a note is printed for every flag the experiment
+    does not support instead of silently dropping it.
+    """
+    from repro.experiments.common import build_run_kwargs
+    from repro.runtime import MetricsRegistry
+
+    module, _takes_trials = EXPERIMENTS[name]
+    metrics = MetricsRegistry()
+    kwargs, unsupported = build_run_kwargs(
+        module.run,
+        trials=trials,
+        seed=seed,
+        # Only request parallelism/batching when actually asked for, so
+        # unported experiments run silently at the defaults.
+        workers=workers if workers != 1 else None,
+        batch_size=batch_size,
+        checkpoint=checkpoint,
+        metrics=metrics,
+    )
+    for flag in unsupported:
+        if flag == "metrics":
+            continue  # internal plumbing, not a user-facing flag
+        if flag == "workers":
+            print(
+                f"note: {name} has not been ported to the parallel "
+                "runtime; running serially",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"note: {name} does not take "
+                f"--{flag.replace('_', '-')}; ignoring",
+                file=sys.stderr,
+            )
     result = module.run(**kwargs)
     print(result.render())
-    if metrics is not None and not metrics.is_empty():
+    if "metrics" in kwargs and not metrics.is_empty():
         print()
         print(metrics.render(title=f"runtime metrics — {name}"))
     print()
+
+
+def _parse_batch_size(value: str):
+    """``--batch-size`` values: a positive integer or ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be >= 1, got {parsed}"
+        )
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -185,6 +206,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="parallel trial workers for runtime-ported experiments "
         "(default: 1, serial)",
+    )
+    run_parser.add_argument(
+        "--batch-size",
+        type=_parse_batch_size,
+        default=None,
+        metavar="B",
+        help="trials per engine call for experiments with a batched "
+        "engine: an integer, or 'auto' to let the runtime pick a batch "
+        "from the workload shape (CIR length, template-bank size, "
+        "worker count); other experiments ignore the flag with a note",
     )
     run_parser.add_argument(
         "--checkpoint",
@@ -266,5 +297,6 @@ def main(argv: List[str] | None = None) -> int:
             seed=args.seed,
             workers=args.workers,
             checkpoint=args.checkpoint,
+            batch_size=args.batch_size,
         )
     return 0

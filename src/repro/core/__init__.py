@@ -15,6 +15,14 @@
   (Falsi et al., used as comparison in Sect. VI).
 * :mod:`repro.core.pulse_id` — responder identification from pulse shape
   (Sect. V): a template-bank matched-filter classifier.
+* :mod:`repro.core.batch_id` — cross-trial batched identification:
+  B CIRs classified through one 2-D FFT engine pass
+  (:func:`~repro.core.batch_id.classify_batch`), plus the
+  :class:`~repro.core.batch_id.ClassifyBatchTrial` runtime bridge.
+* :mod:`repro.core.engine` — the shared :class:`~repro.core.engine.Engine`
+  / :class:`~repro.core.engine.ClassifierEngine` protocols every
+  detector and classifier conforms to (uniform
+  ``(cirs, sampling_period_s, noise_std)`` signatures).
 * :mod:`repro.core.ranging` — SS-TWR (Eq. 2) and CIR-relative (Eq. 4)
   distance computation.
 * :mod:`repro.core.alignment` — CIR-to-distance alignment using d_TWR
@@ -41,7 +49,18 @@ from repro.core.threshold import (
     ThresholdConfig,
     detect_threshold_batch,
 )
-from repro.core.pulse_id import PulseShapeClassifier, ClassifiedResponse
+from repro.core.pulse_id import (
+    PulseShapeClassifier,
+    ClassifiedResponse,
+    classify_responses,
+)
+from repro.core.batch_id import (
+    BatchClassifierPlan,
+    ClassifyBatchTrial,
+    batch_classifier_plan,
+    classify_batch,
+)
+from repro.core.engine import ClassifierEngine, Engine
 from repro.core.ranging import (
     twr_distance,
     twr_distance_compensated,
@@ -55,9 +74,16 @@ from repro.core.scheme import CombinedScheme, ResponderAssignment
 
 __all__ = [
     "matched_filter",
+    "BatchClassifierPlan",
     "BatchDetectorPlan",
+    "ClassifierEngine",
+    "ClassifyBatchTrial",
     "DetectorPlan",
+    "Engine",
+    "batch_classifier_plan",
     "batch_detector_plan",
+    "classify_batch",
+    "classify_responses",
     "detect_batch",
     "detect_threshold_batch",
     "detector_plan",

@@ -65,8 +65,15 @@ class BatchDetectorPlan:
     *not* shape-interchangeable: serving it where a different B (or the
     single-CIR :class:`DetectorPlan`) is expected would at best raise a
     broadcasting error and at worst silently alias another batch's
-    spectra.  That is why :func:`repro.core.plan.plan_cache_key` keys
-    plans by batch size — the regression test lives in
+    spectra.  For the same reason :meth:`filter_bank`'s return value may
+    alias the scratch buffer (the inverse FFT runs in place): it is
+    valid — and freely mutable, the extraction loop writes into it —
+    only until the next :meth:`filter_bank` call on the same plan, which
+    refills the buffer from scratch.  :func:`detect_batch` and
+    :func:`repro.core.batch_id.classify_batch` both consume the outputs
+    fully before returning, so the contract is internal.  That is why
+    :func:`repro.core.plan.plan_cache_key` keys plans by batch size —
+    the regression test lives in
     ``tests/test_properties_detection.py::TestPlanCacheBatchKey``.
     """
 
@@ -79,6 +86,22 @@ class BatchDetectorPlan:
             (self.batch_size, len(base.templates), base.fft_length),
             dtype=complex,
         )
+        self._magnitudes = np.empty(
+            (self.batch_size, len(base.templates), base.n_fine),
+            dtype=float,
+        )
+
+    def magnitudes(self, outputs: np.ndarray) -> np.ndarray:
+        """``np.abs(outputs)`` into the plan's reusable float scratch.
+
+        The extraction loop consumes a ``(B, n_templates, n_fine)``
+        magnitude tensor alongside the complex outputs; computing it
+        into a preallocated buffer avoids another ~16 MB allocation per
+        engine pass at B=64.  Same aliasing contract as
+        :meth:`filter_bank`: the result is valid (and mutable) until the
+        next call on this plan.
+        """
+        return np.abs(outputs, out=self._magnitudes)
 
     @property
     def n_templates(self) -> int:
@@ -119,8 +142,18 @@ class BatchDetectorPlan:
             self.base.spectra[np.newaxis, :, :],
             out=self._product,
         )
-        outputs = sp_fft.ifft(self._product, axis=2, workers=-1)
-        return np.ascontiguousarray(outputs[:, :, : self.base.n_fine])
+        # ``overwrite_x`` lets pocketfft transform the scratch buffer in
+        # place instead of allocating a second (B, n_templates,
+        # fft_length) tensor — at B=64 that is ~33 MB of allocation and
+        # write traffic per engine pass, which is exactly what makes
+        # large batches memory-bound.  The returned slice is a view
+        # whose per-(b, t) rows are contiguous, which is all the
+        # extraction loop touches; callers may mutate it freely because
+        # the buffer is refilled from scratch on the next call (the
+        # class docstring spells out the aliasing contract).
+        outputs = sp_fft.ifft(self._product, axis=2, workers=-1,
+                              overwrite_x=True)
+        return outputs[:, :, : self.base.n_fine]
 
 
 def batch_detector_plan(
@@ -225,7 +258,7 @@ def detect_batch(
     with metrics.timer("detector.batch_filter_pass").time():
         working = fft_upsample_batch(cirs, config.upsample_factor)
         outputs = plan.filter_bank(working)
-    magnitudes = np.abs(outputs)
+    magnitudes = plan.magnitudes(outputs)
 
     results: List[List[DetectedResponse]] = []
     for b in range(batch_size):

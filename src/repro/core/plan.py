@@ -337,6 +337,7 @@ def plan_cache_key(
     upsample_factor: int,
     sampling_period_s: float,
     batch_size: int | None = None,
+    kind: str = "detector",
 ) -> tuple:
     """The ``detector_plans`` cache key for one detection shape.
 
@@ -354,8 +355,16 @@ def plan_cache_key(
     integer.  ``tests/test_properties_detection.py::TestPlanCacheBatchKey``
     is the regression test that would have caught a key without this
     component.
+
+    ``kind`` separates plan *families* sharing the cache: the default
+    ``"detector"`` names the raw detection plans, while the batched
+    pulse-id classifier (:mod:`repro.core.batch_id`) keys its
+    :class:`~repro.core.batch_id.BatchClassifierPlan` wrappers under
+    ``"classifier"`` so they can never shadow — or be shadowed by — a
+    :class:`~repro.core.batch.BatchDetectorPlan` of the same shape.
     """
     return (
+        str(kind),
         tuple(_template_key(t) for t in templates),
         int(cir_length),
         int(upsample_factor),

@@ -11,12 +11,28 @@ with a multi-template bank: at each iteration the strongest peak across
 *all* filter outputs wins, its template is recorded, and the correct
 template is subtracted, so classification and detection reinforce each
 other exactly as in the paper.
+
+Two entry points share one decision core (:func:`classify_responses`):
+
+* :meth:`PulseShapeClassifier.classify` — one CIR through the serial
+  (spectrum-cached) detection engine;
+* :meth:`PulseShapeClassifier.classify_batch` — B stacked CIRs through
+  the cross-trial batched engine of :mod:`repro.core.batch_id` (one 2-D
+  forward FFT x multi-template spectrum matrix x batched inverse FFT),
+  identical per-trial results by construction.
+
+The classifier also conforms to the :class:`~repro.core.engine.Engine`
+protocol: ``detect``/``detect_batch`` expose the underlying joint
+detection without the shape decode, with the same uniform
+``(cirs, sampling_period_s, noise_std)`` signatures as
+:class:`~repro.core.detection.SearchAndSubtract` and
+:class:`~repro.core.threshold.ThresholdDetector`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Iterable, List
 
 import numpy as np
 
@@ -26,6 +42,12 @@ from repro.core.detection import (
     SearchAndSubtractConfig,
 )
 from repro.signal.templates import TemplateBank
+
+__all__ = [
+    "ClassifiedResponse",
+    "PulseShapeClassifier",
+    "classify_responses",
+]
 
 
 @dataclass(frozen=True)
@@ -51,11 +73,52 @@ class ClassifiedResponse:
 
     @property
     def index(self) -> float:
-        return self.response.index
+        """Fractional sample index of the response peak.
+
+        Always a Python ``float``: the proxied
+        :attr:`DetectedResponse.index` may carry a NumPy scalar (e.g.
+        ``np.float64`` from a user-constructed response), which would
+        silently leak through the annotated contract — coerce instead.
+        """
+        return float(self.response.index)
 
     @property
     def amplitude(self) -> complex:
         return self.response.amplitude
+
+
+def classify_responses(
+    responses: Iterable[DetectedResponse],
+) -> List[ClassifiedResponse]:
+    """Decode each detected response's pulse shape from its scores.
+
+    This is the maximum-amplitude decision of Sect. V, factored out so
+    the serial path (:meth:`PulseShapeClassifier.classify`) and the
+    cross-trial batched path (:func:`repro.core.batch_id.classify_batch`)
+    share the *same* winner-pick code — once their filter-bank outputs
+    agree, classification agrees by construction.
+
+    Ties (equal winning and runner-up scores) yield ``confidence == 1.0``
+    and keep ``np.argsort``'s descending-order winner, identically in
+    every path.
+    """
+    classified: List[ClassifiedResponse] = []
+    for response in responses:
+        scores = np.asarray(response.scores, dtype=float)
+        order = np.argsort(scores)[::-1]
+        winner = int(order[0])
+        if len(scores) > 1 and scores[order[1]] > 0.0:
+            confidence = float(scores[winner] / scores[order[1]])
+        else:
+            confidence = float("inf")
+        classified.append(
+            ClassifiedResponse(
+                response=response,
+                shape_index=winner,
+                confidence=confidence,
+            )
+        )
+    return classified
 
 
 class PulseShapeClassifier:
@@ -75,6 +138,30 @@ class PulseShapeClassifier:
     def config(self) -> SearchAndSubtractConfig:
         return self._detector.config
 
+    # -- Engine protocol: raw detection --------------------------------------
+
+    def detect(
+        self,
+        cir: np.ndarray,
+        sampling_period_s: float,
+        noise_std: float = 0.0,
+    ) -> List[DetectedResponse]:
+        """Joint multi-template detection without the shape decode."""
+        return self._detector.detect(cir, sampling_period_s, noise_std=noise_std)
+
+    def detect_batch(
+        self,
+        cirs,
+        sampling_period_s: float,
+        noise_std=0.0,
+    ) -> List[List[DetectedResponse]]:
+        """Batched joint detection (see :meth:`SearchAndSubtract.detect_batch`)."""
+        return self._detector.detect_batch(
+            cirs, sampling_period_s, noise_std=noise_std
+        )
+
+    # -- classification -------------------------------------------------------
+
     def classify(
         self,
         cir: np.ndarray,
@@ -88,23 +175,45 @@ class PulseShapeClassifier:
         responses = self._detector.detect(
             cir, sampling_period_s, noise_std=noise_std
         )
-        classified = []
-        for response in responses:
-            scores = np.asarray(response.scores, dtype=float)
-            order = np.argsort(scores)[::-1]
-            winner = int(order[0])
-            if len(scores) > 1 and scores[order[1]] > 0.0:
-                confidence = float(scores[winner] / scores[order[1]])
-            else:
-                confidence = float("inf")
-            classified.append(
-                ClassifiedResponse(
-                    response=response,
-                    shape_index=winner,
-                    confidence=confidence,
-                )
-            )
-        return classified
+        return classify_responses(responses)
+
+    def classify_batch(
+        self,
+        cirs,
+        sampling_period_s: float,
+        noise_std=0.0,
+    ) -> List[List[ClassifiedResponse]]:
+        """Classify B stacked equal-length CIRs in one batched engine pass.
+
+        Delegates to :func:`repro.core.batch_id.classify_batch`: one 2-D
+        forward FFT x multi-template spectrum matrix x batched inverse
+        FFT for the whole batch, then the identical per-trial
+        search-and-subtract extraction and winner-pick loops.  Entry
+        ``b`` equals ``self.classify(cirs[b], sampling_period_s,
+        noise_std=noise_std[b])``.
+
+        ``noise_std`` may be a scalar (shared by all trials) or a
+        length-B sequence.  With ``config.use_fast=False`` the serial
+        naive engine runs per CIR instead — the escape hatch the batched
+        path is differential-tested against.
+        """
+        from repro.core.batch_id import classify_batch as _classify_batch
+
+        if not self.config.use_fast:
+            from repro.core.detection import _per_trial_noise
+
+            stds = _per_trial_noise(noise_std, len(cirs))
+            return [
+                self.classify(cir, sampling_period_s, noise_std=std)
+                for cir, std in zip(cirs, stds)
+            ]
+        return _classify_batch(
+            cirs,
+            self.bank,
+            sampling_period_s,
+            config=self.config,
+            noise_std=noise_std,
+        )
 
     def filter_bank_outputs(
         self, cir: np.ndarray, sampling_period_s: float

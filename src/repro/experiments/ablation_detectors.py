@@ -31,8 +31,14 @@ from repro.constants import CIR_SAMPLING_PERIOD_S
 from repro.core.batch import detect_batch
 from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
 from repro.core.threshold import ThresholdConfig, ThresholdDetector
-from repro.experiments.common import ExperimentResult
-from repro.runtime import BatchTrial, MetricsRegistry, pulse, run_trials
+from repro.experiments.common import ExperimentResult, standard_run
+from repro.runtime import (
+    BatchTrial,
+    MetricsRegistry,
+    WorkloadShape,
+    pulse,
+    run_trials,
+)
 from repro.signal.pulses import TC_PGDELAY_DEFAULT
 from repro.signal.sampling import place_pulse
 
@@ -148,14 +154,23 @@ def _separation_batch(
     ]
 
 
+@standard_run("trials", "seed", "workers", "metrics", "batch_size")
 def run(
+    *,
     trials: int = 100,
     seed: int = 37,
     workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
     metrics: MetricsRegistry | None = None,
-    batch_size: int = 1,
 ) -> ExperimentResult:
-    """Sweep separation at fixed SNR."""
+    """Sweep separation at fixed SNR.
+
+    ``batch_size`` groups trials per engine call (an integer, or
+    ``"auto"`` to let the runtime pick a batch from the workload shape);
+    ``checkpoint`` persists per-cell trial checkpoints for resumable
+    runs.
+    """
     result = ExperimentResult(
         experiment_id="Ablation A1",
         description="detector success vs response separation",
@@ -170,6 +185,11 @@ def run(
         fn = BatchTrial(
             partial(_separation_trial, separation_ns=separation),
             partial(_separation_batch, separation_ns=separation),
+            workload=WorkloadShape(
+                cir_length=CIR_LENGTH,
+                bank_size=1,
+                upsample_factor=_SEARCH_CONFIG.upsample_factor,
+            ),
         )
         report = run_trials(
             fn,
@@ -178,6 +198,8 @@ def run(
             workers=workers,
             metrics=metrics,
             batch_size=batch_size,
+            checkpoint_dir=checkpoint,
+            checkpoint_label=f"ablation-sep{separation:g}",
         )
         s_rate = detection_rate([s for s, _ in report.values])
         t_rate = detection_rate([t for _, t in report.values])

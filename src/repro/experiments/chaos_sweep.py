@@ -38,7 +38,7 @@ from repro.channel.stochastic import IndoorEnvironment
 from repro.core.detection import SearchAndSubtractConfig
 from repro.core.rpm import SlotPlan
 from repro.core.scheme import CombinedScheme
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, standard_run
 from repro.analysis.tables import Table
 from repro.faults import (
     CirSaturation,
@@ -167,14 +167,21 @@ def _trial(
     )
 
 
+@standard_run(
+    "trials", "seed", "workers", "metrics", "intensities", "rounds",
+    "checkpoint_dir",
+    renames={"checkpoint_dir": "checkpoint"},
+)
 def run(
+    *,
     trials: int = 20,
     seed: int = 23,
     workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
     metrics: Optional[MetricsRegistry] = None,
     intensities: Sequence[float] = INTENSITIES,
     rounds: int = 4,
-    checkpoint_dir=None,
 ) -> ExperimentResult:
     """The degradation curve: ``trials`` campaigns per intensity cell.
 
@@ -182,7 +189,12 @@ def run(
     monotonically (modulo Monte-Carlo noise) as faults intensify, while
     the campaign machinery keeps every cell crash-free — retries and
     quarantines grow instead of exceptions.
+
+    ``batch_size`` is accepted for the standard run signature and
+    ignored (full resilient campaigns per trial); ``checkpoint``
+    persists per-cell trial checkpoints for resumable sweeps.
     """
+    del batch_size  # standard-signature parameter; no batched engine here
     metrics = metrics if metrics is not None else MetricsRegistry()
     result = ExperimentResult(
         experiment_id="Chaos sweep",
@@ -217,7 +229,7 @@ def run(
             seed=(seed, int(round(1000 * intensity))),
             workers=workers,
             metrics=metrics,
-            checkpoint_dir=checkpoint_dir,
+            checkpoint_dir=checkpoint,
             checkpoint_label=f"chaos-{intensity:.2f}",
         )
         values = np.array(report.values, dtype=float)
@@ -325,7 +337,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metrics=metrics,
         intensities=intensities,
         rounds=rounds,
-        checkpoint_dir=args.checkpoint,
+        checkpoint=args.checkpoint,
     )
     result.print()
     print()

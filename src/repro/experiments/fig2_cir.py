@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.analysis.cir_features import peak_to_noise_ratio
 from repro.analysis.tables import Table
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, standard_run
 from repro.radio.dw1000 import DW1000Radio, SignalArrival
 from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
 from repro.runtime import MetricsRegistry, run_trials
@@ -114,12 +114,18 @@ def _trial(rng: np.random.Generator, index: int) -> tuple:
     return float(len(detected)), float(snr_db)
 
 
+@standard_run(
+    "seed", "trials", "workers", "metrics", "checkpoint_dir",
+    renames={"checkpoint_dir": "checkpoint"},
+)
 def run(
-    seed: int = 2,
+    *,
     trials: int = 25,
+    seed: int = 2,
     workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
     metrics: MetricsRegistry | None = None,
-    checkpoint_dir=None,
 ) -> ExperimentResult:
     """Capture a CIR and extract the tau_0..tau_5 structure.
 
@@ -127,7 +133,12 @@ def run(
     from the deterministic exemplary capture for ``seed``; the
     Monte-Carlo layer reruns the capture ``trials`` times on the trial
     executor to report how often all six components resolve.
+
+    ``batch_size`` is accepted for the standard run signature and
+    ignored (single-capture trials, no batched engine); ``checkpoint``
+    persists Monte-Carlo trial checkpoints for resumable runs.
     """
+    del batch_size  # standard-signature parameter; no batched engine here
     result = ExperimentResult(
         experiment_id="Fig. 2",
         description="estimated CIR with LOS and multipath components",
@@ -179,7 +190,7 @@ def run(
         seed=(seed, 1),  # distinct from the exemplary capture's stream
         workers=workers,
         metrics=metrics,
-        checkpoint_dir=checkpoint_dir,
+        checkpoint_dir=checkpoint,
         checkpoint_label="fig2-mc",
     )
     counts = np.array([value[0] for value in report.values])

@@ -28,7 +28,7 @@ from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
 from repro.core.matched_filter import matched_filter
 from repro.core.rpm import SlotPlan
 from repro.core.scheme import CombinedScheme
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, standard_run
 from repro.netsim.medium import Medium
 from repro.netsim.node import Node
 from repro.protocol.concurrent import ConcurrentRangingSession
@@ -143,24 +143,37 @@ def _trial(
     return tuple(estimates)
 
 
+@standard_run(
+    "trials", "seed", "compensate_tx_quantization", "workers", "metrics"
+)
 def run(
+    *,
     trials: int = 200,
     seed: int = 11,
     compensate_tx_quantization: bool = False,
     workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
     metrics: MetricsRegistry | None = None,
 ) -> ExperimentResult:
     """Monte-Carlo reproduction of the Fig. 4 scenario.
 
     ``workers`` parallelises the rounds; for a fixed ``seed`` the
     reproduced numbers are identical for any worker count.
+    ``batch_size`` is accepted for the standard run signature and
+    ignored (each trial runs a full protocol round through the serial
+    session); ``checkpoint`` persists trial checkpoints for resumable
+    runs.
     """
+    del batch_size  # standard-signature parameter; no batched engine here
     report = run_trials(
         partial(_trial, compensate_tx_quantization=compensate_tx_quantization),
         trials,
         seed=seed,
         workers=workers,
         metrics=metrics,
+        checkpoint_dir=checkpoint,
+        checkpoint_label="fig4",
     )
     per_responder_estimates: list[list[float]] = [[] for _ in DISTANCES_M]
     all_found: list[bool] = []

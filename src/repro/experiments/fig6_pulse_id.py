@@ -20,7 +20,7 @@ from repro.analysis.tables import Table
 from repro.channel.stochastic import IndoorEnvironment
 from repro.core.rpm import SlotPlan
 from repro.core.scheme import CombinedScheme
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, standard_run
 from repro.netsim.medium import Medium
 from repro.netsim.node import Node
 from repro.protocol.concurrent import ConcurrentRangingSession
@@ -64,23 +64,33 @@ def _trial(rng: np.random.Generator, index: int) -> tuple:
     )
 
 
+@standard_run("trials", "seed", "workers", "metrics")
 def run(
+    *,
     trials: int = 300,
     seed: int = 5,
     workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
     metrics: MetricsRegistry | None = None,
 ) -> ExperimentResult:
     """Monte-Carlo version of Fig. 6: detection + identification rates.
 
     ``workers`` parallelises the rounds; for a fixed ``seed`` the
     reproduced numbers are identical for any worker count.
+    ``batch_size`` is accepted for the standard run signature and
+    ignored (full protocol rounds); ``checkpoint`` persists trial
+    checkpoints for resumable runs.
     """
+    del batch_size  # standard-signature parameter; no batched engine here
     report = run_trials(
         _trial,
         trials,
         seed=seed,
         workers=workers,
         metrics=metrics,
+        checkpoint_dir=checkpoint,
+        checkpoint_label="fig6",
     )
     both_detected = [detected for detected, _ in report.values]
     both_identified = [identified for _, identified in report.values]

@@ -26,7 +26,7 @@ from repro.channel.stochastic import IndoorEnvironment
 from repro.constants import PAPER_OVERLAP_DETECTION
 from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
 from repro.core.threshold import ThresholdConfig, ThresholdDetector
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, standard_run
 from repro.netsim.medium import Medium
 from repro.netsim.node import Node
 from repro.protocol.concurrent import ConcurrentRangingSession
@@ -162,13 +162,23 @@ def _collect_overlapping(
     return outcomes[:trials]
 
 
+@standard_run("trials", "seed", "workers", "metrics")
 def run(
+    *,
     trials: int = 500,
     seed: int = 23,
     workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
     metrics: MetricsRegistry | None = None,
 ) -> ExperimentResult:
-    """Reproduce the Sect. VI comparison (paper count: 2000 trials)."""
+    """Reproduce the Sect. VI comparison (paper count: 2000 trials).
+
+    ``batch_size`` and ``checkpoint`` are accepted for the standard run
+    signature; the rejection-sampled wave loop keeps its own bookkeeping
+    (no batched engine, no per-wave checkpoints), so both are ignored.
+    """
+    del batch_size, checkpoint  # standard-signature parameters; unused
     outcomes = _collect_overlapping(trials, seed, workers, metrics)
     search_ok = [s for s, _ in outcomes]
     threshold_ok = [t for _, t in outcomes]

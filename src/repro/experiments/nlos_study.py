@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.analysis.tables import Table
 from repro.channel.stochastic import IndoorEnvironment
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, standard_run
 from repro.protocol.concurrent import ConcurrentRangingSession
 from repro.runtime import MetricsRegistry, run_trials
 
@@ -95,13 +95,23 @@ def _run_environment(
     }
 
 
+@standard_run("trials", "seed", "workers", "metrics")
 def run(
+    *,
     trials: int = 60,
     seed: int = 47,
     workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
     metrics: MetricsRegistry | None = None,
 ) -> ExperimentResult:
-    """Sweep the channel presets."""
+    """Sweep the channel presets.
+
+    ``batch_size`` and ``checkpoint`` are accepted for the standard run
+    signature and ignored (full protocol rounds per trial, per-cell
+    loops with their own seeding).
+    """
+    del batch_size, checkpoint  # standard-signature parameters; unused
     result = ExperimentResult(
         experiment_id="NLOS study (future work)",
         description="concurrent ranging vs channel severity",

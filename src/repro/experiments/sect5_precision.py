@@ -19,7 +19,7 @@ import numpy as np
 from repro.analysis.tables import Table
 from repro.channel.stochastic import IndoorEnvironment
 from repro.constants import PAPER_SIGMA_TWR_M
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, standard_run
 from repro.netsim.medium import Medium
 from repro.netsim.node import Node
 from repro.protocol.twr import SsTwr
@@ -49,6 +49,7 @@ def twr_errors(
     seed: int,
     workers: int = 1,
     metrics: MetricsRegistry | None = None,
+    checkpoint=None,
 ) -> np.ndarray:
     """Ranging errors of ``trials`` SS-TWR exchanges with one shape."""
     report = run_trials(
@@ -57,17 +58,30 @@ def twr_errors(
         seed=seed,
         workers=workers,
         metrics=metrics,
+        checkpoint_dir=checkpoint,
+        checkpoint_label=f"sect5_0x{register:02X}",
     )
     return np.array(report.values)
 
 
+@standard_run("trials", "seed", "workers", "metrics")
 def run(
+    *,
     trials: int = 1000,
     seed: int = 29,
     workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
     metrics: MetricsRegistry | None = None,
 ) -> ExperimentResult:
-    """Reproduce the Sect. V precision comparison (paper: 5000 trials)."""
+    """Reproduce the Sect. V precision comparison (paper: 5000 trials).
+
+    ``batch_size`` is accepted for the standard run signature; the
+    SS-TWR trials are scalar (no batched engine) so it is ignored.
+    ``checkpoint`` persists per-shape trial checkpoints for resumable
+    runs.
+    """
+    del batch_size  # standard-signature parameter; no batched engine here
     result = ExperimentResult(
         experiment_id="Sect. V precision",
         description="SS-TWR error std per pulse shape (2 nodes, 3 m apart)",
@@ -79,7 +93,12 @@ def run(
     sigmas = {}
     for name, register in SHAPE_REGISTERS.items():
         errors = twr_errors(
-            register, trials, seed + register, workers=workers, metrics=metrics
+            register,
+            trials,
+            seed + register,
+            workers=workers,
+            metrics=metrics,
+            checkpoint=checkpoint,
         )
         sigma = float(np.std(errors))
         sigmas[name] = sigma

@@ -21,7 +21,7 @@ import numpy as np
 from repro.analysis.tables import Table
 from repro.constants import RPM_MAX_OFFSET_M
 from repro.core.rpm import paper_slot_count, safe_slot_count
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, standard_run
 from repro.protocol.scheduling import network_sweep
 from repro.runtime import MetricsRegistry, run_trials
 
@@ -53,18 +53,29 @@ def _network_trial(
     )
 
 
+@standard_run(
+    "seed", "workers", "metrics", "checkpoint_dir",
+    renames={"checkpoint_dir": "checkpoint"},
+)
 def run(
+    *,
+    trials: int | None = None,
     seed: int = 0,
     workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
     metrics: MetricsRegistry | None = None,
-    checkpoint_dir=None,
 ) -> ExperimentResult:
     """Recompute every Sect. VIII scalability number.
 
     The network sweep (one trial per network size) runs on
     :func:`repro.runtime.run_trials`, so ``--workers`` parallelises the
-    rows and ``--checkpoint`` persists them.
+    rows and ``--checkpoint`` persists them.  ``trials`` and
+    ``batch_size`` are accepted for the standard run signature and
+    ignored: the sweep always runs exactly one (deterministic) trial
+    per network size.
     """
+    del trials, batch_size  # standard-signature parameters; unused
     result = ExperimentResult(
         experiment_id="Sect. VIII",
         description="scalability: slots, capacity, and message cost",
@@ -112,7 +123,7 @@ def run(
         seed=seed,
         workers=workers,
         metrics=metrics,
-        checkpoint_dir=checkpoint_dir,
+        checkpoint_dir=checkpoint,
         checkpoint_label="sect8-network-sweep",
     )
     for row in report.values:

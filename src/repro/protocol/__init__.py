@@ -17,6 +17,7 @@ from repro.protocol.concurrent import (
     ConcurrentRangingSession,
     ConcurrentRoundResult,
     EmptyRoundError,
+    PendingRound,
     ResponderOutcome,
 )
 from repro.protocol.campaign import (
@@ -43,6 +44,7 @@ __all__ = [
     "ConcurrentRangingSession",
     "ConcurrentRoundResult",
     "EmptyRoundError",
+    "PendingRound",
     "ResponderOutcome",
     "RangingCampaign",
     "CampaignResult",

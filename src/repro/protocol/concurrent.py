@@ -154,6 +154,48 @@ class ConcurrentRoundResult:
         raise KeyError(f"no responder with id {responder_id} in this round")
 
 
+@dataclass(frozen=True)
+class PendingRound:
+    """A round paused at the classification boundary.
+
+    :meth:`ConcurrentRangingSession.begin_round` runs everything that
+    consumes the session RNG — INIT broadcast, responder scheduling,
+    channel draws, CIR capture, anchor TWR — and stops right before the
+    classifier.  Classification itself consumes *no* randomness, so a
+    batch runner can stack many pending rounds' CIRs into one
+    :func:`repro.core.batch_id.classify_batch` pass and hand each result
+    back to :meth:`ConcurrentRangingSession.finish_round` with results
+    byte-identical to serial :meth:`~ConcurrentRangingSession.run_round`
+    calls.
+
+    The ``cir``/``noise_std`` convenience accessors expose exactly what
+    the classifier consumes (and what
+    :class:`~repro.core.batch_id.ClassifyBatchTrial` ``prepare``
+    callables return).
+    """
+
+    capture: CirCapture
+    d_twr_m: float
+    truth: Dict[int, float]
+    trace: TraceRecorder
+    round_index: int = 0
+    #: Fault machinery active for this round (internal; consumed by
+    #: ``finish_round`` for the per-responder fault annotations).
+    active: "ActiveFaults | None" = None
+
+    @property
+    def cir(self) -> np.ndarray:
+        return self.capture.samples
+
+    @property
+    def sampling_period_s(self) -> float:
+        return self.capture.sampling_period_s
+
+    @property
+    def noise_std(self) -> float:
+        return self.capture.noise_std
+
+
 class ConcurrentRangingSession:
     """A fixed topology running concurrent ranging rounds.
 
@@ -343,6 +385,37 @@ class ConcurrentRangingSession:
         Raises :class:`EmptyRoundError` when every responder stays
         silent; :meth:`run_resilient_round` converts that into a partial
         result instead.
+
+        Equivalent to :meth:`begin_round` → serial classification →
+        :meth:`finish_round`; batch runners use the split form to stack
+        many rounds' CIRs into one
+        :func:`repro.core.batch_id.classify_batch` pass.
+        """
+        pending = self.begin_round(
+            start_time_s, round_index, _attempt=_attempt
+        )
+        classified = self.classifier.classify(
+            pending.capture.samples,
+            pending.capture.sampling_period_s,
+            noise_std=pending.capture.noise_std,
+        )
+        return self.finish_round(pending, classified)
+
+    def begin_round(
+        self,
+        start_time_s: float | None = None,
+        round_index: int = 0,
+        *,
+        _attempt: int = 0,
+    ) -> PendingRound:
+        """Run a round up to (but excluding) classification.
+
+        Consumes exactly the randomness a full :meth:`run_round` would
+        have consumed before the classifier (which consumes none), so
+        ``begin_round`` + external classification +
+        :meth:`finish_round` reproduces :meth:`run_round` byte for
+        byte.  Raises :class:`EmptyRoundError` exactly as
+        :meth:`run_round` does.
         """
         rng = self.rng
         if start_time_s is None:
@@ -361,21 +434,21 @@ class ConcurrentRangingSession:
             previous_transform = self.medium.channel_transform
             self.medium.channel_transform = active.channel_transform(ctx)
         try:
-            return self._run_round_inner(
+            return self._begin_round_inner(
                 rng, start_time_s, round_index, active, ctx
             )
         finally:
             if active is not None:
                 self.medium.channel_transform = previous_transform
 
-    def _run_round_inner(
+    def _begin_round_inner(
         self,
         rng: np.random.Generator,
         start_time_s: float,
         round_index: int,
         active: ActiveFaults | None,
         ctx: FaultContext | None,
-    ) -> ConcurrentRoundResult:
+    ) -> PendingRound:
         trace = TraceRecorder()
         init_node = self.initiator
         init_config = init_node.radio.config
@@ -536,36 +609,59 @@ class ConcurrentRangingSession:
             relative_drift_ppm=estimated_drift_ppm,
         )
 
-        # 5. Detect, classify, decode.
-        classified = self.classifier.classify(
-            capture.samples,
-            capture.sampling_period_s,
-            noise_std=capture.noise_std,
+        # Step 5 (detect/classify/decode) happens outside: the round is
+        # paused at the classification boundary so a batch runner can
+        # classify many rounds' CIRs in one engine pass.
+        return PendingRound(
+            capture=capture,
+            d_twr_m=d_twr,
+            truth=truth,
+            trace=trace,
+            round_index=round_index,
+            active=active,
         )
-        ranging = self.scheme.decode_responses(classified, d_twr)
+
+    def finish_round(
+        self,
+        pending: PendingRound,
+        classified,
+    ) -> ConcurrentRoundResult:
+        """Complete a :meth:`begin_round` round from its classification.
+
+        ``classified`` is the list of
+        :class:`~repro.core.pulse_id.ClassifiedResponse` for the pending
+        round's CIR — from the serial classifier, or one slice of a
+        :func:`repro.core.batch_id.classify_batch` result.  Decodes
+        responder identities (step 5), matches outcomes against ground
+        truth, and advances the medium's coherence interval exactly as
+        :meth:`run_round` would have.
+        """
+        active = pending.active
+        classified = list(classified)
+        ranging = self.scheme.decode_responses(classified, pending.d_twr_m)
 
         fault_notes = (
             {
                 rid: active.events_for(rid)
-                for rid in truth
+                for rid in pending.truth
                 if active.events_for(rid)
             }
             if active is not None
             else {}
         )
-        outcomes = self._match_outcomes(ranging, truth, fault_notes)
+        outcomes = self._match_outcomes(ranging, pending.truth, fault_notes)
         self.medium.new_coherence_interval()
         return ConcurrentRoundResult(
-            capture=capture,
-            d_twr_m=d_twr,
+            capture=pending.capture,
+            d_twr_m=pending.d_twr_m,
             classified=tuple(classified),
             ranging=ranging,
             outcomes=tuple(outcomes),
-            trace=trace,
+            trace=pending.trace,
             fault_events=(
                 tuple(active.round_events) if active is not None else ()
             ),
-            round_index=round_index,
+            round_index=pending.round_index,
         )
 
     # -- resilience ---------------------------------------------------------

@@ -48,6 +48,9 @@ from repro.runtime.executor import (
     TrialFailure,
     TrialRun,
     WorkerTimeoutError,
+    WorkloadShape,
+    choose_batch_size,
+    resolve_policy,
     spawn_trial_seeds,
 )
 from repro.runtime.metrics import MetricsRegistry, global_metrics
@@ -66,12 +69,15 @@ __all__ = [
     "TrialRun",
     "TrialRunReport",
     "WorkerTimeoutError",
+    "WorkloadShape",
     "all_cache_snapshots",
+    "choose_batch_size",
     "clear_all_caches",
     "get_cache",
     "global_metrics",
     "make_executor",
     "pulse",
+    "resolve_policy",
     "run_key",
     "run_trials",
     "spawn_trial_seeds",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import functools
 import time
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Union
 
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.executor import (
@@ -97,7 +97,7 @@ def run_trials(
     fallback_to_serial: bool = True,
     max_trial_retries: int = 0,
     retry_backoff_s: float = 0.0,
-    batch_size: int = 1,
+    batch_size: Union[int, str] = 1,
     checkpoint_dir=None,
     checkpoint_label: Optional[str] = None,
     executor: Optional[TrialExecutor] = None,
@@ -135,9 +135,13 @@ def run_trials(
         group up to this many consecutive trials of each chunk into one
         batched engine call (e.g. one
         :func:`repro.core.batch.detect_batch` pass across the group).
-        Per-trial seeding is unchanged, so results equal the
-        ``batch_size=1`` run for any value.  Ignored for plain trial
-        functions.
+        The string ``"auto"`` picks the batch size from the workload
+        shape (see :func:`~repro.runtime.executor.choose_batch_size`)
+        when the trial carries a
+        :class:`~repro.runtime.executor.WorkloadShape`, and runs
+        unbatched otherwise.  Per-trial seeding is unchanged, so results
+        equal the ``batch_size=1`` run for any value.  Ignored for plain
+        trial functions.
     checkpoint_dir:
         When given, completed trials are persisted to sharded
         checkpoints in this directory as the run progresses, and a

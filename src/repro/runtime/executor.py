@@ -30,13 +30,14 @@ functions keep the callable picklable for the parallel path).
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import time
 import traceback as traceback_module
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -49,10 +50,13 @@ __all__ = [
     "WorkerTimeoutError",
     "TrialRun",
     "BatchTrial",
+    "WorkloadShape",
     "ExecutionPolicy",
     "TrialExecutor",
     "SerialExecutor",
     "ParallelExecutor",
+    "choose_batch_size",
+    "resolve_policy",
     "spawn_trial_seeds",
 ]
 
@@ -64,6 +68,92 @@ TrialFn = Callable[[np.random.Generator, int], Any]
 BatchTrialFn = Callable[
     [List[np.random.Generator], List[int]], Sequence[Any]
 ]
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """What the executor needs to know about a batched engine workload.
+
+    ``batch_size="auto"`` resolves through :func:`choose_batch_size`,
+    which needs the shape of the per-trial engine call: the native CIR
+    length, the template-bank size, and the upsampling factor (the three
+    knobs that size the ``(B, n_templates, fft_length)`` batch scratch
+    buffers).  A :class:`BatchTrial` that carries its workload shape
+    opts in to auto batch sizing; one without it runs unbatched under
+    ``"auto"``.
+    """
+
+    cir_length: int
+    bank_size: int
+    upsample_factor: int = 8
+
+    def __post_init__(self) -> None:
+        if self.cir_length < 1:
+            raise ValueError(
+                f"cir_length must be >= 1, got {self.cir_length}"
+            )
+        if self.bank_size < 1:
+            raise ValueError(f"bank_size must be >= 1, got {self.bank_size}")
+        if self.upsample_factor < 1:
+            raise ValueError(
+                f"upsample_factor must be >= 1, got {self.upsample_factor}"
+            )
+
+
+#: Scratch-memory ceiling for one batched engine pass (the
+#: ``(B, n_templates, fft_length)`` complex product buffer plus its
+#: inverse-transform output) used by :func:`choose_batch_size`.
+MAX_BATCH_SCRATCH_BYTES = 256 * 1024 * 1024
+
+#: Largest batch size :func:`choose_batch_size` will ever pick; beyond
+#: this the FFT batching gains flatten while the scratch buffers keep
+#: growing (see ``benchmarks/bench_detector.py``, B in {1, 8, 64}).
+MAX_AUTO_BATCH = 64
+
+
+def choose_batch_size(
+    n_trials: int,
+    cir_length: int,
+    bank_size: int,
+    workers: int = 1,
+    *,
+    upsample_factor: int = 8,
+    memory_budget_bytes: int = MAX_BATCH_SCRATCH_BYTES,
+) -> int:
+    """Pick a batch size from the workload shape (``batch_size="auto"``).
+
+    The heuristic balances three pressures:
+
+    * **Enough trials per group.**  Each worker sees roughly
+      ``n_trials / workers`` trials; a batch larger than that degrades
+      into one short group per worker and gains nothing.
+    * **Bounded scratch memory.**  One batched pass materialises two
+      ``(B, bank_size, ~2 * cir_length * upsample_factor)`` complex
+      tensors (spectrum product + inverse-transform output); B is capped
+      so they stay under ``memory_budget_bytes``.
+    * **Diminishing returns.**  Past :data:`MAX_AUTO_BATCH` the
+      forward/inverse transforms are already fully amortised
+      (measured in ``BENCH_detector.json``), so larger batches only pay
+      memory.
+
+    The result is rounded down to a power of two so chunks split into
+    even groups, and is always >= 1.  Determinism note: the choice
+    depends only on the arguments — never on runtime load — so a run
+    with ``batch_size="auto"`` is exactly reproducible (and, by the
+    :class:`BatchTrial` equivalence contract, equals the
+    ``batch_size=1`` run anyway).
+    """
+    if n_trials <= 1 or cir_length < 1 or bank_size < 1:
+        return 1
+    # Two complex (B, bank, padded-length) tensors; the padded FFT
+    # length is ~2x the upsampled CIR length (next_fast_len of the full
+    # linear-correlation support).
+    bytes_per_trial = 2 * 16 * bank_size * 2 * cir_length * upsample_factor
+    memory_cap = max(1, int(memory_budget_bytes // max(1, bytes_per_trial)))
+    per_worker = max(1, n_trials // max(1, workers))
+    batch = min(MAX_AUTO_BATCH, memory_cap, per_worker)
+    # Round down to a power of two for even group splits.
+    return 1 << (int(batch).bit_length() - 1)
 
 
 @dataclass(frozen=True)
@@ -90,10 +180,15 @@ class BatchTrial:
 
     Build instances from ``functools.partial`` over module-level
     functions to keep them picklable for the parallel path.
+
+    ``workload`` (optional) describes the shape of the batched engine
+    call (:class:`WorkloadShape`); carrying it opts the trial into
+    ``batch_size="auto"`` resolution via :func:`choose_batch_size`.
     """
 
     single: TrialFn
     batch: BatchTrialFn
+    workload: Optional[WorkloadShape] = None
 
     def __call__(self, rng: np.random.Generator, index: int) -> Any:
         return self.single(rng, index)
@@ -202,11 +297,13 @@ class ExecutionPolicy:
         Trials per batched engine call when the trial function is a
         :class:`BatchTrial`.  ``1`` (default) runs every trial through
         the per-trial path; ``B >= 2`` groups up to ``B`` consecutive
-        trials of each chunk into one ``run_batch`` call.  Seeding is
-        unchanged (trial ``i`` still consumes seed child ``i``), so
-        results are identical for any batch size as long as the batched
-        function matches its per-trial form.  Ignored for plain trial
-        functions.
+        trials of each chunk into one ``run_batch`` call.  The string
+        ``"auto"`` defers the choice to :func:`choose_batch_size`, using
+        the :class:`WorkloadShape` carried by the :class:`BatchTrial`
+        (a trial without one runs unbatched).  Seeding is unchanged
+        (trial ``i`` still consumes seed child ``i``), so results are
+        identical for any batch size as long as the batched function
+        matches its per-trial form.  Ignored for plain trial functions.
     """
 
     fail_fast: bool = True
@@ -216,7 +313,7 @@ class ExecutionPolicy:
     max_trial_retries: int = 0
     retry_backoff_s: float = 0.0
     retry_backoff_factor: float = 2.0
-    batch_size: int = 1
+    batch_size: Union[int, str] = 1
 
     def __post_init__(self) -> None:
         if not self.worker_timeout_s > 0:
@@ -242,10 +339,47 @@ class ExecutionPolicy:
                 "retry_backoff_factor must be >= 1, got "
                 f"{self.retry_backoff_factor}"
             )
-        if self.batch_size < 1:
+        if isinstance(self.batch_size, str):
+            if self.batch_size != "auto":
+                raise ValueError(
+                    "batch_size must be an int >= 1 or the string "
+                    f"'auto', got {self.batch_size!r}"
+                )
+        elif self.batch_size < 1:
             raise ValueError(
                 f"batch_size must be >= 1, got {self.batch_size}"
             )
+
+
+def resolve_policy(
+    policy: "ExecutionPolicy",
+    fn: TrialFn,
+    n_trials: int,
+    workers: int,
+) -> "ExecutionPolicy":
+    """Resolve ``batch_size="auto"`` into a concrete integer policy.
+
+    Called once at the top of every executor run, so the dispatch
+    machinery (chunk sizing, group iteration, worker entry points) only
+    ever sees integer batch sizes.  An ``"auto"`` policy resolves via
+    :func:`choose_batch_size` when ``fn`` is a :class:`BatchTrial`
+    carrying a :class:`WorkloadShape`, and to ``1`` (unbatched)
+    otherwise.  Concrete policies pass through unchanged.
+    """
+    if policy.batch_size != "auto":
+        return policy
+    if isinstance(fn, BatchTrial) and fn.workload is not None:
+        shape = fn.workload
+        batch = choose_batch_size(
+            n_trials,
+            shape.cir_length,
+            shape.bank_size,
+            workers,
+            upsample_factor=shape.upsample_factor,
+        )
+    else:
+        batch = 1
+    return dataclasses.replace(policy, batch_size=batch)
 
 
 def spawn_trial_seeds(seed, n_trials: int) -> List[np.random.SeedSequence]:
@@ -497,6 +631,8 @@ class SerialExecutor(TrialExecutor):
     ) -> TrialRun:
         metrics = self._start_run(n_trials, metrics)
         metrics.gauge("runtime.workers").set(1)
+        policy = resolve_policy(self.policy, fn, n_trials, 1)
+        metrics.gauge("runtime.batch_size").set(policy.batch_size)
         seeds = spawn_trial_seeds(seed, n_trials)
         work = (
             list(range(n_trials))
@@ -509,9 +645,9 @@ class SerialExecutor(TrialExecutor):
         unflushed: List[Tuple[int, bool, Any]] = []
         items = [(index, seeds[index]) for index in work]
         try:
-            for group in _iter_groups(items, self.policy.batch_size):
+            for group in _iter_groups(items, policy.batch_size):
                 results, batches, fallbacks = _run_group(
-                    fn, group, self.policy
+                    fn, group, policy
                 )
                 if batches:
                     metrics.counter("runtime.batches").inc(batches)
@@ -520,7 +656,7 @@ class SerialExecutor(TrialExecutor):
                 for index, ok, payload, attempts in results:
                     if attempts:
                         metrics.counter("runtime.trial_retries").inc(attempts)
-                    if not ok and self.policy.fail_fast:
+                    if not ok and policy.fail_fast:
                         raise TrialError(payload)
                     entries.append((index, ok, payload))
                     if checkpoint is not None:
@@ -560,17 +696,17 @@ class ParallelExecutor(TrialExecutor):
 
     # -- helpers ------------------------------------------------------------
 
-    def _chunk_size(self, n_trials: int) -> int:
-        if self.policy.chunk_size is not None:
-            return self.policy.chunk_size
+    def _chunk_size(self, n_trials: int, policy: ExecutionPolicy) -> int:
+        if policy.chunk_size is not None:
+            return policy.chunk_size
         # ~4 chunks per worker: granular enough to balance uneven trial
         # costs, coarse enough to amortise dispatch overhead.
         size = max(1, -(-n_trials // (self.workers * 4)))
-        if self.policy.batch_size > 1:
+        if policy.batch_size > 1:
             # Round up to a whole number of batches so the batched
             # engine path sees full groups (a short group only at the
             # very end of each chunk's item list).
-            size = -(-size // self.policy.batch_size) * self.policy.batch_size
+            size = -(-size // policy.batch_size) * policy.batch_size
         return size
 
     def _serial_fallback(
@@ -580,12 +716,13 @@ class ParallelExecutor(TrialExecutor):
         seed,
         metrics: MetricsRegistry,
         reason: str,
+        policy: Optional[ExecutionPolicy] = None,
         indices: Optional[Sequence[int]] = None,
         checkpoint=None,
     ) -> TrialRun:
         metrics.counter("runtime.serial_fallbacks").inc()
         metrics.gauge("runtime.workers").set(1)
-        run = SerialExecutor(self.policy).run(
+        run = SerialExecutor(policy or self.policy).run(
             fn, n_trials, seed, metrics, indices=indices, checkpoint=checkpoint
         )
         # The serial executor already counted this run's trials; undo the
@@ -608,6 +745,8 @@ class ParallelExecutor(TrialExecutor):
     ) -> TrialRun:
         metrics = self._start_run(n_trials, metrics)
         metrics.gauge("runtime.workers").set(self.workers)
+        policy = resolve_policy(self.policy, fn, n_trials, self.workers)
+        metrics.gauge("runtime.batch_size").set(policy.batch_size)
 
         work = (
             list(range(n_trials))
@@ -622,17 +761,17 @@ class ParallelExecutor(TrialExecutor):
         try:
             pickle.dumps(fn)
         except Exception as error:  # pickling errors vary by payload
-            if self.policy.fallback_to_serial:
+            if policy.fallback_to_serial:
                 return self._serial_fallback(
                     fn, n_trials, seed, metrics,
                     f"unpicklable fn: {error!r}",
-                    indices=indices, checkpoint=checkpoint,
+                    policy=policy, indices=indices, checkpoint=checkpoint,
                 )
             raise
 
         seeds = spawn_trial_seeds(seed, n_trials)
         items = [(index, seeds[index]) for index in work]
-        chunk_size = self._chunk_size(len(items))
+        chunk_size = self._chunk_size(len(items), policy)
         metrics.gauge("runtime.chunk_size").set(chunk_size)
         chunks = [
             items[start:start + chunk_size]
@@ -651,11 +790,11 @@ class ParallelExecutor(TrialExecutor):
         try:
             pool = context.Pool(processes=min(self.workers, len(chunks)))
         except Exception as error:  # pool refused to start (sandbox, limits)
-            if self.policy.fallback_to_serial:
+            if policy.fallback_to_serial:
                 return self._serial_fallback(
                     fn, n_trials, seed, metrics,
                     f"pool start failed: {error!r}",
-                    indices=indices, checkpoint=checkpoint,
+                    policy=policy, indices=indices, checkpoint=checkpoint,
                 )
             raise
 
@@ -664,7 +803,7 @@ class ParallelExecutor(TrialExecutor):
         try:
             pending = [
                 pool.apply_async(
-                    _execute_chunk, (fn, chunk_items, self.policy)
+                    _execute_chunk, (fn, chunk_items, policy)
                 )
                 for chunk_items in chunks
             ]
@@ -673,13 +812,13 @@ class ParallelExecutor(TrialExecutor):
                 try:
                     (
                         chunk_entries, delta, chunk_s, retries, batch_stats
-                    ) = result.get(timeout=self.policy.worker_timeout_s)
+                    ) = result.get(timeout=policy.worker_timeout_s)
                 except multiprocessing.TimeoutError:
-                    if not self.policy.fallback_to_serial:
+                    if not policy.fallback_to_serial:
                         pool.terminate()
                         raise WorkerTimeoutError(
                             f"a chunk of {len(chunk_items)} trial(s) "
-                            f"exceeded the {self.policy.worker_timeout_s}s "
+                            f"exceeded the {policy.worker_timeout_s}s "
                             "worker timeout"
                         ) from None
                     # Worker crash/hang recovery: re-run ONLY the lost
@@ -692,7 +831,7 @@ class ParallelExecutor(TrialExecutor):
                     metrics.counter("runtime.chunk_redispatches").inc()
                     (
                         chunk_entries, delta, chunk_s, retries, batch_stats
-                    ) = _execute_chunk(fn, chunk_items, self.policy)
+                    ) = _execute_chunk(fn, chunk_items, policy)
                 except TrialError:
                     pool.terminate()
                     raise

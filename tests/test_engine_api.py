@@ -1,0 +1,160 @@
+"""The shared engine API: structural conformance + uniform behaviour.
+
+Every CIR-consuming engine must satisfy :class:`repro.core.Engine`
+(``detect``/``detect_batch``); classifiers additionally satisfy
+:class:`repro.core.ClassifierEngine` (``classify``/``classify_batch``).
+These tests pin the contract the rest of the codebase (experiments,
+trial runtime, benchmarks) relies on: runtime-checkable protocol
+membership, uniform ``(cirs, sampling_period_s, noise_std)`` signatures,
+``B == 0 -> []``, delay-ascending ordering, and the batch entry points
+being exported from ``repro.core``.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.constants import CIR_SAMPLING_PERIOD_S as TS
+from repro.core import ClassifierEngine, Engine
+from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
+from repro.core.pulse_id import PulseShapeClassifier
+from repro.core.threshold import ThresholdConfig, ThresholdDetector
+from repro.signal.pulses import dw1000_pulse
+from repro.signal.sampling import place_pulse
+from repro.signal.templates import TemplateBank
+
+_PULSE = dw1000_pulse()
+_BANK = TemplateBank.paper_bank(2)
+
+
+def _engines():
+    return [
+        SearchAndSubtract(_BANK, SearchAndSubtractConfig(max_responses=2)),
+        ThresholdDetector(_PULSE, ThresholdConfig(max_responses=2)),
+        PulseShapeClassifier(_BANK, SearchAndSubtractConfig(max_responses=2)),
+    ]
+
+
+def _two_pulse_cir(rng, length=509):
+    cir = np.zeros(length, dtype=complex)
+    for position in (120.0, 320.0):
+        place_pulse(
+            cir,
+            _PULSE.samples.astype(complex),
+            position,
+            0.5 * np.exp(1j * rng.uniform(0, 2 * np.pi)),
+        )
+    cir += 0.01 * (
+        rng.standard_normal(length) + 1j * rng.standard_normal(length)
+    ) / np.sqrt(2.0)
+    return cir
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("engine", _engines(), ids=lambda e: type(e).__name__)
+    def test_every_engine_is_an_engine(self, engine):
+        assert isinstance(engine, Engine)
+
+    def test_classifier_is_a_classifier_engine(self):
+        classifier = PulseShapeClassifier(_BANK)
+        assert isinstance(classifier, ClassifierEngine)
+        assert isinstance(classifier, Engine)  # refinement, not a fork
+
+    @pytest.mark.parametrize(
+        "engine",
+        [
+            SearchAndSubtract(_PULSE),
+            ThresholdDetector(_PULSE),
+        ],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_pure_detectors_are_not_classifier_engines(self, engine):
+        assert not isinstance(engine, ClassifierEngine)
+
+    def test_non_engine_rejected(self):
+        assert not isinstance(object(), Engine)
+
+    @pytest.mark.parametrize("engine", _engines(), ids=lambda e: type(e).__name__)
+    def test_uniform_signatures(self, engine):
+        """Beyond method presence: the parameter *names* line up, so
+        keyword call sites can swap engines freely."""
+        for method_name in ("detect", "detect_batch"):
+            parameters = list(
+                inspect.signature(getattr(engine, method_name)).parameters
+            )
+            assert parameters[0] in ("cir", "cirs")
+            assert parameters[1] == "sampling_period_s"
+            assert "noise_std" in parameters
+
+
+class TestUniformBehaviour:
+    @pytest.mark.parametrize("engine", _engines(), ids=lambda e: type(e).__name__)
+    def test_empty_batch_returns_empty(self, engine):
+        assert engine.detect_batch(np.zeros((0, 256)), TS) == []
+
+    @pytest.mark.parametrize("engine", _engines(), ids=lambda e: type(e).__name__)
+    def test_batch_entries_match_serial(self, engine):
+        rng = np.random.default_rng(5)
+        cirs = np.stack([_two_pulse_cir(rng) for _ in range(3)])
+        serial = [
+            engine.detect(cirs[b], TS, noise_std=0.01) for b in range(3)
+        ]
+        batched = engine.detect_batch(cirs, TS, noise_std=0.01)
+        assert len(batched) == 3
+        for got, want in zip(batched, serial):
+            assert [r.template_index for r in got] == [
+                r.template_index for r in want
+            ]
+            assert [r.index for r in got] == pytest.approx(
+                [r.index for r in want], rel=1e-9
+            )
+
+    @pytest.mark.parametrize("engine", _engines(), ids=lambda e: type(e).__name__)
+    def test_responses_sorted_by_delay(self, engine):
+        rng = np.random.default_rng(9)
+        responses = engine.detect(_two_pulse_cir(rng), TS, noise_std=0.01)
+        delays = [r.delay_s for r in responses]
+        assert delays == sorted(delays)
+        assert len(responses) == 2
+
+    def test_classifier_batch_matches_serial_classify(self):
+        classifier = PulseShapeClassifier(
+            _BANK, SearchAndSubtractConfig(max_responses=2)
+        )
+        rng = np.random.default_rng(17)
+        cirs = np.stack([_two_pulse_cir(rng) for _ in range(2)])
+        serial = [
+            classifier.classify(cirs[b], TS, noise_std=0.01) for b in range(2)
+        ]
+        batched = classifier.classify_batch(cirs, TS, noise_std=0.01)
+        for got, want in zip(batched, serial):
+            assert [c.shape_index for c in got] == [
+                c.shape_index for c in want
+            ]
+            assert [c.confidence for c in got] == pytest.approx(
+                [c.confidence for c in want], rel=1e-9
+            )
+
+
+class TestCoreExports:
+    """The batch entry points and protocols ship from ``repro.core``."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "Engine",
+            "ClassifierEngine",
+            "BatchClassifierPlan",
+            "ClassifyBatchTrial",
+            "batch_classifier_plan",
+            "classify_batch",
+            "classify_responses",
+            "detect_batch",
+            "detect_threshold_batch",
+        ],
+    )
+    def test_exported(self, name):
+        assert name in core.__all__
+        assert getattr(core, name) is not None

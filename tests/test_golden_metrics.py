@@ -30,6 +30,7 @@ import pytest
 from repro.experiments import (
     ablation_detectors,
     fig7_overlap,
+    fig8_combined,
     sect5_precision,
     table1_pulse_id,
 )
@@ -54,6 +55,12 @@ CASES = {
     ),
     "ablation_detectors(trials=10, seed=37)": (
         lambda: ablation_detectors.run(trials=10, seed=37)
+    ),
+    # Pinned on the batched-classifier port: any drift between the
+    # serial and batched identification engines shows up here first
+    # (run() defaults to batch_size="auto" on this workload).
+    "fig8_combined(trials=6, seed=31)": (
+        lambda: fig8_combined.run(trials=6, seed=31)
     ),
 }
 

@@ -275,3 +275,193 @@ class TestPlanCacheBatchKey:
         # Repeat lookups come from the cache and keep their types.
         assert detector_plan([_PULSE], 509, 8, TS) is base
         assert batch_detector_plan([_PULSE], 509, 8, TS, batch_size=4) is batch
+
+
+class TestClassifierEnginesAgree:
+    """Differential sweep for the batched classifier (Sect. V at scale).
+
+    :func:`repro.core.batch_id.classify_batch` must equal B independent
+    :meth:`PulseShapeClassifier.classify` calls — same response count
+    and order, same winning shape indices, confidences and positions
+    within ``rtol <= 1e-9``.
+    """
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        length=st.sampled_from(_LENGTHS),
+        batch=st.integers(1, 5),
+        clipped=st.booleans(),
+    )
+    def test_batched_matches_serial(self, seed, length, batch, clipped):
+        from repro.core.batch_id import classify_batch
+        from repro.core.pulse_id import PulseShapeClassifier
+
+        bank = TemplateBank.paper_bank(3)
+        rng = np.random.default_rng(seed)
+        cirs = np.stack(
+            [
+                _random_cir(rng, length, rng.integers(1, 4), clipped=clipped)
+                for _ in range(batch)
+            ]
+        )
+        config = SearchAndSubtractConfig(max_responses=3)
+        classifier = PulseShapeClassifier(bank, config)
+        serial = [
+            classifier.classify(cirs[b], TS, noise_std=0.01)
+            for b in range(batch)
+        ]
+        batched = classify_batch(cirs, bank, TS, config, noise_std=0.01)
+        assert len(batched) == batch
+        for got, want in zip(batched, serial):
+            self._assert_classified_close(got, want)
+
+    @staticmethod
+    def _assert_classified_close(got, want):
+        assert len(got) == len(want)
+        for classified, reference in zip(got, want):
+            assert classified.shape_index == reference.shape_index
+            assert classified.shape_name == reference.shape_name
+            if np.isinf(reference.confidence):
+                assert np.isinf(classified.confidence)
+            else:
+                assert classified.confidence == pytest.approx(
+                    reference.confidence, rel=RTOL
+                )
+            _assert_responses_close(
+                [classified.response], [reference.response]
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), length=st.sampled_from(_LENGTHS))
+    def test_per_trial_noise_vector_matches_scalar_calls(self, seed, length):
+        from repro.core.batch_id import classify_batch
+        from repro.core.pulse_id import PulseShapeClassifier
+
+        bank = TemplateBank.paper_bank(2)
+        rng = np.random.default_rng(seed)
+        cirs = np.stack([_random_cir(rng, length, 2) for _ in range(3)])
+        stds = [0.005, 0.02, 0.08]
+        config = SearchAndSubtractConfig(max_responses=2, min_peak_snr=4.0)
+        classifier = PulseShapeClassifier(bank, config)
+        serial = [
+            classifier.classify(cirs[b], TS, noise_std=stds[b])
+            for b in range(3)
+        ]
+        batched = classify_batch(cirs, bank, TS, config, noise_std=stds)
+        for got, want in zip(batched, serial):
+            self._assert_classified_close(got, want)
+
+    def test_empty_batch_returns_empty(self):
+        from repro.core.batch_id import classify_batch
+
+        assert classify_batch(np.zeros((0, 256)), _BANK, TS) == []
+
+    def test_single_trial_batch_equals_serial(self):
+        """B=1: the degenerate batch must round-trip the serial result
+        (and must not be served a single-CIR or detector-family plan)."""
+        from repro.core.batch_id import classify_batch
+        from repro.core.pulse_id import PulseShapeClassifier
+
+        rng = np.random.default_rng(7)
+        cir = _random_cir(rng, 509, 2)
+        config = SearchAndSubtractConfig(max_responses=2)
+        serial = PulseShapeClassifier(_BANK, config).classify(
+            cir, TS, noise_std=0.01
+        )
+        batched = classify_batch(
+            cir[np.newaxis, :], _BANK, TS, config, noise_std=0.01
+        )
+        assert len(batched) == 1
+        self._assert_classified_close(batched[0], serial)
+
+    def test_single_template_bank_confidence_infinite(self):
+        """A 1-template bank has no runner-up: confidence is inf on both
+        paths and every response maps to shape 0."""
+        from repro.core.batch_id import classify_batch
+
+        bank = TemplateBank.paper_bank(1)
+        rng = np.random.default_rng(11)
+        cirs = np.stack([_random_cir(rng, 318, 1) for _ in range(2)])
+        results = classify_batch(
+            cirs, bank, TS, SearchAndSubtractConfig(max_responses=1),
+            noise_std=0.01,
+        )
+        for trial in results:
+            assert len(trial) == 1
+            assert trial[0].shape_index == 0
+            assert np.isinf(trial[0].confidence)
+
+    def test_tied_scores_resolve_deterministically(self):
+        """Ties (equal winning and runner-up scores) must resolve to
+        ``np.argsort``'s descending-order winner with confidence 1.0 —
+        the decision is deterministic, never platform- or path-
+        dependent.  Both engines run the same shared decision core
+        (:func:`repro.core.pulse_id.classify_responses`), so testing it
+        once covers the serial and the batched path by construction."""
+        from repro.core.detection import DetectedResponse
+        from repro.core.pulse_id import classify_responses
+
+        tied = DetectedResponse(
+            index=100.0,
+            delay_s=100.0 * TS,
+            amplitude=1.0 + 0j,
+            template_index=0,
+            scores=(0.75, 0.75),
+        )
+        [classified] = classify_responses([tied])
+        # np.argsort is stable ascending; reversed, the tie's winner is
+        # the *last* maximal index — pinned here so any future change
+        # (e.g. to a first-index rule) must consciously touch this test.
+        assert classified.shape_index == 1
+        assert classified.confidence == pytest.approx(1.0)
+
+    def test_1d_input_rejected_with_guidance(self):
+        from repro.core.batch_id import classify_batch
+
+        with pytest.raises(ValueError, match="np.newaxis"):
+            classify_batch(np.zeros(256, dtype=complex), _BANK, TS)
+
+    def test_empty_bank_rejected(self):
+        from repro.core.batch_id import classify_batch
+
+        with pytest.raises(ValueError, match="non-empty"):
+            classify_batch(np.zeros((2, 256)), [], TS)
+
+
+class TestPlanFamilyKeys:
+    """Classifier plans share the cache with detector plans; the
+    ``kind`` discriminator must keep the two families apart at every
+    batch shape."""
+
+    def test_detector_and_classifier_keys_differ(self):
+        for batch_size in (None, 1, 8):
+            assert plan_cache_key(
+                [_PULSE], 509, 8, TS, batch_size=batch_size
+            ) != plan_cache_key(
+                [_PULSE], 509, 8, TS, batch_size=batch_size,
+                kind="classifier",
+            )
+
+    def test_classifier_plan_wraps_shared_batch_plan(self):
+        from repro.core.batch_id import BatchClassifierPlan, batch_classifier_plan
+
+        bank = TemplateBank.paper_bank(2)
+        plan = batch_classifier_plan(bank, 509, 8, TS, batch_size=4)
+        assert isinstance(plan, BatchClassifierPlan)
+        assert plan.batch_size == 4
+        assert plan.n_templates == 2
+        # The wrapped detector plan is the *same* cached object the
+        # batched detection path uses — artifacts shared, not copied.
+        assert plan.detector is batch_detector_plan(
+            list(bank), 509, 8, TS, 4
+        )
+        # Repeat lookups hit the classifier-family cache entry.
+        assert batch_classifier_plan(bank, 509, 8, TS, batch_size=4) is plan
+
+    def test_bank_size_mismatch_rejected(self):
+        from repro.core.batch_id import BatchClassifierPlan
+
+        detector = batch_detector_plan([_PULSE], 509, 8, TS, 2)
+        with pytest.raises(ValueError, match="templates"):
+            BatchClassifierPlan(detector, TemplateBank.paper_bank(3))

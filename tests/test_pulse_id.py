@@ -118,3 +118,30 @@ class TestAccessors:
         assert result.index == pytest.approx(222.0, abs=0.2)
         assert result.delay_s == pytest.approx(222.0 * TS, rel=1e-3)
         assert abs(result.amplitude) == pytest.approx(1e-3, rel=0.1)
+
+    def test_index_proxy_is_float(self, paper_bank, rng):
+        """Regression: ``ClassifiedResponse.index`` is annotated
+        ``-> float`` but used to hand back whatever the wrapped
+        :class:`DetectedResponse` stored (an ``np.float64``), leaking
+        NumPy scalars into e.g. JSON serialisation.  The proxy must
+        coerce to a builtin float."""
+        from repro.core.detection import DetectedResponse
+        from repro.core.pulse_id import classify_responses
+
+        response = DetectedResponse(
+            index=np.float64(123.25),
+            delay_s=123.25 * TS,
+            amplitude=1.0 + 0j,
+            template_index=0,
+            scores=(1.0,),
+        )
+        [classified] = classify_responses([response])
+        assert type(classified.index) is float
+        assert classified.index == 123.25
+        # The end-to-end path returns builtin floats too.
+        cir = make_cir([(222.0, 1e-3, paper_bank[0])], noise_std=1e-5, rng=rng)
+        classifier = PulseShapeClassifier(
+            paper_bank, SearchAndSubtractConfig(max_responses=1)
+        )
+        result = classifier.classify(cir, TS, noise_std=1e-5)[0]
+        assert type(result.index) is float

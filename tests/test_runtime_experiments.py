@@ -187,3 +187,72 @@ class TestStatisticalSanity:
         search = result.metric("search_and_subtract_rate").measured
         threshold = result.metric("threshold_rate").measured
         assert search > threshold
+
+
+class TestBatchedClassification:
+    """The batched-classifier ports: fig8 and table1 run their rounds
+    through :class:`repro.core.batch_id.ClassifyBatchTrial`, so worker
+    count AND batch size (including ``"auto"``) are pure throughput
+    knobs."""
+
+    def test_table1_batched_equals_serial(self):
+        base = table1_pulse_id.run(trials=5, seed=17, batch_size=1)
+        batched = table1_pulse_id.run(trials=5, seed=17, batch_size=3)
+        auto = table1_pulse_id.run(trials=5, seed=17, batch_size="auto")
+        assert base.as_dict() == batched.as_dict() == auto.as_dict()
+
+    def test_table1_batched_parallel_equals_serial(self):
+        base = table1_pulse_id.run(trials=5, seed=17)
+        batched = table1_pulse_id.run(
+            trials=5, seed=17, workers=2, batch_size=2
+        )
+        assert base.as_dict() == batched.as_dict()
+
+    def test_fig8_serial_parallel_batched_auto(self):
+        from repro.experiments import fig8_combined
+
+        base = fig8_combined.run(trials=6, seed=31, batch_size=1)
+        batched = fig8_combined.run(trials=6, seed=31, batch_size=3)
+        auto = fig8_combined.run(trials=6, seed=31, batch_size="auto")
+        parallel = fig8_combined.run(
+            trials=6, seed=31, workers=2, batch_size=2
+        )
+        assert (
+            base.as_dict()
+            == batched.as_dict()
+            == auto.as_dict()
+            == parallel.as_dict()
+        )
+
+    def test_fig8_build_session_compat(self):
+        """Benchmarks/examples keep using the fixed-topology session."""
+        from repro.experiments import fig8_combined
+
+        session = fig8_combined.build_session(seed=31)
+        outcome = session.run_round()
+        assert len(outcome.outcomes) == fig8_combined.N_RESPONDERS
+
+    def test_table1_counts_batched_classifier_passes(self):
+        from repro.runtime import global_metrics
+
+        before = global_metrics().counter("classifier.batch_classifies").value
+        metrics = MetricsRegistry()
+        table1_pulse_id.run(trials=4, seed=17, batch_size=4, metrics=metrics)
+        after = global_metrics().counter("classifier.batch_classifies").value
+        # 2 shapes x 5 distances x (4 trials / batches of 4).
+        assert after - before >= 10
+        assert metrics.counter("runtime.batches").value == 10
+        assert metrics.counter("runtime.batch_fallbacks").value == 0
+
+    def test_auto_resolves_to_real_batches(self):
+        """``batch_size="auto"`` on the fig8 workload must pick B > 1
+        (the acceptance criterion for workload-shaped batching)."""
+        from repro.experiments import fig8_combined
+
+        metrics = MetricsRegistry()
+        fig8_combined.run(
+            trials=8, seed=31, batch_size="auto", metrics=metrics
+        )
+        resolved = metrics.gauge("runtime.batch_size").value
+        assert resolved > 1
+        assert metrics.counter("runtime.batches").value < 8
