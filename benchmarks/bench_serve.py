@@ -1,0 +1,283 @@
+#!/usr/bin/env python
+"""Benchmark: streaming ranging service vs the offline batched engine.
+
+Measures what serving costs on top of the raw engine and writes
+``BENCH_serve.json``:
+
+* **offline** — the pool's CIRs through :func:`repro.core.batch.
+  detect_batch` in groups of B on one thread: the engine-ceiling
+  items/second the service is judged against.
+* **equivalence** — the same CIRs through a single-shard
+  :class:`~repro.serve.service.RangingService` and compared against the
+  offline results response-by-response; any mismatch is a divergence.
+* **streaming** — a sharded service under a saturating
+  :mod:`repro.serve.loadgen` replay: sustained ok/second, latency
+  quantiles, flush-cause split, backpressure counters, and the
+  exactly-once accounting verdict.
+
+Gates (non-zero exit, so CI can run this as the serve smoke job):
+
+* any streaming/offline divergence,
+* a broken accounting invariant (lost or duplicated requests),
+* sustained streaming throughput below
+  ``THROUGHPUT_FLOOR_RATIO`` x the offline single-thread baseline
+  (the >20 % regression budget: batching + sharding must keep the
+  service within striking distance of the raw engine).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.constants import CIR_SAMPLING_PERIOD_S as TS
+from repro.core.batch import detect_batch
+from repro.core.detection import SearchAndSubtractConfig
+from repro.serve import (
+    EngineConfig,
+    RangingRequest,
+    RangingService,
+    ServeConfig,
+)
+from repro.serve.loadgen import LoadgenConfig, run_load, synthetic_pool
+from repro.signal.templates import TemplateBank
+
+#: Streaming must sustain at least this fraction of the offline
+#: single-thread engine throughput (i.e. at most a 20 % regression).
+THROUGHPUT_FLOOR_RATIO = 0.8
+
+
+def bench_offline(pool, bank, config, batch_size, repeats):
+    """Single-thread batched-engine baseline over the pool, warmed."""
+    cirs = np.stack([cir for cir, _ in pool])
+    stds = [noise_std for _, noise_std in pool]
+
+    def _pass():
+        results = []
+        for start in range(0, len(pool), batch_size):
+            results.extend(
+                detect_batch(
+                    cirs[start:start + batch_size],
+                    list(bank),
+                    TS,
+                    config=config,
+                    noise_std=stds[start:start + batch_size],
+                )
+            )
+        return results
+
+    reference = _pass()  # warm pass builds the plans
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        _pass()
+    elapsed = time.perf_counter() - t0
+    items = repeats * len(pool)
+    return reference, {
+        "items": items,
+        "batch_size": batch_size,
+        "elapsed_s": elapsed,
+        "items_per_s": items / elapsed if elapsed > 0 else float("inf"),
+        "ms_per_item": 1e3 * elapsed / items,
+    }
+
+
+async def _check_equivalence(pool, engine, batch_size, reference):
+    """Pool through a single-shard service vs the offline reference."""
+    service = RangingService(
+        engine,
+        ServeConfig(
+            n_shards=1, batch_size=batch_size, max_batch_delay_s=0.01
+        ),
+    )
+    await service.start()
+    try:
+        results = await asyncio.gather(
+            *[
+                service.submit(
+                    RangingRequest("bench", k, cir, noise_std)
+                )
+                for k, (cir, noise_std) in enumerate(pool)
+            ]
+        )
+    finally:
+        await service.stop()
+    divergences = sum(
+        1
+        for result, offline in zip(results, reference)
+        if result.status != "ok" or result.responses != offline
+    )
+    return divergences
+
+
+async def _bench_streaming(pool, engine, args):
+    """Saturating replay: sustained throughput and service metrics."""
+    service = RangingService(
+        engine,
+        ServeConfig(
+            n_shards=args.shards,
+            batch_size=args.batch_size,
+            max_batch_delay_s=0.005,
+            queue_depth=args.queue_depth,
+            default_deadline_s=None,  # measure throughput, not shedding
+        ),
+    )
+    await service.start()
+    try:
+        report = await run_load(
+            service,
+            pool,
+            LoadgenConfig(
+                sessions=args.sessions,
+                rate=args.rate,
+                duration_s=args.duration,
+                seed=1,
+            ),
+        )
+    finally:
+        await service.stop()
+    metrics = service.metrics
+    return {
+        "sessions": args.sessions,
+        "offered_rate_rps": args.rate,
+        "duration_s": report.duration_s,
+        "sent": report.sent,
+        "ok": report.ok,
+        "rejected": report.rejected,
+        "shed": report.shed,
+        "errors": report.error,
+        "accounting_ok": report.accounting_ok,
+        "throughput_rps": (
+            report.ok / report.duration_s if report.duration_s > 0 else 0.0
+        ),
+        "latency_p50_s": report.latency_quantile(0.5),
+        "latency_p95_s": report.latency_quantile(0.95),
+        "latency_p99_s": report.latency_quantile(0.99),
+        "shards": args.shards,
+        "batch_size": service.batch_size,
+        "flush_full": metrics.counter("serve.flush_full").value,
+        "flush_deadline": metrics.counter("serve.flush_deadline").value,
+        "batch_fallbacks": metrics.counter("serve.batch_fallbacks").value,
+        "engine_passes": metrics.counter("serve.engine_passes").value,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: shorter replay (same gates)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_serve.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument("--sessions", type=int, default=None)
+    parser.add_argument("--rate", type=float, default=None)
+    parser.add_argument("--duration", type=float, default=None)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--batch-size", type=int, default=16)
+    parser.add_argument("--queue-depth", type=int, default=128)
+    parser.add_argument("--cir-length", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    cir_length = args.cir_length or (257 if args.quick else 509)
+    if args.sessions is None:
+        args.sessions = 32 if args.quick else 64
+    if args.duration is None:
+        args.duration = 2.0 if args.quick else 10.0
+
+    bank = TemplateBank.paper_bank(3)
+    config = SearchAndSubtractConfig()
+    pool = synthetic_pool(
+        bank, pool_size=32, cir_length=cir_length, seed=2018
+    )
+    engine = EngineConfig(
+        bank, TS, mode="detect", config=config, cir_length=cir_length
+    )
+
+    reference, offline = bench_offline(
+        pool, bank, config, args.batch_size, repeats=2 if args.quick else 6
+    )
+    print(
+        f"offline : {offline['items_per_s']:.0f} items/s "
+        f"({offline['ms_per_item']:.2f} ms/item, B={args.batch_size}, "
+        f"1 thread)"
+    )
+
+    # Offer ~2x what a single thread can do so the service has to batch
+    # and shard to keep up — a saturating, backpressure-exercising load.
+    if args.rate is None:
+        args.rate = 2.0 * offline["items_per_s"]
+
+    divergences = asyncio.run(
+        _check_equivalence(pool, engine, args.batch_size, reference)
+    )
+    print(f"equiv   : {divergences}/{len(pool)} divergences vs offline")
+
+    streaming = asyncio.run(_bench_streaming(pool, engine, args))
+    print(
+        f"streaming: {streaming['throughput_rps']:.0f} ok/s sustained "
+        f"({streaming['shards']} shards, B={streaming['batch_size']}, "
+        f"p99 {1e3 * streaming['latency_p99_s']:.1f} ms, "
+        f"rejected {streaming['rejected']})"
+    )
+
+    ratio = (
+        streaming["throughput_rps"] / offline["items_per_s"]
+        if offline["items_per_s"] > 0
+        else float("inf")
+    )
+    report = {
+        "benchmark": "serve",
+        "quick": bool(args.quick),
+        "cir_length": cir_length,
+        "offline": offline,
+        "divergences": divergences,
+        "streaming": streaming,
+        "streaming_vs_offline_ratio": ratio,
+        "throughput_floor_ratio": THROUGHPUT_FLOOR_RATIO,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path} (streaming/offline ratio {ratio:.2f})")
+
+    failed = False
+    if divergences:
+        print(
+            f"ERROR: {divergences} streaming/offline divergences",
+            file=sys.stderr,
+        )
+        failed = True
+    if not streaming["accounting_ok"]:
+        print(
+            "ERROR: accounting broken — "
+            f"sent {streaming['sent']} != acked "
+            f"{streaming['ok'] + streaming['rejected'] + streaming['shed'] + streaming['errors']}",
+            file=sys.stderr,
+        )
+        failed = True
+    if ratio < THROUGHPUT_FLOOR_RATIO:
+        print(
+            f"ERROR: streaming sustained only {ratio:.2f}x the offline "
+            f"baseline (floor {THROUGHPUT_FLOOR_RATIO})",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -231,6 +231,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --checkpoint: allow reusing checkpoints already in "
         "DIR (results are identical to an uninterrupted run)",
     )
+
+    from repro.serve.loadgen import add_arguments as add_serve_arguments
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the streaming ranging service under a replay stream "
+        "with live /metrics + /healthz",
+        description="Stand up the repro.serve micro-batching ranging "
+        "service, expose /metrics and /healthz, and drive it with a "
+        "replayed CIR stream (a self-contained soak; see also "
+        "'loadgen').",
+    )
+    add_serve_arguments(serve_parser)
+    # A soak defaults to a visible metrics endpoint and a longer run.
+    serve_parser.set_defaults(port=9100, duration=60.0)
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="replay CIR ranging streams against an in-process service "
+        "and report latency/throughput/accounting",
+    )
+    add_serve_arguments(loadgen_parser)
     return parser
 
 
@@ -253,6 +275,11 @@ def main(argv: List[str] | None = None) -> int:
         else:
             print(report)
         return 0
+
+    if args.command in ("serve", "loadgen"):
+        from repro.serve.loadgen import run_from_args
+
+        return run_from_args(args)
 
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)

@@ -156,6 +156,26 @@ class BatchDetectorPlan:
         return outputs[:, :, : self.base.n_fine]
 
 
+def _check_plan_shape(
+    plan: "BatchDetectorPlan",
+    batch_size: int,
+    cir_length: int,
+    upsample_factor: int,
+) -> None:
+    """Reject an explicitly supplied plan whose shape mismatches the call."""
+    if (
+        plan.batch_size != batch_size
+        or plan.base.cir_length != cir_length
+        or plan.base.upsample_factor != upsample_factor
+    ):
+        raise ValueError(
+            "explicit plan shape (B="
+            f"{plan.batch_size}, N={plan.base.cir_length}, "
+            f"U={plan.base.upsample_factor}) does not match the call "
+            f"(B={batch_size}, N={cir_length}, U={upsample_factor})"
+        )
+
+
 def batch_detector_plan(
     templates: Sequence[Pulse],
     cir_length: int,
@@ -194,6 +214,8 @@ def detect_batch(
     sampling_period_s: float,
     config: SearchAndSubtractConfig | None = None,
     noise_std=0.0,
+    *,
+    plan: BatchDetectorPlan | None = None,
 ) -> List[List[DetectedResponse]]:
     """Run search-and-subtract on B stacked CIRs in one batched pass.
 
@@ -217,6 +239,14 @@ def detect_batch(
     noise_std:
         Scalar shared by all trials, or a length-B sequence of per-trial
         noise standard deviations (for the early-stop gate).
+    plan:
+        Optional explicit :class:`BatchDetectorPlan` to run on,
+        bypassing the process-local plan cache.  The cache hands every
+        same-shape caller the *same* plan object — whose scratch buffers
+        are mutated on every pass — so concurrent engine passes from
+        multiple threads (e.g. the :mod:`repro.serve` shard pool) must
+        each bring a private plan instead.  The plan's shape (batch
+        size, CIR length, upsample factor) must match the call.
 
     Returns
     -------
@@ -248,13 +278,18 @@ def detect_batch(
     metrics = global_metrics()
     metrics.counter("detector.batch_detects").inc()
     metrics.counter("detector.batch_trials").inc(batch_size)
-    plan = batch_detector_plan(
-        templates,
-        cir_length,
-        config.upsample_factor,
-        sampling_period_s,
-        batch_size,
-    )
+    if plan is None:
+        plan = batch_detector_plan(
+            templates,
+            cir_length,
+            config.upsample_factor,
+            sampling_period_s,
+            batch_size,
+        )
+    else:
+        _check_plan_shape(
+            plan, batch_size, cir_length, config.upsample_factor
+        )
     with metrics.timer("detector.batch_filter_pass").time():
         working = fft_upsample_batch(cirs, config.upsample_factor)
         outputs = plan.filter_bank(working)

@@ -168,6 +168,8 @@ def classify_batch(
     sampling_period_s: float,
     config: SearchAndSubtractConfig | None = None,
     noise_std=0.0,
+    *,
+    plan: BatchClassifierPlan | None = None,
 ) -> List[List[ClassifiedResponse]]:
     """Jointly detect and identify responses in B stacked CIRs.
 
@@ -190,6 +192,12 @@ def classify_batch(
     noise_std:
         Scalar shared by all trials, or a length-B sequence of per-trial
         noise standard deviations (for the early-stop gate).
+    plan:
+        Optional explicit :class:`BatchClassifierPlan`, bypassing the
+        plan cache — required when several threads classify
+        concurrently, because cached plans share mutable scratch (see
+        :func:`repro.core.batch.detect_batch`).  The plan's shape and
+        bank must match the call.
 
     Returns
     -------
@@ -219,13 +227,25 @@ def classify_batch(
     metrics = global_metrics()
     metrics.counter("classifier.batch_classifies").inc()
     metrics.counter("classifier.batch_trials").inc(batch_size)
-    plan = batch_classifier_plan(
-        bank,
-        cir_length,
-        config.upsample_factor,
-        sampling_period_s,
-        batch_size,
-    )
+    if plan is None:
+        plan = batch_classifier_plan(
+            bank,
+            cir_length,
+            config.upsample_factor,
+            sampling_period_s,
+            batch_size,
+        )
+    else:
+        from repro.core.batch import _check_plan_shape
+
+        _check_plan_shape(
+            plan.detector, batch_size, cir_length, config.upsample_factor
+        )
+        if plan.bank is not bank and len(plan.bank) != len(bank):
+            raise ValueError(
+                f"explicit plan bank has {len(plan.bank)} templates, "
+                f"call supplied {len(bank)}"
+            )
     with metrics.timer("classifier.batch_filter_pass").time():
         working = fft_upsample_batch(cirs, config.upsample_factor)
         outputs = plan.filter_bank(working)

@@ -6,9 +6,19 @@ reflections.  At 900 MHz bandwidth each component appears as a distinct
 pulse; at 50 MHz the pulses smear into one overlapping hump (Fig. 1b),
 which is why narrowband radios can neither resolve multipath nor support
 concurrent ranging.
+
+The two bandwidth renders run on the :mod:`repro.runtime` trial
+executor (one trial per bandwidth), so ``run()`` carries the standard
+``run(trials, seed, workers, batch_size, checkpoint)`` surface:
+``--workers`` parallelises the renders and ``--checkpoint`` persists
+them, with results identical at any worker count because the
+computation is deterministic.
 """
 
 from __future__ import annotations
+
+from functools import partial
+from typing import Sequence
 
 import numpy as np
 
@@ -16,7 +26,8 @@ from repro.analysis.cir_features import rise_time_s, significant_peaks
 from repro.analysis.tables import Table
 from repro.channel.cir import ChannelRealization
 from repro.channel.geometry import Point, Room, image_source_taps
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, standard_run
+from repro.runtime import MetricsRegistry, run_trials
 from repro.signal.pulses import dw1000_pulse, narrowband_pulse
 
 #: The floor plan of Fig. 1a (a 10 m x 5 m rectangular room).
@@ -30,6 +41,9 @@ SAMPLING_PERIOD_S = 0.25e-9
 
 WIDEBAND_HZ = 900e6
 NARROWBAND_HZ = 50e6
+
+#: The two Fig. 1b traces, one executor trial each.
+BANDWIDTHS_HZ = (WIDEBAND_HZ, NARROWBAND_HZ)
 
 
 def received_waveform(bandwidth_hz: float) -> tuple[np.ndarray, ChannelRealization]:
@@ -79,32 +93,66 @@ def resolved_component_count(
     return resolved
 
 
-def run() -> ExperimentResult:
-    """Compare resolvable components and edge steepness at both bandwidths."""
+def _bandwidth_trial(
+    rng: np.random.Generator, index: int, *, bandwidths: Sequence[float]
+) -> tuple:
+    """Render and score one bandwidth's Fig. 1b trace.
+
+    The channel is geometric and the render noiseless, so the trial
+    seeding contract goes unused — results are identical at any worker
+    count or trial order.
+    """
+    bandwidth_hz = float(bandwidths[index])
+    waveform, channel = received_waveform(bandwidth_hz)
+    return (
+        bandwidth_hz,
+        len(channel.specular_taps()),
+        resolved_component_count(waveform, channel),
+        rise_time_s(waveform, SAMPLING_PERIOD_S),
+    )
+
+
+@standard_run()
+def run(
+    *,
+    trials: int | None = None,
+    seed: int = 0,
+    workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
+    metrics: MetricsRegistry | None = None,
+) -> ExperimentResult:
+    """Compare resolvable components and edge steepness at both bandwidths.
+
+    ``trials`` and ``batch_size`` are accepted for the standard run
+    signature and ignored: the experiment always renders exactly the two
+    Fig. 1b bandwidths, one (deterministic) trial each.
+    """
+    del trials, batch_size  # standard-signature parameters; unused
     result = ExperimentResult(
         experiment_id="Fig. 1",
         description="multipath resolvability: 900 MHz vs 50 MHz bandwidth",
     )
 
-    wide, channel = received_waveform(WIDEBAND_HZ)
-    narrow, _ = received_waveform(NARROWBAND_HZ)
-    n_components = len(channel.specular_taps())
-
-    wide_resolved = resolved_component_count(wide, channel)
-    narrow_resolved = resolved_component_count(narrow, channel)
+    report = run_trials(
+        partial(_bandwidth_trial, bandwidths=BANDWIDTHS_HZ),
+        len(BANDWIDTHS_HZ),
+        seed=seed,
+        workers=workers,
+        metrics=metrics,
+        checkpoint_dir=checkpoint,
+        checkpoint_label="fig1-bandwidth",
+    )
+    by_bandwidth = {row[0]: row for row in report.values}
+    _, n_components, wide_resolved, wide_rise = by_bandwidth[WIDEBAND_HZ]
+    _, _, narrow_resolved, narrow_rise = by_bandwidth[NARROWBAND_HZ]
 
     table = Table(
         ["bandwidth", "true MPCs", "resolved MPCs", "10-90% rise time [ns]"],
         title="Fig. 1b reproduction",
     )
-    table.add_row(
-        ["900 MHz", n_components, wide_resolved,
-         rise_time_s(wide, SAMPLING_PERIOD_S) * 1e9]
-    )
-    table.add_row(
-        ["50 MHz", n_components, narrow_resolved,
-         rise_time_s(narrow, SAMPLING_PERIOD_S) * 1e9]
-    )
+    table.add_row(["900 MHz", n_components, wide_resolved, wide_rise * 1e9])
+    table.add_row(["50 MHz", n_components, narrow_resolved, narrow_rise * 1e9])
     result.add_table(table)
 
     result.compare("mpc_count", float(n_components), paper=5.0,

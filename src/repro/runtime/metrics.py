@@ -12,20 +12,32 @@ registry in the spirit of Prometheus client libraries:
 * :class:`Timer` — accumulated wall-clock with a context manager
   (``with metrics.timer("runtime.wall_clock").time(): ...``).
 * :class:`Histogram` — streaming summary statistics (count / min /
-  max / mean) of observed samples, e.g. per-chunk durations.
+  max / mean) plus configurable quantiles (p50/p95/p99 by default)
+  estimated from a bounded reservoir, e.g. per-chunk durations or
+  per-request service latencies.
 
 Registries merge (:meth:`MetricsRegistry.merge_snapshot`), so parallel
 workers can ship their numbers back to the parent as plain dicts —
 snapshots are picklable by construction.  :meth:`MetricsRegistry.render`
 produces the human-readable report the CLI prints after a run,
-including derived figures: trials/second and per-cache hit rates.
+including derived figures: trials/second and per-cache hit rates —
+and :meth:`MetricsRegistry.render_prometheus` the machine-readable
+Prometheus text exposition that :mod:`repro.serve` serves from its
+``/metrics`` endpoint.
+
+Every primitive is O(1) per observation and O(1) memory (the histogram
+reservoir is a fixed-size ring), so a live service can record per
+request and be scraped at 1 Hz without copying sample lists that grow
+with traffic.
 """
 
 from __future__ import annotations
 
+import math
+import re
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterable, Iterator, Sequence, Tuple
 
 __all__ = [
     "Counter",
@@ -35,6 +47,9 @@ __all__ = [
     "MetricsRegistry",
     "global_metrics",
 ]
+
+#: Quantiles reported by default in rendered reports and expositions.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
 
 
 class Counter:
@@ -90,19 +105,34 @@ class Timer:
 
 
 class Histogram:
-    """Streaming summary statistics of observed samples.
+    """Streaming summary statistics plus reservoir quantiles.
 
-    Keeps count / sum / min / max rather than buckets: enough for the
-    throughput reports here while staying mergeable across processes.
+    Keeps count / sum / min / max exactly, and a bounded ring of the
+    most recent ``max_samples`` observations for quantile estimates —
+    no full sample list ever accumulates, so a histogram fed per
+    request stays O(1) memory and can be snapshotted or scraped at 1 Hz
+    for free.  Quantiles are nearest-rank over the (recent) reservoir:
+    exact until the ring wraps, a sliding-window estimate after — the
+    right semantics for a live service, where "p99 latency" means *now*,
+    not since boot.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "max_samples",
+                 "_samples", "_cursor")
 
-    def __init__(self) -> None:
+    #: Reservoir capacity; 512 float samples keeps a snapshot ~4 KiB.
+    DEFAULT_MAX_SAMPLES = 512
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.max_samples = int(max_samples)
+        self._samples: list = []
+        self._cursor = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -110,20 +140,74 @@ class Histogram:
         self.total += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        self._absorb(value)
+
+    def _absorb(self, value: float) -> None:
+        """Append one sample to the ring (overwrite oldest when full)."""
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+        else:
+            self._samples[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self.max_samples
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the reservoir (NaN when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return float("nan")
+        ordered = sorted(self._samples)
+        # Nearest-rank: ceil(q * n), clamped into [1, n].
+        rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+        return ordered[rank - 1]
+
+    def quantiles(
+        self, qs: Sequence[float] = DEFAULT_QUANTILES
+    ) -> Dict[float, float]:
+        """Several quantiles from one sort of the reservoir."""
+        if not self._samples:
+            return {q: float("nan") for q in qs}
+        ordered = sorted(self._samples)
+        out = {}
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile must be in [0, 1], got {q}")
+            rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+            out[q] = ordered[rank - 1]
+        return out
+
+
+#: Prometheus metric-name grammar: anything else becomes an underscore.
+_PROMETHEUS_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(name: str) -> str:
+    """Sanitise a dotted metric name for the Prometheus exposition."""
+    sanitised = _PROMETHEUS_NAME_RE.sub("_", name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
 
 class MetricsRegistry:
-    """Create-or-get registry of named metrics with a text report."""
+    """Create-or-get registry of named metrics with a text report.
 
-    def __init__(self) -> None:
+    ``quantiles`` configures which percentiles histogram reports and the
+    Prometheus exposition include (p50/p95/p99 by default).
+    """
+
+    def __init__(
+        self, quantiles: Sequence[float] = DEFAULT_QUANTILES
+    ) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._timers: Dict[str, Timer] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self.quantiles: Tuple[float, ...] = tuple(quantiles)
 
     # -- create-or-get accessors -------------------------------------------
 
@@ -150,7 +234,7 @@ class MetricsRegistry:
                 k: (t.total_s, t.count) for k, t in self._timers.items()
             },
             "histograms": {
-                k: (h.count, h.total, h.min, h.max)
+                k: (h.count, h.total, h.min, h.max, list(h._samples))
                 for k, h in self._histograms.items()
             },
         }
@@ -159,7 +243,9 @@ class MetricsRegistry:
         """Fold a :meth:`snapshot` (e.g. from a worker) into this registry.
 
         Counters, timers, and histograms add; gauges take the incoming
-        value (last write wins).
+        value (last write wins).  Histogram entries may be the legacy
+        4-tuple ``(count, total, min, max)`` or the current 5-tuple with
+        a trailing reservoir sample list; both merge.
         """
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(value)
@@ -169,14 +255,16 @@ class MetricsRegistry:
             timer = self.timer(name)
             timer.total_s += total_s
             timer.count += count
-        for name, (count, total, low, high) in snapshot.get(
-            "histograms", {}
-        ).items():
+        for name, entry in snapshot.get("histograms", {}).items():
+            count, total, low, high = entry[:4]
             histogram = self.histogram(name)
             histogram.count += count
             histogram.total += total
             histogram.min = min(histogram.min, low)
             histogram.max = max(histogram.max, high)
+            if len(entry) > 4:
+                for sample in entry[4]:
+                    histogram._absorb(float(sample))
 
     # -- reporting ----------------------------------------------------------
 
@@ -234,15 +322,72 @@ class MetricsRegistry:
             parts.append("histograms:")
             for name in sorted(self._histograms):
                 h = self._histograms[name]
+                quantile_text = " ".join(
+                    f"p{q * 100:g}={value:.4g}"
+                    for q, value in h.quantiles(self.quantiles).items()
+                )
                 parts.append(
                     f"  {name.ljust(30)} n={h.count} mean={h.mean:.4g} "
-                    f"min={h.min:.4g} max={h.max:.4g}"
+                    f"{quantile_text} min={h.min:.4g} max={h.max:.4g}"
                 )
         derived = self._derived_lines()
         if derived:
             parts.append("derived:")
             parts.extend(f"  {line}" for line in derived)
         return "\n".join(parts)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text-exposition-format view of every metric.
+
+        Metric names are sanitised to the Prometheus grammar (dots and
+        other separators become underscores).  Counters and gauges map
+        directly; timers become ``<name>_seconds`` summaries (sum +
+        count); histograms become summaries with one ``quantile``-labelled
+        sample per configured quantile plus ``_sum``/``_count``.  The
+        whole exposition is computed from O(1)-sized state per metric,
+        so scraping it every second costs nothing measurable.
+        """
+        lines: list = []
+
+        def emit(name: str, kind: str, samples: Iterable[tuple]) -> None:
+            lines.append(f"# TYPE {name} {kind}")
+            for suffix, labels, value in samples:
+                label_text = (
+                    "{" + ",".join(
+                        f'{k}="{v}"' for k, v in labels
+                    ) + "}"
+                    if labels
+                    else ""
+                )
+                lines.append(f"{name}{suffix}{label_text} {value:.9g}")
+
+        for name in sorted(self._counters):
+            emit(
+                _prometheus_name(name), "counter",
+                [("", (), self._counters[name].value)],
+            )
+        for name in sorted(self._gauges):
+            emit(
+                _prometheus_name(name), "gauge",
+                [("", (), self._gauges[name].value)],
+            )
+        for name in sorted(self._timers):
+            timer = self._timers[name]
+            emit(
+                _prometheus_name(name) + "_seconds", "summary",
+                [("_sum", (), timer.total_s), ("_count", (), timer.count)],
+            )
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            samples = [
+                ("", (("quantile", f"{q:g}"),), value)
+                for q, value in histogram.quantiles(self.quantiles).items()
+                if not math.isnan(value)
+            ]
+            samples.append(("_sum", (), histogram.total))
+            samples.append(("_count", (), histogram.count))
+            emit(_prometheus_name(name), "summary", samples)
+        return "\n".join(lines) + "\n"
 
     def is_empty(self) -> bool:
         """True when nothing has been registered yet."""

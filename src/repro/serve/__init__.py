@@ -1,0 +1,46 @@
+"""repro.serve — the streaming concurrent-ranging service.
+
+The offline experiments answer "what does the paper's scheme do?"; this
+package answers "can the implementation hold up a live workload?".  It
+turns the batched detection/classification engines into a long-running
+asyncio service with the standard inference-serving machinery:
+
+* :class:`RangingService` — sharded worker pool with per-session FIFO
+  ordering, dynamic micro-batching (flush on batch-full or deadline),
+  bounded ingress queues with reject-with-retry-after backpressure,
+  per-request deadline shedding, and serial-engine fallback.
+* :class:`MicroBatcher` — the size-or-deadline batch gatherer.
+* :class:`MetricsServer` — live ``/metrics`` (Prometheus text format)
+  and ``/healthz`` endpoints.
+* :mod:`repro.serve.loadgen` — replay synthetic or Fig. 8 CIR streams
+  at a configured rate and verify the exactly-once accounting.
+
+The engine passes run on worker threads (the FFTs release the GIL), but
+all bookkeeping stays on the event loop — the service is data-race-free
+by construction rather than by locking.
+"""
+
+from repro.serve.batcher import STOP, MicroBatcher
+from repro.serve.engine import EngineConfig, ShardEngine
+from repro.serve.http import MetricsServer
+from repro.serve.request import (
+    RangingRequest,
+    RangingResult,
+    ServiceOverloadedError,
+    TERMINAL_STATUSES,
+)
+from repro.serve.service import RangingService, ServeConfig
+
+__all__ = [
+    "STOP",
+    "MicroBatcher",
+    "EngineConfig",
+    "ShardEngine",
+    "MetricsServer",
+    "RangingRequest",
+    "RangingResult",
+    "ServiceOverloadedError",
+    "TERMINAL_STATUSES",
+    "RangingService",
+    "ServeConfig",
+]

@@ -1,0 +1,122 @@
+"""Live observability endpoint: ``/metrics`` and ``/healthz``.
+
+A deliberately tiny HTTP/1.1 responder on :func:`asyncio.start_server`
+— no web framework, no threads, same event loop as the service, so a
+scrape observes a consistent snapshot of the registry.  ``/metrics``
+serves the registry in Prometheus text exposition format
+(:meth:`~repro.runtime.metrics.MetricsRegistry.render_prometheus`);
+``/healthz`` serves a small JSON liveness document from
+:meth:`~repro.serve.service.RangingService.healthz`.
+
+Scrape-rate safety is a stated requirement: histogram snapshots are
+bounded reservoirs (see :class:`~repro.runtime.metrics.Histogram`), so
+rendering is O(reservoir) per histogram and a 1 Hz scraper costs the
+service microseconds, not copies of full sample lists.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.serve.service import RangingService
+
+__all__ = ["MetricsServer"]
+
+_MAX_REQUEST_BYTES = 8192
+
+
+class MetricsServer:
+    """Serve ``/metrics`` and ``/healthz`` for one :class:`RangingService`.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`
+    after :meth:`start`), which is what the tests and the loadgen use.
+    """
+
+    def __init__(
+        self,
+        service: RangingService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = int(port)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the real one)."""
+        if self._server is None or not self._server.sockets:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "MetricsServer":
+        if self._server is not None:
+            raise RuntimeError("metrics server already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+        return self
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if len(request_line) > _MAX_REQUEST_BYTES:
+                return
+            # Drain (and ignore) headers up to the blank line.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            method = parts[0] if parts else ""
+            path = parts[1].split("?")[0] if len(parts) > 1 else ""
+            status, content_type, body = self._route(method, path)
+            payload = body.encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _route(self, method: str, path: str):
+        if method not in ("GET", "HEAD"):
+            return "405 Method Not Allowed", "text/plain; charset=utf-8", (
+                "method not allowed\n"
+            )
+        if path == "/metrics":
+            return (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                self.service.metrics.render_prometheus(),
+            )
+        if path == "/healthz":
+            return (
+                "200 OK",
+                "application/json; charset=utf-8",
+                json.dumps(self.service.healthz()) + "\n",
+            )
+        return "404 Not Found", "text/plain; charset=utf-8", "not found\n"

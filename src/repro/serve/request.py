@@ -1,0 +1,123 @@
+"""Request/response types of the streaming ranging service.
+
+A :class:`RangingRequest` is one initiator session's "please range this
+CIR" message: the session identity (which pins the request to a shard
+and gives it a total order), a per-session sequence number, the CIR
+samples, and an optional latency budget.  The service answers with a
+:class:`RangingResult` whose ``status`` is always one of a small closed
+set — every accepted request reaches **exactly one** terminal status,
+which is the invariant the loadgen accounting and the cancellation
+property tests pin down:
+
+``ok``
+    Served: ``responses`` holds the detections (or classifications).
+``shed``
+    The request's deadline expired while it sat in the queue; the
+    engine never ran it (timeout shedding under overload).
+``cancelled``
+    The service stopped without draining (or the caller cancelled the
+    future) before the request was served.
+``error``
+    The engine raised for this specific request even on the serial
+    fallback path; ``error`` carries the message.
+
+A request the service *refuses to accept* (ingress queue at its
+high-watermark) never gets a result: :meth:`RangingService.submit`
+raises :class:`ServiceOverloadedError` carrying an explicit
+``retry_after_s`` hint instead — backpressure is a contract, not a
+crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "RangingRequest",
+    "RangingResult",
+    "ServiceOverloadedError",
+    "TERMINAL_STATUSES",
+]
+
+#: Every accepted request ends in exactly one of these.
+TERMINAL_STATUSES = ("ok", "shed", "cancelled", "error")
+
+
+@dataclass(frozen=True)
+class RangingRequest:
+    """One concurrent-ranging request from an initiator session.
+
+    Attributes
+    ----------
+    session_id:
+        Stable identity of the initiator session.  Requests of one
+        session always map to the same shard, which is what gives a
+        session FIFO service order.
+    sequence:
+        Monotonic per-session sequence number (caller-assigned); the
+        service echoes it back so streams can be re-ordered/validated.
+    cir:
+        Complex CIR samples at the radio's native tap rate.
+    noise_std:
+        Noise standard deviation for the detector's early-stop gate.
+    deadline_s:
+        Optional per-request latency budget in seconds (relative to
+        enqueue).  A request still queued when its budget expires is
+        shed, not served.  ``None`` uses the service default.
+    """
+
+    session_id: str
+    sequence: int
+    cir: np.ndarray
+    noise_std: float = 0.0
+    deadline_s: Optional[float] = None
+
+
+@dataclass
+class RangingResult:
+    """The service's answer to one :class:`RangingRequest`.
+
+    ``responses`` holds :class:`~repro.core.detection.DetectedResponse`
+    (detect mode) or :class:`~repro.core.pulse_id.ClassifiedResponse`
+    (classify mode) entries, delay-ascending, exactly as the offline
+    engines return them.  ``batch_size`` and ``flush_cause`` describe
+    the micro-batch the request was served in (0 / ``""`` when it never
+    reached the engine).
+    """
+
+    session_id: str
+    sequence: int
+    status: str
+    responses: List[Any] = field(default_factory=list)
+    latency_s: float = 0.0
+    shard: int = -1
+    batch_size: int = 0
+    flush_cause: str = ""
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Ingress rejected: the target shard's queue is at high-watermark.
+
+    Carries an explicit ``retry_after_s`` hint (the service's configured
+    backoff) so well-behaved clients can retry instead of hammering a
+    saturated shard — the reject-with-retry-after backpressure contract.
+    """
+
+    def __init__(
+        self, retry_after_s: float, shard: int, queue_depth: int
+    ) -> None:
+        super().__init__(
+            f"shard {shard} ingress queue full ({queue_depth} pending); "
+            f"retry after {retry_after_s:.3f}s"
+        )
+        self.retry_after_s = float(retry_after_s)
+        self.shard = int(shard)
+        self.queue_depth = int(queue_depth)

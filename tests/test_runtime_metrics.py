@@ -121,3 +121,134 @@ class TestRender:
     def test_render_custom_title(self):
         text = MetricsRegistry().render(title="after table1")
         assert "after table1" in text
+
+
+class TestQuantiles:
+    def test_nearest_rank_quantiles(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.quantile(0.5) == 50.0
+        assert histogram.quantile(0.95) == 95.0
+        assert histogram.quantile(0.99) == 99.0
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 100.0
+
+    def test_quantile_empty_is_nan(self):
+        import math
+
+        histogram = MetricsRegistry().histogram("h")
+        assert math.isnan(histogram.quantile(0.5))
+        assert all(math.isnan(v) for v in histogram.quantiles().values())
+
+    def test_quantile_rejects_out_of_range(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantiles([0.5, -0.1])
+
+    def test_reservoir_is_bounded_and_sliding(self):
+        from repro.runtime.metrics import Histogram
+
+        histogram = Histogram(max_samples=8)
+        for value in range(100):
+            histogram.observe(float(value))
+        # Exact summary stats survive the bounded reservoir...
+        assert histogram.count == 100
+        assert histogram.min == 0.0 and histogram.max == 99.0
+        # ...while quantiles reflect the most recent window only.
+        assert len(histogram._samples) == 8
+        assert histogram.quantile(0.0) >= 92.0
+
+    def test_quantiles_single_sort_matches_quantile(self):
+        rng_values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        histogram = MetricsRegistry().histogram("h")
+        for value in rng_values:
+            histogram.observe(value)
+        batch = histogram.quantiles((0.5, 0.95, 0.99))
+        for q, value in batch.items():
+            assert value == histogram.quantile(q)
+
+    def test_registry_quantiles_configurable(self):
+        metrics = MetricsRegistry(quantiles=(0.25, 0.75))
+        for value in range(1, 5):
+            metrics.histogram("h").observe(float(value))
+        text = metrics.render()
+        assert "p25=1" in text and "p75=3" in text
+
+    def test_merge_snapshot_merges_reservoir(self):
+        source = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            source.histogram("h").observe(value)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.histogram("h").quantile(0.5) == 2.0
+
+    def test_merge_snapshot_accepts_legacy_4_tuple(self):
+        import math
+
+        target = MetricsRegistry()
+        target.merge_snapshot(
+            {"histograms": {"h": (3, 6.0, 1.0, 3.0)}}
+        )
+        histogram = target.histogram("h")
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.min == 1.0 and histogram.max == 3.0
+        # No reservoir travelled, so quantiles are honestly unknown.
+        assert math.isnan(histogram.quantile(0.5))
+
+
+class TestPrometheus:
+    def _loaded(self):
+        metrics = MetricsRegistry()
+        metrics.counter("serve.requests").inc(10)
+        metrics.gauge("serve.queue_depth").set(3)
+        metrics.timer("serve.engine").record(0.25)
+        for value in range(1, 101):
+            metrics.histogram("serve.latency_s").observe(value / 1000.0)
+        return metrics
+
+    def test_exposition_shape(self):
+        text = self._loaded().render_prometheus()
+        assert text.endswith("\n")
+        assert "# TYPE serve_requests counter" in text
+        assert "serve_requests 10" in text
+        assert "# TYPE serve_queue_depth gauge" in text
+        assert "serve_queue_depth 3" in text
+        assert "# TYPE serve_engine_seconds summary" in text
+        assert "serve_engine_seconds_sum 0.25" in text
+        assert "serve_engine_seconds_count 1" in text
+
+    def test_exposition_histogram_quantiles(self):
+        text = self._loaded().render_prometheus()
+        assert "# TYPE serve_latency_s summary" in text
+        assert 'serve_latency_s{quantile="0.5"} 0.05' in text
+        assert 'serve_latency_s{quantile="0.99"} 0.099' in text
+        assert "serve_latency_s_count 100" in text
+
+    def test_exposition_skips_nan_quantiles(self):
+        metrics = MetricsRegistry()
+        metrics.histogram("empty")  # registered, never observed
+        text = metrics.render_prometheus()
+        assert "quantile" not in text
+        assert "empty_count 0" in text
+
+    def test_name_sanitisation(self):
+        from repro.runtime.metrics import _prometheus_name
+
+        assert _prometheus_name("serve.latency_s") == "serve_latency_s"
+        assert _prometheus_name("cache.plans.hits") == "cache_plans_hits"
+        assert _prometheus_name("9lives") == "_9lives"
+        assert _prometheus_name("a-b c") == "a_b_c"
+
+    def test_parseable_lines(self):
+        # Every non-comment line is "<name>[{labels}] <float>".
+        for line in self._loaded().render_prometheus().strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name
+            float(value)  # must parse
