@@ -20,10 +20,13 @@ repository's hot workloads and writes ``BENCH_detector.json``:
 
 Every trial is detected with *both* engines and the results are compared
 at ``rtol=1e-9``; any divergence (detection *or* classification) — or a
-B=64 batched detection/classification run slower than 1.2x its serial
-reference, or a worker-side plan-cache hit rate below 95 % — makes the
-script exit non-zero, so CI can run it as a cheap end-to-end regression
-gate (``--quick``).
+warm B=64 batched detection pass missing its throughput SLO (speedup
+floor of 2.0x vs the serial fast path on multicore hosts, 1.5x on a
+single core; plus an absolute 250 detections/s/core floor), or a B=64
+batched classification run slower than 1.2x its serial reference, or a
+worker-side plan-cache hit rate below 95 % — makes the script exit
+non-zero, so CI can run it as a cheap end-to-end regression gate
+(``--quick``, pinned to the NumPy backend via ``REPRO_BACKEND=numpy``).
 
 Usage::
 
@@ -35,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -42,6 +46,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.constants import CIR_SAMPLING_PERIOD_S as TS
+from repro.core.backend import get_backend
 from repro.core.batch import detect_batch
 from repro.core.batch_id import classify_batch
 from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
@@ -54,9 +59,21 @@ from repro.signal.templates import PAPER_REGISTERS, TemplateBank
 
 RTOL = 1e-9
 
-#: B=64 batched detection must never regress past this factor of the
-#: serial fast path (it should in fact be faster).
-BATCH_REGRESSION_FACTOR = 1.2
+#: Throughput SLO: the warm B=64 batched pass must *beat* the serial
+#: fast path by at least this factor on multicore hosts, where the
+#: backend's row-parallel transforms (``workers=-1``) have cores to
+#: spread across.
+BATCH_SPEEDUP_FLOOR = 2.0
+
+#: On a single-core host the batched win comes only from amortised
+#: Python/FFT-dispatch overhead (no transform parallelism), so the
+#: speedup floor is lower — but still a *speedup*, never parity.
+SINGLE_CORE_SPEEDUP_FLOOR = 1.5
+
+#: Absolute throughput SLO: warm B=64 table1-shaped detections per
+#: second per core.  Catches "both paths got slower together", which a
+#: relative speedup gate is blind to.
+MIN_DETECTS_PER_S_PER_CORE = 250.0
 
 #: Same gate for the batched classifier: the warm B=64 pass must stay
 #: within 20 % of the serial classify loop (and should beat it).
@@ -191,12 +208,16 @@ def bench_batched(
     cirs = np.stack(make_cirs(rng, n_trials, 1016, bank, 4, noise_std))
     detector = SearchAndSubtract(bank, config)
 
-    t0 = time.perf_counter()
-    serial_results = [
-        detector.detect(cirs[b], TS, noise_std=noise_std)
-        for b in range(n_trials)
-    ]
-    serial_s = time.perf_counter() - t0
+    # Same noise discipline as the batched side: the reference is the
+    # fastest of three serial sweeps (the first also warms the plan).
+    serial_s = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        serial_results = [
+            detector.detect(cirs[b], TS, noise_std=noise_std)
+            for b in range(n_trials)
+        ]
+        serial_s = min(serial_s, time.perf_counter() - t0)
 
     rows = []
     for batch_size in batch_sizes:
@@ -215,14 +236,30 @@ def bench_batched(
             return batched_results
 
         # Cold pass pays the one-off batch-plan build (scratch buffer
-        # allocation); the warm pass is the steady state a Monte-Carlo
-        # run amortises to, and is what the regression gate judges.
+        # allocation); the warm passes are the steady state a
+        # Monte-Carlo run amortises to.  The SLO gate judges the
+        # *fastest* of three warm passes — a single pass is exposed to
+        # scheduler noise that has nothing to do with the engine.
         t0 = time.perf_counter()
         batched_results = _pass()
         cold_s = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        batched_results = _pass()
-        batched_s = time.perf_counter() - t0
+        # Split each warm pass into its two engine stages via the
+        # engine's own timers (filter-bank transforms vs vectorised
+        # search-and-subtract extraction).
+        metrics = global_metrics()
+        filter_timer = metrics.timer("detector.batch_filter_pass")
+        extract_timer = metrics.timer("detector.batch_extract")
+        batched_s = filter_s = extract_s = float("inf")
+        for _ in range(3):
+            filter_before = filter_timer.total_s
+            extract_before = extract_timer.total_s
+            t0 = time.perf_counter()
+            batched_results = _pass()
+            warm_s = time.perf_counter() - t0
+            if warm_s < batched_s:
+                batched_s = warm_s
+                filter_s = filter_timer.total_s - filter_before
+                extract_s = extract_timer.total_s - extract_before
 
         divergences = sum(
             0 if responses_equal(batched, serial) else 1
@@ -233,6 +270,8 @@ def bench_batched(
                 "batch_size": batch_size,
                 "cold_s": cold_s,
                 "batched_s": batched_s,
+                "filter_pass_s": filter_s,
+                "batch_extract_s": extract_s,
                 "ms_per_detect": 1e3 * batched_s / n_trials,
                 "speedup_vs_serial_fast": (
                     serial_s / batched_s if batched_s > 0 else float("inf")
@@ -426,7 +465,10 @@ def main(argv=None) -> int:
     for row in batched["batches"]:
         print(
             f"batched B={row['batch_size']:>2}: "
-            f"{row['ms_per_detect']:.2f} ms/detect, "
+            f"{row['ms_per_detect']:.2f} ms/detect "
+            f"(filter {1e3 * row['filter_pass_s'] / batched['trials']:.2f} "
+            f"+ extract "
+            f"{1e3 * row['batch_extract_s'] / batched['trials']:.2f}), "
             f"{row['speedup_vs_serial_fast']:.2f}x vs serial fast, "
             f"divergences {row['divergences']}/{batched['trials']}"
         )
@@ -472,6 +514,35 @@ def main(argv=None) -> int:
         f"{plan_reuse['hit_rate']:.1%}"
     )
 
+    cpu_count = os.cpu_count() or 1
+    speedup_floor = (
+        BATCH_SPEEDUP_FLOOR if cpu_count >= 2 else SINGLE_CORE_SPEEDUP_FLOOR
+    )
+    b64 = next(
+        row for row in batched["batches"] if row["batch_size"] == 64
+    )
+    detects_per_s = (
+        batched["trials"] / b64["batched_s"]
+        if b64["batched_s"] > 0
+        else float("inf")
+    )
+    slo = {
+        "cpu_count": cpu_count,
+        "backend": get_backend().name,
+        "speedup_floor": speedup_floor,
+        "b64_speedup": b64["speedup_vs_serial_fast"],
+        "detects_per_s": detects_per_s,
+        "detects_per_s_per_core": detects_per_s / cpu_count,
+        "min_detects_per_s_per_core": MIN_DETECTS_PER_S_PER_CORE,
+    }
+    print(
+        f"throughput SLO ({cpu_count} core(s), backend {slo['backend']}): "
+        f"B=64 speedup {slo['b64_speedup']:.2f}x (floor "
+        f"{speedup_floor:.1f}x), "
+        f"{slo['detects_per_s_per_core']:.0f} detects/s/core (floor "
+        f"{MIN_DETECTS_PER_S_PER_CORE:.0f})"
+    )
+
     report = {
         "benchmark": "detector",
         "quick": bool(args.quick),
@@ -485,6 +556,7 @@ def main(argv=None) -> int:
             "hit_rate": hit_rate,
         },
         "counters": counters,
+        "slo": slo,
     }
     out_path = Path(args.out)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
@@ -503,14 +575,19 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         failed = True
-    b64 = next(
-        row for row in batched["batches"] if row["batch_size"] == 64
-    )
-    if b64["batched_s"] > BATCH_REGRESSION_FACTOR * batched["serial_fast_s"]:
+    if b64["speedup_vs_serial_fast"] < speedup_floor:
         print(
-            f"ERROR: B=64 batched pass took {b64['batched_s']:.3f}s, over "
-            f"{BATCH_REGRESSION_FACTOR}x the serial fast path "
-            f"({batched['serial_fast_s']:.3f}s)",
+            f"ERROR: warm B=64 batched speedup "
+            f"{b64['speedup_vs_serial_fast']:.2f}x below the "
+            f"{speedup_floor:.1f}x floor for {cpu_count} core(s)",
+            file=sys.stderr,
+        )
+        failed = True
+    if slo["detects_per_s_per_core"] < MIN_DETECTS_PER_S_PER_CORE:
+        print(
+            f"ERROR: warm B=64 throughput "
+            f"{slo['detects_per_s_per_core']:.0f} detects/s/core below "
+            f"the {MIN_DETECTS_PER_S_PER_CORE:.0f} floor",
             file=sys.stderr,
         )
         failed = True

@@ -11,6 +11,11 @@
   one shape run through a single 2-D FFT engine pass
   (:func:`~repro.core.batch.detect_batch`), per-trial results identical
   to the serial fast path.
+* :mod:`repro.core.batch_extract` — the batch-vectorised
+  search-and-subtract extraction loop shared by both batched engines.
+* :mod:`repro.core.backend` — the pluggable array backend the batched
+  plans run their transforms on (NumPy/SciPy default; optional
+  CuPy/torch selected via ``set_backend`` or ``REPRO_BACKEND``).
 * :mod:`repro.core.threshold` — the threshold-based baseline detector
   (Falsi et al., used as comparison in Sect. VI).
 * :mod:`repro.core.pulse_id` — responder identification from pulse shape
@@ -33,6 +38,13 @@
 """
 
 from repro.core.matched_filter import matched_filter
+from repro.core.backend import (
+    ArrayBackend,
+    BackendUnavailable,
+    available_backends,
+    get_backend,
+    set_backend,
+)
 from repro.core.detection import (
     DetectedResponse,
     SearchAndSubtract,
@@ -74,6 +86,11 @@ from repro.core.scheme import CombinedScheme, ResponderAssignment
 
 __all__ = [
     "matched_filter",
+    "ArrayBackend",
+    "BackendUnavailable",
+    "available_backends",
+    "get_backend",
+    "set_backend",
     "BatchClassifierPlan",
     "BatchDetectorPlan",
     "ClassifierEngine",

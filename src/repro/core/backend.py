@@ -1,0 +1,381 @@
+"""Pluggable array backend for the batched CIR engines.
+
+The batched detection/identification plans (:mod:`repro.core.batch`,
+:mod:`repro.core.batch_id`) express their hot path as a small set of
+array primitives — batched ``fft``/``ifft``, elementwise ``multiply``
+into scratch, ``abs`` into scratch, ``argmax``/``take_along_axis``
+reductions. This module names that contract
+(:class:`ArrayBackend`) and provides implementations:
+
+* :class:`NumpyBackend` — NumPy + ``scipy.fft`` (``workers=-1``), the
+  default and the reference for all differential tests.
+* :class:`CupyBackend` / :class:`TorchBackend` — optional GPU backends
+  that run the *same* plans unchanged on device arrays. They are
+  lazily imported and raise :class:`BackendUnavailable` when the
+  library is not installed, so the seam is importable (and testable)
+  on CPU-only hosts.
+
+Backend selection precedence: :func:`set_backend` (programmatic) >
+``REPRO_BACKEND`` environment variable > ``"numpy"``. The resolved
+backend name participates in the plan cache key
+(:func:`repro.core.plan.plan_cache_key`), so plans built for different
+backends never collide.
+
+Extraction (:mod:`repro.core.batch_extract`) currently runs host-side:
+non-NumPy backends accelerate the transform stage and hand
+:func:`ArrayBackend.to_numpy` views to the extractor. That keeps the
+byte-identity contract with the serial path in one place; moving
+extraction on-device is a follow-up behind the same seam.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+import numpy as np
+from scipy import fft as sp_fft
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailable",
+    "CupyBackend",
+    "DEFAULT_HOST_MEMORY_BUDGET",
+    "NumpyBackend",
+    "TorchBackend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+    "set_backend",
+]
+
+#: Scratch-memory budget assumed for host (NumPy) execution. The
+#: runtime's auto batch sizing divides this by the per-trial scratch
+#: footprint; device backends report their own budget from free device
+#: memory instead.
+DEFAULT_HOST_MEMORY_BUDGET = 256 * 1024 * 1024
+
+
+class BackendUnavailable(RuntimeError):
+    """Raised when a known backend's library is not importable."""
+
+
+class ArrayBackend:
+    """Namespace protocol the batched plans program against.
+
+    Subclasses provide the primitives below over their own array type.
+    ``to_numpy`` must return a NumPy view/copy of a backend array;
+    NumPy arrays pass through unchanged so the host path stays
+    zero-copy.
+    """
+
+    name: str = "abstract"
+
+    def asarray(self, values: Any, dtype: Any = None) -> Any:
+        raise NotImplementedError
+
+    def empty(self, shape: Any, dtype: Any) -> Any:
+        raise NotImplementedError
+
+    def zeros(self, shape: Any, dtype: Any) -> Any:
+        raise NotImplementedError
+
+    def fft(self, values: Any, n: Optional[int] = None, axis: int = -1) -> Any:
+        raise NotImplementedError
+
+    def ifft(
+        self,
+        values: Any,
+        n: Optional[int] = None,
+        axis: int = -1,
+        overwrite: bool = False,
+    ) -> Any:
+        raise NotImplementedError
+
+    def multiply(self, left: Any, right: Any, out: Any) -> Any:
+        raise NotImplementedError
+
+    def abs(self, values: Any, out: Any = None) -> Any:
+        raise NotImplementedError
+
+    def argmax(self, values: Any, axis: Optional[int] = None) -> Any:
+        raise NotImplementedError
+
+    def take_along_axis(self, values: Any, indices: Any, axis: int) -> Any:
+        raise NotImplementedError
+
+    def to_numpy(self, values: Any) -> np.ndarray:
+        raise NotImplementedError
+
+    def memory_budget_bytes(self) -> int:
+        """Scratch budget for auto batch sizing on this backend."""
+        raise NotImplementedError
+
+    def synchronize(self) -> None:
+        """Barrier for async device execution (no-op on host)."""
+
+
+class NumpyBackend(ArrayBackend):
+    """NumPy + ``scipy.fft`` reference backend (the default)."""
+
+    name = "numpy"
+
+    def asarray(self, values: Any, dtype: Any = None) -> np.ndarray:
+        return np.asarray(values, dtype=dtype)
+
+    def empty(self, shape: Any, dtype: Any) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)
+
+    def zeros(self, shape: Any, dtype: Any) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    def fft(self, values: Any, n: Optional[int] = None, axis: int = -1) -> np.ndarray:
+        return sp_fft.fft(values, n, axis=axis, workers=-1)
+
+    def ifft(
+        self,
+        values: Any,
+        n: Optional[int] = None,
+        axis: int = -1,
+        overwrite: bool = False,
+    ) -> np.ndarray:
+        return sp_fft.ifft(values, n, axis=axis, workers=-1, overwrite_x=overwrite)
+
+    def multiply(self, left: Any, right: Any, out: Any) -> np.ndarray:
+        return np.multiply(left, right, out=out)
+
+    def abs(self, values: Any, out: Any = None) -> np.ndarray:
+        return np.abs(values, out=out)
+
+    def argmax(self, values: Any, axis: Optional[int] = None) -> Any:
+        return np.argmax(values, axis=axis)
+
+    def take_along_axis(self, values: Any, indices: Any, axis: int) -> np.ndarray:
+        return np.take_along_axis(values, indices, axis)
+
+    def to_numpy(self, values: Any) -> np.ndarray:
+        return values
+
+    def memory_budget_bytes(self) -> int:
+        return DEFAULT_HOST_MEMORY_BUDGET
+
+
+class CupyBackend(ArrayBackend):
+    """CuPy GPU backend. Requires ``cupy``; device arrays throughout."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        try:
+            import cupy  # noqa: PLC0415 — lazy optional dependency
+        except ImportError as exc:
+            raise BackendUnavailable(
+                "backend 'cupy' requires the cupy package (not installed); "
+                "falling back is the caller's choice — the default 'numpy' "
+                "backend runs the same plans on host"
+            ) from exc
+        self._cp = cupy
+
+    def asarray(self, values: Any, dtype: Any = None) -> Any:
+        return self._cp.asarray(values, dtype=dtype)
+
+    def empty(self, shape: Any, dtype: Any) -> Any:
+        return self._cp.empty(shape, dtype=dtype)
+
+    def zeros(self, shape: Any, dtype: Any) -> Any:
+        return self._cp.zeros(shape, dtype=dtype)
+
+    def fft(self, values: Any, n: Optional[int] = None, axis: int = -1) -> Any:
+        return self._cp.fft.fft(values, n=n, axis=axis)
+
+    def ifft(
+        self,
+        values: Any,
+        n: Optional[int] = None,
+        axis: int = -1,
+        overwrite: bool = False,
+    ) -> Any:
+        del overwrite  # cupy manages its own scratch
+        return self._cp.fft.ifft(values, n=n, axis=axis)
+
+    def multiply(self, left: Any, right: Any, out: Any) -> Any:
+        return self._cp.multiply(left, right, out=out)
+
+    def abs(self, values: Any, out: Any = None) -> Any:
+        if out is None:
+            return self._cp.abs(values)
+        return self._cp.abs(values, out=out)
+
+    def argmax(self, values: Any, axis: Optional[int] = None) -> Any:
+        return self._cp.argmax(values, axis=axis)
+
+    def take_along_axis(self, values: Any, indices: Any, axis: int) -> Any:
+        return self._cp.take_along_axis(values, indices, axis)
+
+    def to_numpy(self, values: Any) -> np.ndarray:
+        return self._cp.asnumpy(values)
+
+    def memory_budget_bytes(self) -> int:
+        free_bytes, _total = self._cp.cuda.Device().mem_info
+        return int(free_bytes) // 2
+
+    def synchronize(self) -> None:
+        self._cp.cuda.Stream.null.synchronize()
+
+
+class TorchBackend(ArrayBackend):
+    """Torch backend (CUDA when available, CPU tensors otherwise)."""
+
+    name = "torch"
+
+    def __init__(self) -> None:
+        try:
+            import torch  # noqa: PLC0415 — lazy optional dependency
+        except ImportError as exc:
+            raise BackendUnavailable(
+                "backend 'torch' requires the torch package (not installed); "
+                "the default 'numpy' backend runs the same plans on host"
+            ) from exc
+        self._torch = torch
+        self._device = torch.device("cuda" if torch.cuda.is_available() else "cpu")
+
+    def asarray(self, values: Any, dtype: Any = None) -> Any:
+        host = np.asarray(values, dtype=dtype)
+        return self._torch.as_tensor(host, device=self._device)
+
+    def empty(self, shape: Any, dtype: Any) -> Any:
+        return self._torch.empty(tuple(shape), dtype=self._dtype(dtype), device=self._device)
+
+    def zeros(self, shape: Any, dtype: Any) -> Any:
+        return self._torch.zeros(tuple(shape), dtype=self._dtype(dtype), device=self._device)
+
+    def _dtype(self, dtype: Any) -> Any:
+        if dtype in (complex, np.complex128):
+            return self._torch.complex128
+        if dtype in (float, np.float64):
+            return self._torch.float64
+        return dtype
+
+    def fft(self, values: Any, n: Optional[int] = None, axis: int = -1) -> Any:
+        return self._torch.fft.fft(values, n=n, dim=axis)
+
+    def ifft(
+        self,
+        values: Any,
+        n: Optional[int] = None,
+        axis: int = -1,
+        overwrite: bool = False,
+    ) -> Any:
+        del overwrite
+        return self._torch.fft.ifft(values, n=n, dim=axis)
+
+    def multiply(self, left: Any, right: Any, out: Any) -> Any:
+        return self._torch.mul(left, right, out=out)
+
+    def abs(self, values: Any, out: Any = None) -> Any:
+        if out is None:
+            return self._torch.abs(values)
+        return self._torch.abs(values, out=out)
+
+    def argmax(self, values: Any, axis: Optional[int] = None) -> Any:
+        if axis is None:
+            return self._torch.argmax(values)
+        return self._torch.argmax(values, dim=axis)
+
+    def take_along_axis(self, values: Any, indices: Any, axis: int) -> Any:
+        return self._torch.take_along_dim(values, indices, dim=axis)
+
+    def to_numpy(self, values: Any) -> np.ndarray:
+        return values.detach().cpu().numpy()
+
+    def memory_budget_bytes(self) -> int:
+        if self._device.type == "cuda":
+            free_bytes, _total = self._torch.cuda.mem_get_info()
+            return int(free_bytes) // 2
+        return DEFAULT_HOST_MEMORY_BUDGET
+
+    def synchronize(self) -> None:
+        if self._device.type == "cuda":
+            self._torch.cuda.synchronize()
+
+
+_REGISTRY = {
+    "numpy": NumpyBackend,
+    "cupy": CupyBackend,
+    "torch": TorchBackend,
+}
+_instances: Dict[str, ArrayBackend] = {}
+_forced: Optional[str] = None
+
+
+def _resolve_name(name: Optional[str] = None) -> str:
+    if name is not None:
+        return str(name).strip().lower()
+    if _forced is not None:
+        return _forced
+    env = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    return env or "numpy"
+
+
+def get_backend(name: Optional[str] = None) -> ArrayBackend:
+    """Return the selected backend instance.
+
+    With ``name=None`` the selection precedence is
+    :func:`set_backend` > ``REPRO_BACKEND`` env var > ``"numpy"``.
+    The environment variable is re-read on every call so tests can
+    monkeypatch it. Raises :class:`ValueError` for unknown names and
+    :class:`BackendUnavailable` when the library is missing.
+    """
+    resolved = _resolve_name(name)
+    if resolved not in _REGISTRY:
+        raise ValueError(
+            f"unknown array backend {resolved!r}; known backends: "
+            f"{sorted(_REGISTRY)}"
+        )
+    instance = _instances.get(resolved)
+    if instance is None:
+        instance = _REGISTRY[resolved]()
+        _instances[resolved] = instance
+    return instance
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Force the process-wide backend (``None`` clears the override).
+
+    Validates availability eagerly so a bad selection fails at
+    configuration time, not mid-batch.
+    """
+    global _forced
+    if name is None:
+        _forced = None
+        return
+    resolved = str(name).strip().lower()
+    if resolved not in _REGISTRY:
+        raise ValueError(
+            f"unknown array backend {resolved!r}; known backends: "
+            f"{sorted(_REGISTRY)}"
+        )
+    get_backend(resolved)
+    _forced = resolved
+
+
+def resolve_backend(backend: Any = None) -> ArrayBackend:
+    """Coerce ``None`` / a name / an instance to an :class:`ArrayBackend`."""
+    if backend is None:
+        return get_backend()
+    if isinstance(backend, str):
+        return get_backend(backend)
+    return backend
+
+
+def available_backends() -> Dict[str, bool]:
+    """Map of backend name -> importable right now."""
+    out: Dict[str, bool] = {}
+    for known in sorted(_REGISTRY):
+        try:
+            get_backend(known)
+        except BackendUnavailable:
+            out[known] = False
+        else:
+            out[known] = True
+    return out

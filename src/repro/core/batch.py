@@ -13,14 +13,19 @@ them into a ``(B, N)`` array and pays:
 * **one** ``(B, n_templates, fft_length)`` batched inverse FFT instead
   of B,
 
-then runs the *identical* per-trial search-and-subtract extraction loop
-(:func:`repro.core.detection.extract_responses`) on each trial's output
-slice, incremental step-5 updates included.  Because the extraction
-code is literally shared with the serial fast path, the only place the
-two paths can diverge is the transforms themselves — and pocketfft
-evaluates a row of a 2-D transform with the same kernel as the 1-D
-call, so results are byte-identical in practice and bounded at
+then runs the search-and-subtract extraction *vectorised across the
+batch dimension* (:func:`repro.core.batch_extract.extract_responses_batch`):
+one argmax per iteration over the whole ``(B, n_templates * n_fine)``
+magnitude view, an active-row mask for ragged early-stop, and grouped
+batched small-FFT subtraction updates.  The decision arithmetic is
+shared with the serial loop (same helpers, same expression order) and
+pocketfft evaluates a row of a 2-D transform with the same kernel as
+the 1-D call, so results are byte-identical in practice and bounded at
 ``rtol <= 1e-9`` by ``tests/test_properties_detection.py`` regardless.
+
+All batch transforms go through a pluggable array backend
+(:mod:`repro.core.backend` — NumPy+SciPy default, optional CuPy/torch),
+selected per plan; the backend name is part of the plan cache key.
 
 Batch plans are memoised per ``(bank, CIR length, factor, B)`` shape in
 the same ``detector_plans`` cache the single-CIR path uses; the key
@@ -32,22 +37,22 @@ can never be served to the single-CIR path.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 from scipy import fft as sp_fft
 
+from repro.core.backend import ArrayBackend, resolve_backend
+from repro.core.batch_extract import extract_responses_batch
 from repro.core.detection import (
     DetectedResponse,
     SearchAndSubtractConfig,
     _per_trial_noise,
-    extract_responses,
 )
 from repro.core.plan import DetectorPlan, plan_cache_key
 from repro.runtime.cache import get_cache
 from repro.runtime.metrics import global_metrics
 from repro.signal.pulses import Pulse
-from repro.signal.sampling import fft_upsample_batch
 
 __all__ = ["BatchDetectorPlan", "batch_detector_plan", "detect_batch"]
 
@@ -77,19 +82,34 @@ class BatchDetectorPlan:
     ``tests/test_properties_detection.py::TestPlanCacheBatchKey``.
     """
 
-    def __init__(self, base: DetectorPlan, batch_size: int) -> None:
+    def __init__(
+        self,
+        base: DetectorPlan,
+        batch_size: int,
+        backend: Union[ArrayBackend, str, None] = None,
+    ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.base = base
         self.batch_size = int(batch_size)
-        self._product = np.empty(
+        self.backend = resolve_backend(backend)
+        xp = self.backend
+        self._product = xp.empty(
             (self.batch_size, len(base.templates), base.fft_length),
             dtype=complex,
         )
-        self._magnitudes = np.empty(
+        self._magnitudes = xp.empty(
             (self.batch_size, len(base.templates), base.n_fine),
             dtype=float,
         )
+        # Upsampling pad scratch.  Only the head/tail spectrum blocks
+        # (plus the split Nyquist bin) are ever written; the middle
+        # stays zero from construction, so zeroing once here replaces a
+        # ~8 MB memset per engine pass at B=64.
+        self._padded = xp.zeros(
+            (self.batch_size, base.n_fine), dtype=complex
+        )
+        self._spectra = xp.asarray(base.spectra)
 
     def magnitudes(self, outputs: np.ndarray) -> np.ndarray:
         """``np.abs(outputs)`` into the plan's reusable float scratch.
@@ -101,11 +121,60 @@ class BatchDetectorPlan:
         :meth:`filter_bank`: the result is valid (and mutable) until the
         next call on this plan.
         """
-        return np.abs(outputs, out=self._magnitudes)
+        return self.backend.abs(outputs, out=self._magnitudes)
 
     @property
     def n_templates(self) -> int:
         return len(self.base.templates)
+
+    def filter_pass(self, cirs: np.ndarray) -> np.ndarray:
+        """Upsample + matched-filter B native-rate CIRs in one pass.
+
+        ``cirs`` is ``(B, cir_length)`` complex at the radio's tap rate;
+        returns the ``(B, n_templates, n_fine)`` complex output tensor
+        (same aliasing contract as :meth:`filter_bank`).  Equivalent to
+        ``filter_bank(fft_upsample_batch(cirs, U))`` but with the
+        spectrum zero-padding done into the plan's preallocated scratch
+        and every transform routed through the plan's array backend —
+        on the default NumPy backend that is ``scipy.fft`` with
+        ``workers=-1`` (each row evaluated with the same pocketfft
+        kernel as the 1-D call).
+        """
+        xp = self.backend
+        cirs = xp.asarray(cirs, dtype=complex)
+        if cirs.shape != (self.batch_size, self.base.cir_length):
+            raise ValueError(
+                f"plan built for shape "
+                f"{(self.batch_size, self.base.cir_length)}, got "
+                f"{tuple(cirs.shape)}"
+            )
+        factor = self.base.upsample_factor
+        if factor == 1:
+            working = cirs  # read-only below; extraction mutates outputs only
+        else:
+            n = self.base.cir_length
+            spectrum = xp.fft(cirs, axis=1)
+            padded = self._padded
+            # Same spectrum split as fft_upsample_batch: positive
+            # frequencies at the head, negative at the tail, an even
+            # length's Nyquist bin shared half-and-half.
+            half = (n + 1) // 2
+            padded[:, :half] = spectrum[:, :half]
+            if n > half:
+                padded[:, -(n - half):] = spectrum[:, half:]
+            if n % 2 == 0:
+                padded[:, half] = spectrum[:, half] / 2.0
+                padded[:, -half] = spectrum[:, half] / 2.0
+            working = xp.ifft(padded, axis=1)
+            working *= factor
+        forward = xp.fft(working, self.base.fft_length, axis=1)
+        xp.multiply(
+            forward[:, np.newaxis, :],
+            self._spectra[np.newaxis, :, :],
+            out=self._product,
+        )
+        outputs = xp.ifft(self._product, axis=2, overwrite=True)
+        return outputs[:, :, : self.base.n_fine]
 
     def filter_bank(self, working: np.ndarray) -> np.ndarray:
         """Matched-filter B upsampled signals against the whole bank.
@@ -182,6 +251,7 @@ def batch_detector_plan(
     upsample_factor: int,
     sampling_period_s: float,
     batch_size: int,
+    backend: Optional[str] = None,
 ) -> BatchDetectorPlan:
     """A memoised :class:`BatchDetectorPlan` for a batched shape.
 
@@ -190,12 +260,18 @@ def batch_detector_plan(
     its own cache entry; only the thin batch wrapper (plus its scratch
     buffer) is stored per batch size.  Both lookups count toward the
     ``detector_plans`` hit rate shown in the runtime metrics report.
+
+    ``backend`` selects the array backend the plan's transforms run on
+    (``None`` follows the process default, see
+    :func:`repro.core.backend.get_backend`); the resolved name is part
+    of the cache key, so plans for different backends never collide.
     """
     from repro.core.plan import detector_plan
 
+    resolved = resolve_backend(backend)
     key = plan_cache_key(
         templates, cir_length, upsample_factor, sampling_period_s,
-        batch_size=batch_size,
+        batch_size=batch_size, backend=resolved.name,
     )
 
     def _build() -> BatchDetectorPlan:
@@ -203,7 +279,7 @@ def batch_detector_plan(
             base = detector_plan(
                 templates, cir_length, upsample_factor, sampling_period_s
             )
-            return BatchDetectorPlan(base, batch_size)
+            return BatchDetectorPlan(base, batch_size, backend=resolved)
 
     return get_cache("detector_plans").get_or_create(key, _build)
 
@@ -291,20 +367,21 @@ def detect_batch(
             plan, batch_size, cir_length, config.upsample_factor
         )
     with metrics.timer("detector.batch_filter_pass").time():
-        working = fft_upsample_batch(cirs, config.upsample_factor)
-        outputs = plan.filter_bank(working)
-    magnitudes = plan.magnitudes(outputs)
-
-    results: List[List[DetectedResponse]] = []
-    for b in range(batch_size):
-        responses = extract_responses(
+        outputs = plan.filter_pass(cirs)
+        magnitudes = plan.magnitudes(outputs)
+    # Extraction runs host-side: device backends hand back NumPy views
+    # here so the decision loop stays byte-identical to the serial path.
+    host_outputs = plan.backend.to_numpy(outputs)
+    host_magnitudes = plan.backend.to_numpy(magnitudes)
+    with metrics.timer("detector.batch_extract").time():
+        results = extract_responses_batch(
             plan.base,
-            outputs[b],
-            magnitudes[b],
+            host_outputs,
+            host_magnitudes,
             config,
             sampling_period_s,
-            stds[b],
+            stds,
         )
+    for responses in results:
         responses.sort(key=lambda response: response.delay_s)
-        results.append(responses)
     return results

@@ -6,15 +6,15 @@ pick, so it batches across trials exactly like
 :mod:`repro.core.batch`: B independent CIRs of the same shape stack
 into one ``(B, N)`` array and pay **one** batched upsampling transform,
 **one** 2-D forward FFT, and **one** ``(B, n_templates, fft_length)``
-batched inverse FFT, instead of B of each.  Per trial, the *identical*
-serial code then runs on the output slice:
+batched inverse FFT, instead of B of each.  Extraction then runs
+vectorised across the batch
+(:func:`repro.core.batch_extract.extract_responses_batch` — argmax
+peak-pick over the magnitude tensor, active-row mask for ragged
+early-stop, grouped batched subtraction updates), and the winner pick
+per response is the shared serial
+:func:`repro.core.pulse_id.classify_responses`.
 
-* :func:`repro.core.detection.extract_responses` — the shared
-  search-and-subtract loop (incremental step-5 updates included),
-* :func:`repro.core.pulse_id.classify_responses` — the shared
-  maximum-amplitude winner pick.
-
-Because both decision stages are literally the serial
+Because the decision arithmetic is shared with the serial
 :class:`~repro.core.pulse_id.PulseShapeClassifier` code, batched and
 serial classification can only diverge in the transforms — and those
 are bounded at ``rtol <= 1e-9`` by the differential sweep in
@@ -41,11 +41,12 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backend import resolve_backend
 from repro.core.batch import BatchDetectorPlan, batch_detector_plan
+from repro.core.batch_extract import extract_responses_batch
 from repro.core.detection import (
     SearchAndSubtractConfig,
     _per_trial_noise,
-    extract_responses,
 )
 from repro.core.plan import plan_cache_key
 from repro.core.pulse_id import (
@@ -56,7 +57,6 @@ from repro.core.pulse_id import (
 from repro.runtime.cache import get_cache
 from repro.runtime.executor import BatchTrial, WorkloadShape
 from repro.runtime.metrics import global_metrics
-from repro.signal.sampling import fft_upsample_batch
 from repro.signal.templates import TemplateBank
 
 __all__ = [
@@ -110,10 +110,19 @@ class BatchClassifierPlan:
     def n_templates(self) -> int:
         return self.detector.n_templates
 
+    @property
+    def backend(self):
+        return self.detector.backend
+
     def filter_bank(self, working: np.ndarray) -> np.ndarray:
         """One batched filter-bank pass (see
         :meth:`BatchDetectorPlan.filter_bank`)."""
         return self.detector.filter_bank(working)
+
+    def filter_pass(self, cirs: np.ndarray) -> np.ndarray:
+        """Upsample + filter native-rate CIRs (see
+        :meth:`BatchDetectorPlan.filter_pass`)."""
+        return self.detector.filter_pass(cirs)
 
     def magnitudes(self, outputs: np.ndarray) -> np.ndarray:
         """Magnitude tensor in reusable scratch (see
@@ -127,6 +136,7 @@ def batch_classifier_plan(
     upsample_factor: int,
     sampling_period_s: float,
     batch_size: int,
+    backend: Optional[str] = None,
 ) -> BatchClassifierPlan:
     """A memoised :class:`BatchClassifierPlan` for one batched shape.
 
@@ -134,11 +144,13 @@ def batch_classifier_plan(
     :class:`~repro.core.plan.DetectorPlan` (spectra, correlation tables)
     is shared with *every* path of this shape; the
     :class:`~repro.core.batch.BatchDetectorPlan` (batch scratch) is
-    shared with batched detection at the same B; only the classifier
-    binding itself is stored per ``kind="classifier"`` key.  All lookups
-    count toward the ``detector_plans`` hit rate in the metrics report.
+    shared with batched detection at the same B *and* backend; only the
+    classifier binding itself is stored per ``kind="classifier"`` key.
+    All lookups count toward the ``detector_plans`` hit rate in the
+    metrics report.
     """
     templates = list(bank)
+    resolved = resolve_backend(backend)
     key = plan_cache_key(
         templates,
         cir_length,
@@ -146,6 +158,7 @@ def batch_classifier_plan(
         sampling_period_s,
         batch_size=batch_size,
         kind="classifier",
+        backend=resolved.name,
     )
 
     def _build() -> BatchClassifierPlan:
@@ -156,6 +169,7 @@ def batch_classifier_plan(
                 upsample_factor,
                 sampling_period_s,
                 batch_size,
+                backend=resolved.name,
             )
             return BatchClassifierPlan(detector, bank)
 
@@ -247,20 +261,22 @@ def classify_batch(
                 f"call supplied {len(bank)}"
             )
     with metrics.timer("classifier.batch_filter_pass").time():
-        working = fft_upsample_batch(cirs, config.upsample_factor)
-        outputs = plan.filter_bank(working)
-    magnitudes = plan.magnitudes(outputs)
-
-    results: List[List[ClassifiedResponse]] = []
-    for b in range(batch_size):
-        responses = extract_responses(
+        outputs = plan.filter_pass(cirs)
+        magnitudes = plan.magnitudes(outputs)
+    host_outputs = plan.backend.to_numpy(outputs)
+    host_magnitudes = plan.backend.to_numpy(magnitudes)
+    with metrics.timer("classifier.batch_extract").time():
+        extracted = extract_responses_batch(
             plan.detector.base,
-            outputs[b],
-            magnitudes[b],
+            host_outputs,
+            host_magnitudes,
             config,
             sampling_period_s,
-            stds[b],
+            stds,
+            metric_prefix="classifier",
         )
+    results: List[List[ClassifiedResponse]] = []
+    for responses in extracted:
         responses.sort(key=lambda response: response.delay_s)
         results.append(classify_responses(responses))
     return results

@@ -148,6 +148,36 @@ def _per_trial_noise(noise_std, n_trials: int) -> List[float]:
     return stds
 
 
+def build_response(
+    magnitudes: np.ndarray,
+    template_idx: int,
+    peak_idx: int,
+    position: float,
+    amplitude: complex,
+    factor: int,
+    period: float,
+    scale: float,
+) -> DetectedResponse:
+    """Assemble one :class:`DetectedResponse` from a picked peak.
+
+    ``magnitudes`` is the ``(n_templates, n_fine)`` magnitude matrix the
+    peak was picked from and ``amplitude`` the *raw* (unscaled) complex
+    filter output at the peak. Shared by the serial extraction loop and
+    the batch-vectorised one (:mod:`repro.core.batch_extract`) so the
+    response arithmetic lives in exactly one place.
+    """
+    return DetectedResponse(
+        index=position / factor,
+        delay_s=position * period,
+        amplitude=amplitude / scale,
+        template_index=int(template_idx),
+        scores=tuple(
+            float(value) / scale
+            for value in magnitudes[:, peak_idx]
+        ),
+    )
+
+
 def extract_responses(
     plan: DetectorPlan,
     outputs: np.ndarray,
@@ -195,15 +225,9 @@ def extract_responses(
         )
         amplitude = complex(outputs[template_idx, peak_idx])
         responses.append(
-            DetectedResponse(
-                index=position / factor,
-                delay_s=position * period,
-                amplitude=amplitude / scale,
-                template_index=int(template_idx),
-                scores=tuple(
-                    float(value) / scale
-                    for value in magnitudes[:, peak_idx]
-                ),
+            build_response(
+                magnitudes, int(template_idx), int(peak_idx),
+                position, amplitude, factor, period, scale,
             )
         )
         if iteration + 1 >= config.max_responses:

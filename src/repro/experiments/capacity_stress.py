@@ -7,9 +7,20 @@ capacity of the Fig. 8 scheme (4 slots x 3 shapes) and measures the
 per-responder identification rate — quantifying the graceful (or not)
 degradation as slots grow crowded and the detector must pull more and
 more peaks out of one CIR.
+
+The sweep runs on the :mod:`repro.runtime` trial executor (one trial
+per responder count), so ``run()`` carries the standard
+``run(trials, seed, workers, batch_size, checkpoint)`` surface:
+``--workers`` parallelises the per-count simulations and
+``--checkpoint`` persists them.  Each count seeds its own generator as
+``seed + count`` — exactly the serial sweep's derivation — so results
+are identical at any worker count.
 """
 
 from __future__ import annotations
+
+from functools import partial
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -18,10 +29,11 @@ from repro.channel.stochastic import IndoorEnvironment
 from repro.core.detection import SearchAndSubtractConfig
 from repro.core.rpm import SlotPlan
 from repro.core.scheme import CombinedScheme
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, standard_run
 from repro.netsim.medium import Medium
 from repro.netsim.node import Node
 from repro.protocol.concurrent import ConcurrentRangingSession
+from repro.runtime import MetricsRegistry, run_trials
 from repro.signal.templates import TemplateBank
 
 N_SLOTS = 4
@@ -76,7 +88,41 @@ def _identification_rate(
     return hits / total
 
 
-def run(trials: int = 40, seed: int = 67) -> ExperimentResult:
+def _capacity_trial(
+    rng: np.random.Generator,
+    index: int,
+    *,
+    counts: Sequence[int],
+    trials: int,
+    seed: int,
+) -> Tuple[int, float]:
+    """Measure one responder count's identification rate.
+
+    The simulation derives its own generator from ``seed + count`` (the
+    serial sweep's exact seeding), so the trial seeding contract goes
+    unused — results are identical at any worker count or trial order.
+    """
+    count = int(counts[index])
+    return count, _identification_rate(count, trials, seed + count)
+
+
+@standard_run("trials", "seed")
+def run(
+    *,
+    trials: int = 40,
+    seed: int = 67,
+    workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
+    metrics: MetricsRegistry | None = None,
+) -> ExperimentResult:
+    """Sweep responder counts and report per-responder ID rates.
+
+    ``trials`` is the number of ranging rounds simulated per responder
+    count; ``batch_size`` is accepted for the standard run signature
+    and ignored (each count is one indivisible simulation).
+    """
+    del batch_size  # standard-signature parameter; unused
     result = ExperimentResult(
         experiment_id="Capacity stress (ours)",
         description="identification rate as the Fig. 8 scheme fills up",
@@ -85,9 +131,22 @@ def run(trials: int = 40, seed: int = 67) -> ExperimentResult:
         ["responders", "scheme load", "per-responder ID rate"],
         title=f"4 slots x 3 shapes (capacity 12), {trials} rounds per point",
     )
+    report = run_trials(
+        partial(
+            _capacity_trial,
+            counts=RESPONDER_COUNTS,
+            trials=trials,
+            seed=seed,
+        ),
+        len(RESPONDER_COUNTS),
+        seed=seed,
+        workers=workers,
+        metrics=metrics,
+        checkpoint_dir=checkpoint,
+        checkpoint_label="capacity-stress",
+    )
     rates = {}
-    for count in RESPONDER_COUNTS:
-        rate = _identification_rate(count, trials, seed + count)
+    for count, rate in report.values:
         rates[count] = rate
         table.add_row([count, f"{count}/12", rate])
     result.add_table(table)
