@@ -52,6 +52,7 @@ from repro.experiments import (
     nlos_study,
     sect5_precision,
     sect8_scalability,
+    security_study,
     table1_pulse_id,
 )
 
@@ -75,8 +76,9 @@ EXPERIMENTS: Dict[str, tuple] = {
     "ablation-twr": (ablation_twr, True),
     "ablation-upsampling": (ablation_upsampling, True),
     "capacity-stress": (capacity_stress, True),
-    "localization": (localization_exp, False),
+    "localization": (localization_exp, True),
     "chaos": (chaos_sweep, True),
+    "security": (security_study, True),
 }
 
 

@@ -4,17 +4,26 @@ The paper's conclusion announces concurrent-ranging-based localization
 as future work.  This experiment implements it: four anchors in a room,
 a tag initiating one concurrent round per waypoint, robust
 multilateration on the decoded (anchor, distance) pairs.
+
+Every waypoint is one independently seeded trial on the
+:mod:`repro.runtime` executor, so ``--workers`` sweeps are
+byte-identical to serial runs and ``checkpoint`` resumes interrupted
+tracks.
 """
 
 from __future__ import annotations
+
+from functools import partial
+from typing import Optional
 
 import numpy as np
 
 from repro.analysis.tables import Table
 from repro.channel.geometry import Point
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, standard_run
 from repro.localization.anchors import AnchorNetwork
 from repro.localization.multilateration import gdop
+from repro.runtime import MetricsRegistry, run_trials
 
 #: A 10 m x 8 m room with anchors near the corners.
 ANCHORS = (
@@ -48,14 +57,58 @@ def waypoints(n: int) -> list[Point]:
 RESIDUAL_GATE_M = 0.3
 
 
-def run(n_waypoints: int = 20, seed: int = 43) -> ExperimentResult:
-    """Track the tag along the path and report position errors."""
-    network = AnchorNetwork(ANCHORS, seed=seed, n_slots=4, n_shapes=1)
-    fixes = network.track(waypoints(n_waypoints))
-    errors = np.array([fix.error_m for fix in fixes])
-    valid = np.array(
-        [fix.fit.rms_residual_m <= RESIDUAL_GATE_M for fix in fixes]
+def _trial(
+    rng: np.random.Generator, index: int, *, n_waypoints: int
+) -> tuple:
+    """One position fix at waypoint ``index`` of the walking path.
+
+    Returns ``(error_m, rms_residual_m, anchors_used, gdop)`` — plain
+    scalars so the parallel path ships small payloads.
+    """
+    waypoint = waypoints(n_waypoints)[index]
+    network = AnchorNetwork(ANCHORS, seed=rng, n_slots=4, n_shapes=1)
+    fix = network.locate(waypoint)
+    return (
+        fix.error_m,
+        fix.fit.rms_residual_m,
+        float(fix.anchors_used),
+        gdop(ANCHORS, fix.true_position),
     )
+
+
+@standard_run("n_waypoints", "seed", renames={"n_waypoints": "trials"})
+def run(
+    *,
+    trials: int = 20,
+    seed: int = 43,
+    workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ExperimentResult:
+    """Track the tag along the path and report position errors.
+
+    ``trials`` is the waypoint count of the rectangular path (the
+    legacy ``n_waypoints`` parameter).  ``batch_size`` is accepted for
+    the standard run signature and ignored (one fix per trial).
+    """
+    del batch_size  # standard-signature parameter; no batched engine here
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    report = run_trials(
+        partial(_trial, n_waypoints=trials),
+        trials,
+        seed=seed,
+        workers=workers,
+        metrics=metrics,
+        checkpoint_dir=checkpoint,
+        checkpoint_label="localization",
+    )
+    values = np.array(report.values, dtype=float)
+    errors = values[:, 0]
+    residuals = values[:, 1]
+    anchors_used = values[:, 2]
+    gdops = values[:, 3]
+    valid = residuals <= RESIDUAL_GATE_M
     valid_errors = errors[valid] if valid.any() else errors
 
     result = ExperimentResult(
@@ -64,19 +117,14 @@ def run(n_waypoints: int = 20, seed: int = 43) -> ExperimentResult:
     )
     table = Table(
         ["metric", "value"],
-        title=f"position fixes over {n_waypoints} waypoints, 4 anchors",
+        title=f"position fixes over {trials} waypoints, 4 anchors",
     )
     table.add_row(["valid fix rate", float(np.mean(valid))])
     table.add_row(["median error (valid) [m]", float(np.median(valid_errors))])
     table.add_row(["p95 error (valid) [m]", float(np.percentile(valid_errors, 95))])
     table.add_row(["rmse (valid) [m]", float(np.sqrt(np.mean(valid_errors**2)))])
-    table.add_row(
-        ["mean anchors used", float(np.mean([f.anchors_used for f in fixes]))]
-    )
-    table.add_row(
-        ["mean GDOP on path",
-         float(np.mean([gdop(ANCHORS, f.true_position) for f in fixes]))]
-    )
+    table.add_row(["mean anchors used", float(np.mean(anchors_used))])
+    table.add_row(["mean GDOP on path", float(np.mean(gdops))])
     result.add_table(table)
 
     result.compare("valid_fix_rate", float(np.mean(valid)), paper=None)

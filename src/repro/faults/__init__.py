@@ -26,6 +26,13 @@ Quickstart::
     print(session.active_faults.counts)   # totals by injector
 """
 
+from repro.faults.attacks import (
+    ATTACK_KINDS,
+    EarlyReplyAttacker,
+    GhostPeakInjector,
+    PulseShapeSpoofer,
+    ReciprocityTamper,
+)
 from repro.faults.injectors import (
     CirSaturation,
     ClockDriftRamp,
@@ -43,15 +50,20 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "ATTACK_KINDS",
     "ActiveFaults",
     "CirSaturation",
     "ClockDriftRamp",
+    "EarlyReplyAttacker",
     "FaultContext",
     "FaultInjector",
     "FaultPlan",
+    "GhostPeakInjector",
     "ImpulsiveInterference",
     "NlosOnset",
     "PollLoss",
+    "PulseShapeSpoofer",
+    "ReciprocityTamper",
     "ReplyJitter",
     "ResponderDropout",
 ]

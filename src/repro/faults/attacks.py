@@ -1,0 +1,287 @@
+"""Adversarial injectors: UWB distance-manipulation attacks.
+
+Concurrent ranging's core mechanisms — response position modulation and
+pulse-shape identification over one shared CIR — are exactly the surface
+that distance-manipulation attacks on UWB ranging target.  Each injector
+here models one attacker from the literature, driven by the same
+:class:`~repro.faults.plan.FaultPlan` / per-injector ``SeedSequence``
+machinery as the benign fault injectors (deterministic under a fixed
+seed, zero-cost when the plan is empty):
+
+* :class:`GhostPeakInjector` — an external attacker injects pulses into
+  the CIR *ahead* of the true leading edge, shortening the measured
+  distance (Cicada/ghost-peak family; cf. arXiv 2406.06252).
+* :class:`EarlyReplyAttacker` — a compromised responder replies before
+  its RPM slot, committing to a reply time without knowledge of the
+  secret time-hopping offset (it cannot: the hop is derived per round
+  from a secret the attacker does not hold).
+* :class:`PulseShapeSpoofer` — the attacker transmits a victim
+  responder's template shape, forging the victim's identity at an
+  attacker-chosen CIR position.
+* :class:`ReciprocityTamper` — asymmetric perturbation of the CIR's
+  feature structure (leading edge vs. tail energy), the
+  channel-reciprocity attack surface of arXiv 2405.18255.
+
+All parameters are validated eagerly at construction; an attacker with
+``probability=0`` is inert and leaves every capture object-identical to
+the clean path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import CIR_SAMPLING_PERIOD_S
+from repro.faults.injectors import _id_set, _validate_probability
+from repro.faults.plan import FaultInjector
+from repro.signal.pulses import dw1000_pulse
+
+__all__ = [
+    "ATTACK_KINDS",
+    "EarlyReplyAttacker",
+    "GhostPeakInjector",
+    "PulseShapeSpoofer",
+    "ReciprocityTamper",
+]
+
+#: Fault-event kinds that are *attacks* (as opposed to benign faults);
+#: the campaign layer counts these under ``faults.attacks_injected`` and
+#: the security study uses them as per-round attack ground truth.
+ATTACK_KINDS = frozenset(
+    {"ghost_peak", "early_reply", "shape_spoof", "reciprocity_tamper"}
+)
+
+
+def _validate_positive(name: str, value: float) -> float:
+    value = float(value)
+    if not value > 0.0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def _validate_non_negative(name: str, value: float) -> float:
+    value = float(value)
+    if value < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def _leading_edge_tap(
+    magnitude: np.ndarray, noise_std: float, multiplier: float = 10.0
+) -> int:
+    """First tap whose magnitude clears the noise gate (attacker's view
+    of the leading edge); falls back to the global peak in deep noise."""
+    threshold = multiplier * max(noise_std, 1e-15)
+    above = np.flatnonzero(magnitude > threshold)
+    if len(above):
+        return int(above[0])
+    return int(np.argmax(magnitude))
+
+
+class GhostPeakInjector(FaultInjector):
+    """Inject attacker pulses ahead of the true leading edge.
+
+    With probability ``probability`` per capture, the segment of
+    ``width_taps`` taps starting at the observed leading edge — i.e. the
+    earliest legitimate response's own pulse, the most plausible
+    waveform an attacker can replay — is copied ``advance_taps`` earlier
+    into the CIR, scaled to ``amplitude_scale`` times its original
+    amplitude.  First-path detection locks onto the ghost: the receive
+    timestamp (and with it the anchor TWR distance) moves early by
+    ``advance_taps`` x ~1 ns, shortening every derived distance.
+    """
+
+    name = "ghost_peak"
+
+    def __init__(
+        self,
+        probability: float = 1.0,
+        advance_taps: int = 30,
+        amplitude_scale: float = 1.0,
+        width_taps: int = 24,
+    ) -> None:
+        self.probability = _validate_probability("probability", probability)
+        if int(advance_taps) < 1:
+            raise ValueError(
+                f"advance_taps must be >= 1, got {advance_taps}"
+            )
+        self.advance_taps = int(advance_taps)
+        self.amplitude_scale = _validate_positive(
+            "amplitude_scale", amplitude_scale
+        )
+        if int(width_taps) < 1:
+            raise ValueError(f"width_taps must be >= 1, got {width_taps}")
+        self.width_taps = int(width_taps)
+
+    def transform_cir(self, ctx, samples, noise_std, rng) -> np.ndarray:
+        if self.probability <= 0.0 or len(samples) == 0:
+            return samples
+        if self.probability < 1.0 and rng.random() >= self.probability:
+            return samples
+        magnitude = np.abs(samples)
+        edge = _leading_edge_tap(magnitude, noise_std)
+        start = max(0, edge - self.advance_taps)
+        if start == edge:
+            # Leading edge already at tap 0: nowhere earlier to inject.
+            return samples
+        segment = samples[edge : edge + self.width_taps]
+        out = np.array(samples, dtype=complex, copy=True)
+        span = min(len(segment), len(out) - start)
+        out[start : start + span] += self.amplitude_scale * segment[:span]
+        return out
+
+
+class EarlyReplyAttacker(FaultInjector):
+    """A compromised responder replies before its RPM slot.
+
+    With probability ``probability`` per round, the targeted responder's
+    reply is hijacked: it transmits ``advance_s`` *early* relative to
+    its nominal schedule, and — crucially — without the secret
+    time-hopping offset, which the attacker-controlled firmware cannot
+    derive.  Without defenses the early reply shortens the measured
+    distance by ``advance_s * c / 2``; with time-hopping verification
+    the missing hop lands the reply outside the expected window.
+    """
+
+    name = "early_reply"
+
+    def __init__(
+        self,
+        advance_s: float,
+        probability: float = 1.0,
+        responder_ids=None,
+    ) -> None:
+        self.advance_s = _validate_non_negative("advance_s", advance_s)
+        self.probability = _validate_probability("probability", probability)
+        self.responder_ids = _id_set(responder_ids)
+
+    def reply_time_override_s(
+        self, ctx, responder_id, scheduled_s, hop_s, rng
+    ) -> float:
+        if (
+            self.responder_ids is not None
+            and responder_id not in self.responder_ids
+        ):
+            return scheduled_s
+        if self.probability <= 0.0:
+            return scheduled_s
+        if self.probability < 1.0 and rng.random() >= self.probability:
+            return scheduled_s
+        return scheduled_s - hop_s - self.advance_s
+
+
+class PulseShapeSpoofer(FaultInjector):
+    """Transmit a victim responder's template shape.
+
+    The attacker synthesises the pulse shape of ``register`` (a victim's
+    ``TC_PGDELAY`` value — pulse shapes are public, only the hop secret
+    is not) and injects it ``advance_taps`` ahead of the observed
+    leading edge, scaled to ``amplitude_scale`` times the capture's peak
+    magnitude.  The classifier decodes the forged pulse as the victim's
+    identity, yielding a duplicate (and shortened) reading for that
+    responder.
+    """
+
+    name = "shape_spoof"
+
+    def __init__(
+        self,
+        register: int,
+        probability: float = 1.0,
+        advance_taps: int = 30,
+        amplitude_scale: float = 1.0,
+    ) -> None:
+        self.register = int(register)
+        self.probability = _validate_probability("probability", probability)
+        if int(advance_taps) < 1:
+            raise ValueError(
+                f"advance_taps must be >= 1, got {advance_taps}"
+            )
+        self.advance_taps = int(advance_taps)
+        self.amplitude_scale = _validate_positive(
+            "amplitude_scale", amplitude_scale
+        )
+        # Eager: an invalid register raises here, not mid-round.
+        pulse = dw1000_pulse(
+            self.register, sampling_period_s=CIR_SAMPLING_PERIOD_S
+        )
+        self._waveform = np.asarray(pulse.samples, dtype=float)
+        self._waveform_peak = float(np.max(np.abs(self._waveform)))
+
+    def transform_cir(self, ctx, samples, noise_std, rng) -> np.ndarray:
+        if self.probability <= 0.0 or len(samples) == 0:
+            return samples
+        if self.probability < 1.0 and rng.random() >= self.probability:
+            return samples
+        magnitude = np.abs(samples)
+        edge = _leading_edge_tap(magnitude, noise_std)
+        start = max(0, edge - self.advance_taps)
+        if start == edge:
+            return samples
+        peak = float(magnitude.max())
+        if peak <= 0.0:
+            peak = max(noise_std, 1e-12)
+        scale = self.amplitude_scale * peak / self._waveform_peak
+        out = np.array(samples, dtype=complex, copy=True)
+        span = min(len(self._waveform), len(out) - start)
+        out[start : start + span] += scale * self._waveform[:span]
+        return out
+
+
+class ReciprocityTamper(FaultInjector):
+    """Asymmetric tampering of the CIR's feature structure.
+
+    With probability ``probability`` per capture, the rising edge (taps
+    from the leading edge up to the peak) is attenuated by
+    ``edge_attenuation`` and the diffuse tail (``tail_width_taps`` taps
+    starting ``tail_start_taps`` after the peak) is scaled by
+    ``tail_gain`` — perturbing exactly the leading-edge-to-peak gap,
+    template-score margin, and energy-profile features that
+    channel-reciprocity checks rely on, without moving the peak itself.
+    """
+
+    name = "reciprocity_tamper"
+
+    def __init__(
+        self,
+        probability: float = 1.0,
+        edge_attenuation: float = 0.5,
+        tail_gain: float = 2.0,
+        tail_start_taps: int = 4,
+        tail_width_taps: int = 32,
+    ) -> None:
+        self.probability = _validate_probability("probability", probability)
+        self.edge_attenuation = _validate_probability(
+            "edge_attenuation", edge_attenuation
+        )
+        self.tail_gain = _validate_non_negative("tail_gain", tail_gain)
+        if int(tail_start_taps) < 1:
+            raise ValueError(
+                f"tail_start_taps must be >= 1, got {tail_start_taps}"
+            )
+        self.tail_start_taps = int(tail_start_taps)
+        if int(tail_width_taps) < 1:
+            raise ValueError(
+                f"tail_width_taps must be >= 1, got {tail_width_taps}"
+            )
+        self.tail_width_taps = int(tail_width_taps)
+
+    def transform_cir(self, ctx, samples, noise_std, rng) -> np.ndarray:
+        if self.probability <= 0.0 or len(samples) == 0:
+            return samples
+        if self.probability < 1.0 and rng.random() >= self.probability:
+            return samples
+        if self.edge_attenuation == 0.0 and self.tail_gain == 1.0:
+            return samples
+        magnitude = np.abs(samples)
+        peak = int(np.argmax(magnitude))
+        edge = _leading_edge_tap(magnitude, noise_std)
+        out = np.array(samples, dtype=complex, copy=True)
+        if edge < peak and self.edge_attenuation > 0.0:
+            out[edge:peak] *= 1.0 - self.edge_attenuation
+        tail_start = peak + self.tail_start_taps
+        if tail_start < len(out) and self.tail_gain != 1.0:
+            out[tail_start : tail_start + self.tail_width_taps] *= (
+                self.tail_gain
+            )
+        return out

@@ -115,6 +115,28 @@ class FaultInjector:
         """Additive perturbation of the programmed reply delay [s]."""
         return 0.0
 
+    def reply_time_override_s(
+        self,
+        ctx: FaultContext,
+        responder_id: int,
+        scheduled_s: float,
+        hop_s: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """Return a replacement for the scheduled reply instant [s, local].
+
+        ``scheduled_s`` is the responder's fully-composed TX schedule —
+        common reply delay, RPM slot delay, the secret time-hopping
+        offset ``hop_s`` (0.0 when no defense is attached), and any
+        additive jitter already applied.  Adversarial injectors that
+        model a *hijacked* reply (a compromised responder or an attacker
+        transmitting in its place) override this hook: they may strip
+        ``hop_s`` — an attacker does not know the per-round secret — and
+        move the reply at will.  Return ``scheduled_s`` unchanged
+        (*the same value*) to signal "untouched".
+        """
+        return scheduled_s
+
     def clock_drift_offset_ppm(
         self, ctx: FaultContext, responder_id: int, rng: np.random.Generator
     ) -> float:
@@ -184,6 +206,17 @@ class FaultPlan:
                 raise TypeError(
                     f"expected FaultInjector instances, got {injector!r}"
                 )
+        if not isinstance(seed, np.random.SeedSequence):
+            # Eager validation: a bad seed (float, string, nested junk)
+            # must fail at plan construction with a clear message, not
+            # deep inside activate() at injection time.
+            try:
+                np.random.SeedSequence(seed)
+            except (TypeError, ValueError) as error:
+                raise ValueError(
+                    f"FaultPlan seed must be an int, a sequence of ints, "
+                    f"or a numpy SeedSequence, got {seed!r}: {error}"
+                ) from error
         self.seed = seed
 
     @property
@@ -248,6 +281,11 @@ class ActiveFaults:
             for i, injector in enumerate(plan.injectors)
             if type(injector)._overrides("transform_cir")
         ]
+        self._override_injectors = [
+            (i, injector)
+            for i, injector in enumerate(plan.injectors)
+            if type(injector)._overrides("reply_time_override_s")
+        ]
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -309,6 +347,30 @@ class ActiveFaults:
                 self._note(responder_id, injector.name)
                 total += offset
         return total
+
+    def reply_time_override_s(
+        self,
+        ctx: FaultContext,
+        responder_id: int,
+        scheduled_s: float,
+        hop_s: float = 0.0,
+    ) -> float:
+        """The composed reply-schedule hijack seam.
+
+        Zero-cost pass-through when no injector overrides the hook; a
+        changed return value counts as an applied fault for the
+        overriding injector.
+        """
+        if not self._override_injectors:
+            return scheduled_s
+        for i, injector in self._override_injectors:
+            overridden = injector.reply_time_override_s(
+                ctx, responder_id, scheduled_s, hop_s, self._rngs[i]
+            )
+            if overridden != scheduled_s:
+                self._note(responder_id, injector.name)
+            scheduled_s = overridden
+        return scheduled_s
 
     def channel_transform(
         self, ctx: FaultContext

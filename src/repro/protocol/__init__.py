@@ -9,6 +9,9 @@
   detection, identification, and distance decoding.
 * :mod:`repro.protocol.scheduling` — message/energy/airtime accounting
   for scheduled vs. concurrent ranging (Sect. VIII scalability).
+* :mod:`repro.protocol.defense` — defenses against distance-manipulation
+  attacks: secret time-hopping RPM verification and CIR-feature anomaly
+  detection.
 """
 
 from repro.protocol.messages import InitMessage, RespMessage, INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES
@@ -24,6 +27,14 @@ from repro.protocol.campaign import (
     CampaignResult,
     RangingCampaign,
     ResiliencePolicy,
+)
+from repro.protocol.defense import (
+    AnomalyDetectorConfig,
+    DefenseFlag,
+    DefensePlan,
+    DefenseReport,
+    TimeHoppingConfig,
+    screen_round,
 )
 from repro.protocol.scheduling import (
     RoundCost,
@@ -49,6 +60,12 @@ __all__ = [
     "RangingCampaign",
     "CampaignResult",
     "ResiliencePolicy",
+    "AnomalyDetectorConfig",
+    "DefenseFlag",
+    "DefensePlan",
+    "DefenseReport",
+    "TimeHoppingConfig",
+    "screen_round",
     "RoundCost",
     "scheduled_round_cost",
     "concurrent_round_cost",

@@ -16,6 +16,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.faults import ATTACK_KINDS
 from repro.netsim.engine import EventQueue
 from repro.netsim.trace import TraceRecorder
 from repro.protocol.concurrent import (
@@ -114,6 +115,12 @@ class CampaignResult:
     partial_rounds: int = 0
     #: Total injected faults by kind, summed over the campaign.
     faults_injected: Dict[str, int] = field(default_factory=dict)
+    #: Rounds in which at least one *attack* fault was injected.
+    attacked_rounds: int = 0
+    #: Attacked rounds where the defense screen raised a flag.
+    detected_rounds: int = 0
+    #: Clean rounds where the defense screen raised a flag anyway.
+    false_positive_rounds: int = 0
 
     @property
     def n_rounds(self) -> int:
@@ -266,11 +273,25 @@ class RangingCampaign:
                     )
                 if round_result.partial:
                     self._count("campaign.partial_rounds")
+            attack_events = 0
             for _, kind in round_result.fault_events:
                 result.faults_injected[kind] = (
                     result.faults_injected.get(kind, 0) + 1
                 )
                 self._count(f"faults.{kind}")
+                if kind in ATTACK_KINDS:
+                    attack_events += 1
+            if attack_events:
+                result.attacked_rounds += 1
+                self._count("faults.attacks_injected", attack_events)
+            report = round_result.defense
+            if report is not None and report.triggered:
+                if attack_events:
+                    result.detected_rounds += 1
+                    self._count("defense.detected")
+                else:
+                    result.false_positive_rounds += 1
+                    self._count("defense.false_positives")
             result.rounds.append(round_result)
             result.round_times_s.append(q.now_s)
 

@@ -40,6 +40,7 @@ from repro.faults import ActiveFaults, FaultContext, FaultPlan
 from repro.netsim.medium import Medium
 from repro.netsim.node import Node
 from repro.netsim.trace import TraceRecorder
+from repro.protocol.defense import DefensePlan, DefenseReport, screen_round
 from repro.protocol.messages import (
     INIT_PAYLOAD_BYTES,
     RESP_PAYLOAD_BYTES,
@@ -133,6 +134,9 @@ class ConcurrentRoundResult:
     attempts: int = 1
     #: Campaign round index this result belongs to.
     round_index: int = 0
+    #: What the defense screen flagged/rejected (``None`` when the
+    #: session runs without a :class:`~repro.protocol.defense.DefensePlan`).
+    defense: DefenseReport | None = None
 
     @property
     def partial(self) -> bool:
@@ -182,6 +186,9 @@ class PendingRound:
     #: Fault machinery active for this round (internal; consumed by
     #: ``finish_round`` for the per-responder fault annotations).
     active: "ActiveFaults | None" = None
+    #: INIT transmit instant on the initiator's clock — the reference
+    #: the defense screen verifies reply arrival times against.
+    t_tx_init_local_s: float = 0.0
 
     @property
     def cir(self) -> np.ndarray:
@@ -238,6 +245,17 @@ class ConcurrentRangingSession:
         responder dropout, reply jitter, clock-drift ramps, channel and
         CIR transforms).  An empty or absent plan leaves every round
         bit-identical to a session without fault machinery.
+    defense:
+        Optional :class:`~repro.protocol.defense.DefensePlan`.  With
+        time hopping enabled, every responder adds its secret
+        per-(round, responder) jitter to the RPM reply slot and the
+        initiator verifies each decoded response's arrival time against
+        the re-derived hop in :meth:`finish_round`; the anomaly
+        detector additionally screens CIR features.  Rejected responses
+        are removed from the round's ranging result (they read as
+        misses) and reported on
+        :attr:`ConcurrentRoundResult.defense`.  ``None`` leaves every
+        round bit-identical to a session without defenses.
     """
 
     def __init__(
@@ -254,6 +272,7 @@ class ConcurrentRangingSession:
         init_loss_probability: float = 0.0,
         rng: np.random.Generator | None = None,
         faults: FaultPlan | None = None,
+        defense: DefensePlan | None = None,
     ) -> None:
         if len(responders) == 0:
             raise ValueError("need at least one responder")
@@ -285,6 +304,12 @@ class ConcurrentRangingSession:
                 config, max_responses=len(responders)
             )
         self.classifier = PulseShapeClassifier(scheme.bank, config)
+        if defense is not None and not isinstance(defense, DefensePlan):
+            raise TypeError(
+                "defense must be a DefensePlan or None, got "
+                f"{type(defense).__name__}"
+            )
+        self.defense = defense
         self.fault_plan: FaultPlan | None = None
         self._active_faults: ActiveFaults | None = None
         self.attach_faults(faults)
@@ -503,17 +528,40 @@ class ConcurrentRangingSession:
 
             assignment = self._assignment(responder_id)
             node.radio.set_pulse_register(assignment.register)
+            hop_s = (
+                self.defense.hop_offset_s(round_index, responder_id)
+                if self.defense is not None
+                else 0.0
+            )
             nominal_local = (
-                t_rx_local + self.reply_delay_s + assignment.extra_delay_s
+                t_rx_local
+                + self.reply_delay_s
+                + assignment.extra_delay_s
+                + hop_s
             )
             if active is not None:
                 nominal_local += active.reply_delay_offset_s(
                     ctx, responder_id
                 )
+            actual_local = nominal_local
+            if active is not None:
+                actual_local = active.reply_time_override_s(
+                    ctx, responder_id, nominal_local, hop_s
+                )
             if self.compensate_tx_quantization:
-                t_tx_local = nominal_local
+                t_tx_local = actual_local
+                t_claimed_local = nominal_local
             else:
-                t_tx_local = node.radio.schedule_delayed_tx(nominal_local)
+                t_tx_local = node.radio.schedule_delayed_tx(actual_local)
+                t_claimed_local = (
+                    t_tx_local
+                    if actual_local == nominal_local
+                    # A hijacked radio transmits early but the payload
+                    # still reports the *scheduled* instant (Cicada
+                    # semantics): the timestamp field is written by the
+                    # MAC from the programmed TX time, not measured.
+                    else node.radio.schedule_delayed_tx(nominal_local)
+                )
             extra_drift_ppm = (
                 active.clock_drift_offset_ppm(ctx, responder_id)
                 if active is not None
@@ -534,7 +582,7 @@ class ConcurrentRangingSession:
             messages[responder_id] = RespMessage(
                 responder_id=responder_id,
                 t_rx_local_s=t_rx_local,
-                t_tx_local_s=t_tx_local,
+                t_tx_local_s=t_claimed_local,
             )
             arrivals.append(
                 SignalArrival(
@@ -599,7 +647,10 @@ class ConcurrentRangingSession:
             rng.normal(0.0, self.cfo_error_ppm)
         )
         # The anchor's reply time must exclude its RPM slot delay, which
-        # the initiator knows from the anchor's (decoded) identity.
+        # the initiator knows from the anchor's (decoded) identity.  The
+        # secret time hop needs no correction here: it delays the
+        # arrival and the reported reply time equally, so plain TWR
+        # cancels it.
         anchor_assignment = self._assignment(anchor_source)
         d_twr = twr_distance_compensated(
             t_tx_init_local,
@@ -619,6 +670,7 @@ class ConcurrentRangingSession:
             trace=trace,
             round_index=round_index,
             active=active,
+            t_tx_init_local_s=t_tx_init_local,
         )
 
     def finish_round(
@@ -639,6 +691,19 @@ class ConcurrentRangingSession:
         active = pending.active
         classified = list(classified)
         ranging = self.scheme.decode_responses(classified, pending.d_twr_m)
+
+        defense_report: DefenseReport | None = None
+        if self.defense is not None:
+            ranging, defense_report = screen_round(
+                self.defense,
+                ranging=ranging,
+                capture=pending.capture,
+                t_tx_init_local_s=pending.t_tx_init_local_s,
+                reply_delay_s=self.reply_delay_s,
+                assignment_fn=self._assignment,
+                round_index=pending.round_index,
+                expected_responders=len(pending.truth),
+            )
 
         fault_notes = (
             {
@@ -662,6 +727,7 @@ class ConcurrentRangingSession:
                 tuple(active.round_events) if active is not None else ()
             ),
             round_index=pending.round_index,
+            defense=defense_report,
         )
 
     # -- resilience ---------------------------------------------------------

@@ -1,0 +1,261 @@
+"""Unit and differential tests for the distance-attack injectors.
+
+The load-bearing properties:
+
+* **Inertness** — an attacker at probability/intensity zero (or an
+  empty plan) leaves the session byte-identical to a clean one.
+* **Determinism** — attack decisions derive only from the plan seed,
+  never from the simulation's generators or the execution schedule.
+* **Effectiveness** — each undefended attack actually manipulates what
+  it claims to (ghost/spoof inject early CIR energy, the early reply
+  shortens the TWR distance, the tamper reshapes the energy profile).
+* **Eager validation** — malformed parameters raise at construction,
+  not mid-round.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    ATTACK_KINDS,
+    EarlyReplyAttacker,
+    FaultContext,
+    FaultPlan,
+    GhostPeakInjector,
+    PulseShapeSpoofer,
+    ReciprocityTamper,
+)
+from repro.protocol.concurrent import ConcurrentRangingSession
+
+DISTANCES_M = [3.0, 6.0]
+
+
+def _session(seed=7, faults=None, **kwargs):
+    return ConcurrentRangingSession.build(
+        DISTANCES_M, n_shapes=2, seed=seed, faults=faults, **kwargs
+    )
+
+
+def _round_fingerprint(result):
+    """Everything a round produced, as a comparable value."""
+    samples = (
+        result.capture.samples.tobytes()
+        if result.capture is not None
+        else b""
+    )
+    outcomes = tuple(
+        (
+            outcome.responder_id,
+            outcome.detected,
+            outcome.identified,
+            outcome.estimated_distance_m,
+        )
+        for outcome in result.outcomes
+    )
+    return (samples, float(result.d_twr_m), outcomes)
+
+
+class TestAttackKinds:
+    def test_registry_contents(self):
+        assert ATTACK_KINDS == {
+            "ghost_peak",
+            "early_reply",
+            "shape_spoof",
+            "reciprocity_tamper",
+        }
+
+    def test_attacks_report_their_kind(self):
+        session = _session(
+            faults=FaultPlan([EarlyReplyAttacker(advance_s=40e-9)], seed=3)
+        )
+        result = session.run_round(round_index=0)
+        kinds = {kind for _, kind in result.fault_events}
+        assert kinds == {"early_reply"}
+
+
+class TestInertness:
+    """Zero-intensity attackers must be bit-exact no-ops."""
+
+    @pytest.mark.parametrize(
+        "injector",
+        [
+            GhostPeakInjector(probability=0.0),
+            EarlyReplyAttacker(advance_s=40e-9, probability=0.0),
+            PulseShapeSpoofer(register=0x93, probability=0.0),
+            ReciprocityTamper(probability=0.0),
+            # Probability one but a zero-effect configuration.
+            EarlyReplyAttacker(advance_s=0.0),
+        ],
+    )
+    def test_inert_attacker_matches_clean_session(self, injector):
+        clean = _session(seed=11)
+        attacked = _session(seed=11, faults=FaultPlan([injector], seed=5))
+        for round_index in range(3):
+            reference = clean.run_round(round_index=round_index)
+            result = attacked.run_round(round_index=round_index)
+            assert _round_fingerprint(result) == _round_fingerprint(
+                reference
+            )
+
+    def test_empty_plan_matches_clean_session(self):
+        clean = _session(seed=11)
+        attacked = _session(seed=11, faults=FaultPlan([], seed=5))
+        reference = clean.run_round(round_index=0)
+        result = attacked.run_round(round_index=0)
+        assert _round_fingerprint(result) == _round_fingerprint(reference)
+
+    def test_zero_advance_early_reply_emits_no_event(self):
+        session = _session(
+            faults=FaultPlan(
+                [EarlyReplyAttacker(advance_s=0.0)], seed=5
+            )
+        )
+        result = session.run_round(round_index=0)
+        assert result.fault_events == ()
+
+
+class TestDeterminism:
+    """Attack streams depend only on the plan seed."""
+
+    def _events(self, plan_seed, session_seed=13, rounds=4):
+        session = _session(
+            seed=session_seed,
+            faults=FaultPlan(
+                [
+                    GhostPeakInjector(probability=0.5, advance_taps=40),
+                    EarlyReplyAttacker(
+                        advance_s=30e-9, probability=0.5
+                    ),
+                ],
+                seed=plan_seed,
+            ),
+        )
+        events = []
+        for round_index in range(rounds):
+            result = session.run_round(round_index=round_index)
+            events.append(result.fault_events)
+        return events
+
+    def test_same_seed_same_attack_stream(self):
+        assert self._events(21) == self._events(21)
+
+    def test_different_seed_different_attack_stream(self):
+        assert self._events(21) != self._events(22)
+
+    def test_override_hook_is_seed_deterministic(self):
+        attacker = EarlyReplyAttacker(advance_s=25e-9, probability=0.7)
+        ctx = FaultContext()
+
+        def stream(seed):
+            active = FaultPlan([attacker], seed=seed).activate()
+            return [
+                active.reply_time_override_s(ctx, rid, 1e-3, 0.0)
+                for rid in range(32)
+            ]
+
+        assert stream(9) == stream(9)
+        assert stream(9) != stream(10)
+
+
+class TestEffectiveness:
+    def test_early_reply_shortens_twr_distance(self):
+        clean = _session(seed=17)
+        attacked = _session(
+            seed=17,
+            faults=FaultPlan(
+                # Hijack the anchor responder's radio only.
+                [EarlyReplyAttacker(advance_s=40e-9, responder_ids=(0,))],
+                seed=5,
+            ),
+        )
+        reference = clean.run_round(round_index=0)
+        result = attacked.run_round(round_index=0)
+        # 40 ns advance => ~6 m reduction of the anchor TWR distance.
+        assert result.d_twr_m == pytest.approx(
+            reference.d_twr_m - 6.0, abs=0.5
+        )
+
+    def test_early_reply_payload_reports_scheduled_time(self):
+        """Cicada semantics: the hijacked radio transmits early but the
+        MAC payload still carries the *programmed* reply instant, so the
+        initiator cannot spot the attack from the payload alone."""
+        attacked = _session(
+            seed=17,
+            faults=FaultPlan(
+                [EarlyReplyAttacker(advance_s=40e-9)], seed=5
+            ),
+        )
+        result = attacked.run_round(round_index=0)
+        assert any(
+            kind == "early_reply" for _, kind in result.fault_events
+        )
+
+    @pytest.mark.parametrize(
+        "injector",
+        [
+            GhostPeakInjector(advance_taps=60),
+            PulseShapeSpoofer(register=0x93, advance_taps=60),
+        ],
+    )
+    def test_injection_adds_early_cir_energy(self, injector):
+        clean = _session(seed=19)
+        attacked = _session(seed=19, faults=FaultPlan([injector], seed=5))
+        reference = clean.run_round(round_index=0)
+        result = attacked.run_round(round_index=0)
+        ref_samples = np.abs(reference.capture.samples)
+        atk_samples = np.abs(result.capture.samples)
+        first = int(reference.capture.first_path_index)
+        # Energy appears strictly before the legitimate first path.
+        lead_in = slice(max(0, first - 70), first)
+        assert atk_samples[lead_in].sum() > ref_samples[lead_in].sum()
+
+    def test_tamper_reshapes_energy_profile(self):
+        clean = _session(seed=23)
+        attacked = _session(
+            seed=23,
+            faults=FaultPlan(
+                [ReciprocityTamper(tail_gain=5.0, edge_attenuation=0.6)],
+                seed=5,
+            ),
+        )
+        reference = clean.run_round(round_index=0)
+        result = attacked.run_round(round_index=0)
+        ref_samples = np.abs(reference.capture.samples)
+        atk_samples = np.abs(result.capture.samples)
+        assert not np.array_equal(atk_samples, ref_samples)
+        # The diffuse tail gained energy relative to the clean capture.
+        assert atk_samples.sum() > ref_samples.sum()
+
+
+class TestEagerValidation:
+    def test_ghost_rejects_zero_advance(self):
+        with pytest.raises(ValueError):
+            GhostPeakInjector(advance_taps=0)
+
+    def test_ghost_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            GhostPeakInjector(probability=1.5)
+
+    def test_early_reply_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            EarlyReplyAttacker(advance_s=-1e-9)
+
+    def test_spoofer_rejects_invalid_register(self):
+        with pytest.raises(Exception):
+            PulseShapeSpoofer(register=-1)
+
+    def test_spoofer_rejects_zero_advance(self):
+        with pytest.raises(ValueError):
+            PulseShapeSpoofer(register=0x93, advance_taps=0)
+
+    def test_tamper_rejects_bad_attenuation(self):
+        with pytest.raises(ValueError):
+            ReciprocityTamper(edge_attenuation=1.5)
+
+    def test_tamper_rejects_negative_gain(self):
+        with pytest.raises(ValueError):
+            ReciprocityTamper(tail_gain=-0.5)
+
+    def test_plan_rejects_unseedable_seed(self):
+        with pytest.raises(ValueError):
+            FaultPlan([GhostPeakInjector()], seed="not-a-seed")

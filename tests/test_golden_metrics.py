@@ -32,6 +32,7 @@ from repro.experiments import (
     fig7_overlap,
     fig8_combined,
     sect5_precision,
+    security_study,
     table1_pulse_id,
 )
 
@@ -61,6 +62,14 @@ CASES = {
     # (run() defaults to batch_size="auto" on this workload).
     "fig8_combined(trials=6, seed=31)": (
         lambda: fig8_combined.run(trials=6, seed=31)
+    ),
+    # The exact configuration CI's security-smoke gate runs (--quick):
+    # the pinned values double as the acceptance numbers — detection
+    # >= 0.9 at full intensity, clean false positives <= 0.05.
+    "security_study(trials=4, rounds=6, seed=41, intensities=(1.0,))": (
+        lambda: security_study.run(
+            trials=4, rounds=6, seed=41, intensities=(1.0,)
+        )
     ),
 }
 
