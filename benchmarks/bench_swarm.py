@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Benchmark: swarm event-loop throughput at city scale.
+
+Runs the :class:`~repro.netsim.swarm.SwarmScenario` at a 500-responder
+population (the mid-point of the Sect. VIII sweep) and writes
+``BENCH_swarm.json``:
+
+* **rounds/s** — wall-clock throughput of the full per-round path
+  (medium synthesis -> capture -> batched classification -> anchor-slot
+  decode -> localization), at ``shards=1`` and ``shards=4``;
+* **identification** — id rate and median ranging error of the run
+  (sanity that the benchmark measured real decodes, not empty rounds);
+* **shard check** — digests of both shard counts, compared.
+
+Gates (non-zero exit, so CI can run this as the swarm smoke job):
+
+* any shard divergence (``shards=1`` vs ``shards=4`` digests differ),
+* zero identified responders (the loop measured nothing),
+* throughput below ``ROUNDS_PER_S_FLOOR`` (a collapse, not a wobble —
+  CI machines vary, so the floor is deliberately conservative).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_swarm.py
+    PYTHONPATH=src python benchmarks/bench_swarm.py --quick --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.swarm_scale import swarm_config
+from repro.netsim.swarm import SwarmScenario
+
+#: Conservative wall-clock floor [rounds/s]: interactive runs measure
+#: ~10-15 on a laptop-class core; below 1 the loop has collapsed.
+ROUNDS_PER_S_FLOOR = 1.0
+
+N_RESPONDERS = 500
+SEED = 71
+
+
+def run_benchmark(epochs: int) -> dict:
+    report: dict = {
+        "n_responders": N_RESPONDERS,
+        "epochs": epochs,
+        "seed": SEED,
+        "shards": {},
+    }
+    digests = {}
+    for shards in (1, 4):
+        scenario = SwarmScenario(
+            swarm_config(N_RESPONDERS), seed=SEED, shards=shards
+        )
+        start = time.perf_counter()
+        result = scenario.run(epochs)
+        elapsed = time.perf_counter() - start
+        digests[shards] = result.digest()
+        report["shards"][str(shards)] = {
+            "rounds": result.rounds,
+            "polled": result.polled,
+            "identified": result.identified,
+            "id_rate": result.id_rate,
+            "median_abs_error_m": result.median_abs_error_m,
+            "coverage": result.coverage,
+            "elapsed_s": elapsed,
+            "rounds_per_s": result.rounds / elapsed if elapsed > 0 else 0.0,
+            "digest": result.digest(),
+        }
+    report["shard_divergence"] = digests[1] != digests[4]
+    return report
+
+
+def evaluate_gates(report: dict) -> list:
+    failures = []
+    if report["shard_divergence"]:
+        failures.append("shards=1 and shards=4 digests diverge")
+    for shards, stats in report["shards"].items():
+        if stats["identified"] == 0:
+            failures.append(f"shards={shards}: zero identified responders")
+        if stats["rounds_per_s"] < ROUNDS_PER_S_FLOOR:
+            failures.append(
+                f"shards={shards}: {stats['rounds_per_s']:.2f} rounds/s "
+                f"below floor {ROUNDS_PER_S_FLOOR}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Swarm event-loop throughput benchmark "
+        f"({N_RESPONDERS} responders)."
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=10, help="swarm epochs per shard count"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="short run for CI smoke"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_swarm.json", metavar="FILE",
+        help="write the JSON report here",
+    )
+    args = parser.parse_args(argv)
+    epochs = min(args.epochs, 4) if args.quick else args.epochs
+
+    report = run_benchmark(epochs)
+    failures = evaluate_gates(report)
+    report["failures"] = failures
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    for shards, stats in report["shards"].items():
+        print(
+            f"shards={shards}: {stats['rounds_per_s']:.2f} rounds/s, "
+            f"id rate {stats['id_rate']:.3f}, "
+            f"med |err| {stats['median_abs_error_m']:.3f} m"
+        )
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"all gates passed; report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

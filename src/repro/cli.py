@@ -53,6 +53,7 @@ from repro.experiments import (
     sect5_precision,
     sect8_scalability,
     security_study,
+    swarm_scale,
     table1_pulse_id,
 )
 
@@ -79,6 +80,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "localization": (localization_exp, True),
     "chaos": (chaos_sweep, True),
     "security": (security_study, True),
+    "swarm": (swarm_scale, True),
 }
 
 

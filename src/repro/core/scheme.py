@@ -98,16 +98,30 @@ class CombinedScheme:
         self,
         classified: Sequence[ClassifiedResponse],
         d_twr_m: float,
+        anchor_slot: int = 0,
     ) -> RangingResult:
         """Turn classified CIR responses into (ID, distance) pairs.
 
-        The earliest response anchors slot 0 at distance ``d_twr_m`` (it
-        belongs to the responder whose payload the initiator decoded).
-        Every other response's offset to the anchor splits into a slot
-        index and a residual; the residual converts to distance through
-        Eq. 4 and the (slot, decoded shape) pair converts to the
-        responder ID.
+        The earliest response anchors the decode at distance ``d_twr_m``
+        (it belongs to the responder whose payload the initiator
+        decoded).  Every other response's offset to the anchor splits
+        into a slot index and a residual; the residual converts to
+        distance through Eq. 4 and the (slot, decoded shape) pair
+        converts to the responder ID.
+
+        ``anchor_slot`` is the slot the anchor responder occupies.  The
+        paper's single-round experiments always have slot 0 occupied, so
+        the default keeps the historical behaviour; a swarm round polls
+        an arbitrary window of responders whose lowest occupied slot may
+        be any ``k`` — the initiator learns ``k`` from the decoded
+        payload of the first-arriving response and shifts every decoded
+        slot by it.
         """
+        if not 0 <= anchor_slot < self.n_slots:
+            raise ValueError(
+                f"anchor slot {anchor_slot} out of range "
+                f"0..{self.n_slots - 1}"
+            )
         ordered = sorted(classified, key=lambda c: c.delay_s)
         if not ordered:
             return RangingResult(
@@ -118,10 +132,18 @@ class CombinedScheme:
         ids: List[int] = []
         for response in ordered:
             offset = response.delay_s - anchor_delay
-            slot = self.slot_plan.slot_of_offset(offset)
-            residual = self.slot_plan.offset_within_slot(offset)
+            # Relative slot (offsets are to the anchor, the lowest
+            # occupied slot), clamped so ``anchor_slot + relative``
+            # stays a valid absolute slot.  With ``anchor_slot == 0``
+            # this is exactly ``SlotPlan.slot_of_offset`` /
+            # ``offset_within_slot``.
+            relative = int(round(offset / self.slot_plan.slot_duration_s))
+            relative = max(0, min(relative, self.n_slots - 1 - anchor_slot))
+            residual = offset - relative * self.slot_plan.slot_duration_s
             distances.append(d_twr_m + residual * SPEED_OF_LIGHT / 2.0)
-            ids.append(self.decode_id(slot, response.shape_index))
+            ids.append(
+                self.decode_id(anchor_slot + relative, response.shape_index)
+            )
         return RangingResult(
             d_twr_m=d_twr_m,
             responses=tuple(ordered),

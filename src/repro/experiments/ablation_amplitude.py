@@ -5,18 +5,29 @@ matched-filter output "to reduce complexity, instead of the least
 squares solution suggested in [13]".  This ablation quantifies the
 trade: amplitude accuracy and wall-clock cost of the plain estimate vs.
 a joint least-squares refinement, as two responses approach each other.
+
+Ported to the :mod:`repro.runtime` trial executor: one trial per
+separation, each drawing from its own spawned generator, so
+``--workers`` parallelises the sweep and serial and parallel runs are
+byte-identical (the timing column is the only non-deterministic value
+and never leaves the table).  The historical ``run(trials, seed)``
+positional call keeps working through the
+:func:`~repro.experiments.common.standard_run` shim.
 """
 
 from __future__ import annotations
 
 import time
+from functools import partial
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.tables import Table
 from repro.constants import CIR_SAMPLING_PERIOD_S
 from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, standard_run
+from repro.runtime import MetricsRegistry, run_trials
 from repro.signal.pulses import dw1000_pulse
 from repro.signal.sampling import place_pulse
 
@@ -55,13 +66,58 @@ def _amplitude_rmse(responses, scale) -> float:
     )
 
 
-def run(trials: int = 60, seed: int = 53) -> ExperimentResult:
-    rng = np.random.default_rng(seed)
+def _amplitude_cell(
+    rng: np.random.Generator,
+    index: int,
+    *,
+    separations: Sequence[float],
+    trials: int,
+) -> Tuple[float, float, float, float]:
+    """(separation, plain RMSE, LS RMSE, LS extra time %) for one cell."""
+    separation = float(separations[index])
     template = dw1000_pulse()
     detector = SearchAndSubtract(
         template, SearchAndSubtractConfig(max_responses=2, upsample_factor=8)
     )
+    plain_errors, ls_errors = [], []
+    plain_time, ls_time = 0.0, 0.0
+    for _ in range(trials):
+        cir, scale = _trial_cir(separation, rng, template)
+        start = time.perf_counter()
+        plain = detector.detect(cir, CIR_SAMPLING_PERIOD_S, noise_std=1.0)
+        plain_time += time.perf_counter() - start
+        start = time.perf_counter()
+        refined = detector.detect_with_ls_refinement(
+            cir, CIR_SAMPLING_PERIOD_S, noise_std=1.0
+        )
+        ls_time += time.perf_counter() - start
+        plain_errors.append(_amplitude_rmse(plain, scale))
+        ls_errors.append(_amplitude_rmse(refined, scale))
+    return (
+        separation,
+        float(np.nanmean(plain_errors)),
+        float(np.nanmean(ls_errors)),
+        100.0 * (ls_time - plain_time) / plain_time if plain_time else 0.0,
+    )
 
+
+@standard_run("trials", "seed")
+def run(
+    *,
+    trials: int = 60,
+    seed: int = 53,
+    workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ExperimentResult:
+    """Sweep response separations and compare amplitude estimators.
+
+    ``trials`` is the number of two-response CIRs per separation;
+    ``batch_size`` is accepted for the standard run signature and
+    ignored (each separation is one indivisible sweep cell).
+    """
+    del batch_size  # standard-signature parameter; unused
     result = ExperimentResult(
         experiment_id="Ablation A3",
         description="step-4 amplitude estimate vs joint least squares",
@@ -70,42 +126,31 @@ def run(trials: int = 60, seed: int = 53) -> ExperimentResult:
         ["separation [ns]", "step-4 RMSE", "LS RMSE", "LS extra time [%]"],
         title=f"amplitude accuracy over {trials} trials at {SNR_DB:.0f} dB SNR",
     )
-    overall = {"plain": [], "ls": []}
-    for separation in SEPARATIONS_NS:
-        plain_errors, ls_errors = [], []
-        plain_time, ls_time = 0.0, 0.0
-        for _ in range(trials):
-            cir, scale = _trial_cir(separation, rng, template)
-            start = time.perf_counter()
-            plain = detector.detect(cir, CIR_SAMPLING_PERIOD_S, noise_std=1.0)
-            plain_time += time.perf_counter() - start
-            start = time.perf_counter()
-            refined = detector.detect_with_ls_refinement(
-                cir, CIR_SAMPLING_PERIOD_S, noise_std=1.0
-            )
-            ls_time += time.perf_counter() - start
-            plain_errors.append(_amplitude_rmse(plain, scale))
-            ls_errors.append(_amplitude_rmse(refined, scale))
-        plain_rmse = float(np.nanmean(plain_errors))
-        ls_rmse = float(np.nanmean(ls_errors))
-        overall["plain"].append(plain_rmse)
-        overall["ls"].append(ls_rmse)
-        table.add_row(
-            [
-                separation,
-                plain_rmse,
-                ls_rmse,
-                100.0 * (ls_time - plain_time) / plain_time,
-            ]
-        )
+    report = run_trials(
+        partial(_amplitude_cell, separations=SEPARATIONS_NS, trials=trials),
+        len(SEPARATIONS_NS),
+        seed=seed,
+        workers=workers,
+        metrics=metrics,
+        checkpoint_dir=checkpoint,
+        checkpoint_label="ablation-amplitude",
+    )
+    plain_by_sep = {}
+    ls_by_sep = {}
+    for separation, plain_rmse, ls_rmse, extra_pct in report.values:
+        plain_by_sep[separation] = plain_rmse
+        ls_by_sep[separation] = ls_rmse
+        table.add_row([separation, plain_rmse, ls_rmse, extra_pct])
     result.add_table(table)
 
     result.compare(
-        "plain_rmse_overlapping", overall["plain"][0], paper=None
+        "plain_rmse_overlapping", plain_by_sep[SEPARATIONS_NS[0]], paper=None
     )
-    result.compare("ls_rmse_overlapping", overall["ls"][0], paper=None)
     result.compare(
-        "plain_rmse_separated", overall["plain"][-1], paper=None
+        "ls_rmse_overlapping", ls_by_sep[SEPARATIONS_NS[0]], paper=None
+    )
+    result.compare(
+        "plain_rmse_separated", plain_by_sep[SEPARATIONS_NS[-1]], paper=None
     )
     result.note(
         "the paper's trade: for well-separated responses the cheap "

@@ -6,9 +6,19 @@ neighbours and a smaller classification margin.  This ablation sweeps
 the bank size and measures single-response shape-classification accuracy
 at a fixed SNR, quantifying where the "~100 shapes" claim starts to cost
 accuracy.
+
+Ported to the :mod:`repro.runtime` trial executor: one trial per bank
+size, each drawing from its own spawned generator, so ``--workers``
+parallelises the sweep and serial and parallel runs are byte-identical.
+The historical ``run(trials, seed)`` positional call keeps working
+through the :func:`~repro.experiments.common.standard_run` shim (with a
+``DeprecationWarning``).
 """
 
 from __future__ import annotations
+
+from functools import partial
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -16,7 +26,8 @@ from repro.analysis.tables import Table
 from repro.constants import CIR_SAMPLING_PERIOD_S
 from repro.core.detection import SearchAndSubtractConfig
 from repro.core.pulse_id import PulseShapeClassifier
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, standard_run
+from repro.runtime import MetricsRegistry, run_trials
 from repro.signal.sampling import place_pulse
 from repro.signal.templates import TemplateBank
 
@@ -55,9 +66,41 @@ def classification_accuracy(
     return hits / trials
 
 
-def run(trials: int = 100, seed: int = 41) -> ExperimentResult:
-    """Sweep the bank size at fixed SNR."""
-    rng = np.random.default_rng(seed)
+def _bank_cell(
+    rng: np.random.Generator,
+    index: int,
+    *,
+    sizes: Sequence[int],
+    trials: int,
+) -> Tuple[int, int, float]:
+    """(bank size, min register step, accuracy) for one sweep cell."""
+    size = int(sizes[index])
+    registers = TemplateBank.spread(size).registers
+    min_step = min(
+        registers[i + 1] - registers[i] for i in range(len(registers) - 1)
+    )
+    return size, int(min_step), classification_accuracy(
+        size, trials, SNR_DB, rng
+    )
+
+
+@standard_run("trials", "seed")
+def run(
+    *,
+    trials: int = 100,
+    seed: int = 41,
+    workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ExperimentResult:
+    """Sweep the bank size at fixed SNR.
+
+    ``trials`` is the number of single-response classifications per bank
+    size; ``batch_size`` is accepted for the standard run signature and
+    ignored (each size is one indivisible sweep cell).
+    """
+    del batch_size  # standard-signature parameter; unused
     result = ExperimentResult(
         experiment_id="Ablation A2",
         description="shape-classification accuracy vs bank size",
@@ -67,21 +110,25 @@ def run(trials: int = 100, seed: int = 41) -> ExperimentResult:
         title=f"single-response classification over {trials} trials "
         f"at {SNR_DB:.0f} dB SNR",
     )
-    accuracies = []
-    for size in BANK_SIZES:
-        bank = TemplateBank.spread(size)
-        registers = bank.registers
-        min_step = min(
-            registers[i + 1] - registers[i] for i in range(len(registers) - 1)
-        )
-        accuracy = classification_accuracy(size, trials, SNR_DB, rng)
-        accuracies.append(accuracy)
+    report = run_trials(
+        partial(_bank_cell, sizes=BANK_SIZES, trials=trials),
+        len(BANK_SIZES),
+        seed=seed,
+        workers=workers,
+        metrics=metrics,
+        checkpoint_dir=checkpoint,
+        checkpoint_label="ablation-bank",
+    )
+    accuracies = {}
+    for size, min_step, accuracy in report.values:
+        accuracies[size] = accuracy
         table.add_row([size, min_step, accuracy])
     result.add_table(table)
 
-    result.compare("accuracy_3_shapes", accuracies[BANK_SIZES.index(3)], paper=0.99)
+    result.compare("accuracy_3_shapes", accuracies[3], paper=0.99)
     result.compare(
-        f"accuracy_{BANK_SIZES[-1]}_shapes", accuracies[-1], paper=None
+        f"accuracy_{BANK_SIZES[-1]}_shapes", accuracies[BANK_SIZES[-1]],
+        paper=None,
     )
     result.note(
         "the paper evaluates 3 shapes (Table I) and conjectures ~100; the "

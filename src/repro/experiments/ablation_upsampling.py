@@ -9,18 +9,29 @@ true sub-sample location) and the per-detection runtime.
 Expected shape: precision improves sharply from 1x to ~4x (sub-sample
 structure becomes visible to the parabolic refinement), saturates by
 ~8x, while runtime grows roughly linearly with the factor.
+
+Ported to the :mod:`repro.runtime` trial executor: one trial per
+upsampling factor, each drawing from its own spawned generator, so
+``--workers`` parallelises the sweep and serial and parallel runs are
+byte-identical (the runtime column is the only non-deterministic value
+and never leaves the table).  The historical ``run(trials, seed)``
+positional call keeps working through the
+:func:`~repro.experiments.common.standard_run` shim.
 """
 
 from __future__ import annotations
 
 import time
+from functools import partial
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.tables import Table
 from repro.constants import CIR_SAMPLING_PERIOD_S
 from repro.core.detection import SearchAndSubtract, SearchAndSubtractConfig
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, standard_run
+from repro.runtime import MetricsRegistry, run_trials
 from repro.signal.pulses import dw1000_pulse
 from repro.signal.sampling import place_pulse
 
@@ -58,8 +69,36 @@ def toa_precision(
     return float(np.std(errors)), elapsed / trials
 
 
-def run(trials: int = 80, seed: int = 61) -> ExperimentResult:
-    rng = np.random.default_rng(seed)
+def _upsampling_cell(
+    rng: np.random.Generator,
+    index: int,
+    *,
+    factors: Sequence[int],
+    trials: int,
+) -> Tuple[int, float, float]:
+    """(factor, ToA error std in samples, mean s/detect) for one cell."""
+    factor = int(factors[index])
+    std_samples, seconds = toa_precision(factor, trials, rng)
+    return factor, std_samples, seconds
+
+
+@standard_run("trials", "seed")
+def run(
+    *,
+    trials: int = 80,
+    seed: int = 61,
+    workers: int = 1,
+    batch_size=1,
+    checkpoint=None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ExperimentResult:
+    """Sweep the upsampling factor and report ToA precision vs cost.
+
+    ``trials`` is the number of single-pulse detections per factor;
+    ``batch_size`` is accepted for the standard run signature and
+    ignored (each factor is one indivisible sweep cell).
+    """
+    del batch_size  # standard-signature parameter; unused
     result = ExperimentResult(
         experiment_id="Ablation A5",
         description="FFT upsampling factor vs ToA precision and runtime",
@@ -68,9 +107,17 @@ def run(trials: int = 80, seed: int = 61) -> ExperimentResult:
         ["upsample factor", "ToA error std [ps]", "runtime per detect [ms]"],
         title=f"{trials} single-pulse trials at {SNR_DB:.0f} dB SNR",
     )
+    report = run_trials(
+        partial(_upsampling_cell, factors=FACTORS, trials=trials),
+        len(FACTORS),
+        seed=seed,
+        workers=workers,
+        metrics=metrics,
+        checkpoint_dir=checkpoint,
+        checkpoint_label="ablation-upsampling",
+    )
     stds = {}
-    for factor in FACTORS:
-        std_samples, seconds = toa_precision(factor, trials, rng)
+    for factor, std_samples, seconds in report.values:
         stds[factor] = std_samples
         table.add_row(
             [

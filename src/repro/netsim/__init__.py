@@ -7,6 +7,10 @@
   overlapping) frames to receivers.
 * :mod:`repro.netsim.trace` — structured event traces for debugging and
   for the energy/airtime accounting of the scalability benchmarks.
+* :mod:`repro.netsim.swarm` — the city-scale swarm layer: N mobile
+  responders, concurrent initiators, contention, round-robin polling
+  windows, and a spatially sharded event loop whose results are
+  byte-identical at any shard count.
 """
 
 from repro.netsim.engine import EventQueue, Event
@@ -14,12 +18,35 @@ from repro.netsim.node import Node
 from repro.netsim.medium import Medium, FrameTransmission
 from repro.netsim.trace import TraceRecorder, TraceEvent
 
+#: Swarm names re-exported lazily (PEP 562): the swarm layer sits on
+#: top of `repro.localization` and `repro.protocol`, while
+#: `repro.protocol.twr` imports `repro.netsim.medium` — an eager
+#: import here would close that cycle and fail for whichever package
+#: happens to load first.
+_SWARM_EXPORTS = frozenset(
+    {"MobilityTrace", "SwarmConfig", "SwarmEvent", "SwarmResult",
+     "SwarmScenario"}
+)
+
+
+def __getattr__(name):
+    if name in _SWARM_EXPORTS:
+        from repro.netsim import swarm
+
+        return getattr(swarm, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "EventQueue",
     "Event",
     "Node",
     "Medium",
     "FrameTransmission",
+    "MobilityTrace",
+    "SwarmConfig",
+    "SwarmEvent",
+    "SwarmResult",
+    "SwarmScenario",
     "TraceRecorder",
     "TraceEvent",
 ]

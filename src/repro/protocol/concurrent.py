@@ -189,6 +189,11 @@ class PendingRound:
     #: INIT transmit instant on the initiator's clock — the reference
     #: the defense screen verifies reply arrival times against.
     t_tx_init_local_s: float = 0.0
+    #: Local index of the first-arriving responder whose payload the
+    #: initiator decoded (``None`` on legacy pickles).  With
+    #: ``decode_with_anchor_slot`` the decode uses its slot as the
+    #: anchor slot instead of assuming slot 0 is occupied.
+    anchor_source: int | None = None
 
     @property
     def cir(self) -> np.ndarray:
@@ -245,6 +250,24 @@ class ConcurrentRangingSession:
         responder dropout, reply jitter, clock-drift ramps, channel and
         CIR transforms).  An empty or absent plan leaves every round
         bit-identical to a session without fault machinery.
+    scheme_ids:
+        Optional per-responder *global* scheme identities.  By default a
+        responder's scheme ID is its position in ``responders``; a swarm
+        round instead polls a window of a much larger population, where
+        responder ``i`` carries a persistent global ID.  When given
+        (one entry per responder, any non-negative integers), slot and
+        shape derive from ``scheme_ids[i] % capacity`` and decoding
+        translates recovered scheme IDs back to local responders.
+        ``None`` (default) keeps the historical identity mapping
+        byte-for-byte.
+    decode_with_anchor_slot:
+        When ``True``, :meth:`finish_round` decodes slots relative to
+        the *anchor responder's* assigned slot (known to the initiator
+        from the first-arriving response's payload) instead of assuming
+        the earliest response occupies slot 0 — required when the polled
+        window does not contain a slot-0 responder.  Default ``False``
+        (the historical behaviour; every existing experiment populates
+        slot 0).
     defense:
         Optional :class:`~repro.protocol.defense.DefensePlan`.  With
         time hopping enabled, every responder adds its secret
@@ -273,15 +296,35 @@ class ConcurrentRangingSession:
         rng: np.random.Generator | None = None,
         faults: FaultPlan | None = None,
         defense: DefensePlan | None = None,
+        scheme_ids: Sequence[int] | None = None,
+        decode_with_anchor_slot: bool = False,
     ) -> None:
         if len(responders) == 0:
             raise ValueError("need at least one responder")
-        if len(responders) > scheme.capacity and not allow_duplicate_assignments:
+        if scheme_ids is not None:
+            if len(scheme_ids) != len(responders):
+                raise ValueError(
+                    f"scheme_ids must have one entry per responder "
+                    f"({len(responders)}), got {len(scheme_ids)}"
+                )
+            if any(int(s) < 0 for s in scheme_ids):
+                raise ValueError("scheme IDs must be non-negative")
+            self._scheme_ids: tuple | None = tuple(
+                int(s) for s in scheme_ids
+            )
+        else:
+            self._scheme_ids = None
+        if (
+            len(responders) > scheme.capacity
+            and not allow_duplicate_assignments
+            and scheme_ids is None
+        ):
             raise ValueError(
                 f"{len(responders)} responders exceed scheme capacity "
                 f"{scheme.capacity}"
             )
         self._wrap_assignments = bool(allow_duplicate_assignments)
+        self.decode_with_anchor_slot = bool(decode_with_anchor_slot)
         if not 0.0 <= init_loss_probability < 1.0:
             raise ValueError(
                 "init_loss_probability must be in [0, 1), got "
@@ -386,7 +429,11 @@ class ConcurrentRangingSession:
 
     def _assignment(self, responder_id: int):
         """Slot/shape assignment, wrapping IDs when duplicates are allowed."""
-        if self._wrap_assignments:
+        if self._scheme_ids is not None:
+            responder_id = (
+                self._scheme_ids[responder_id] % self.scheme.capacity
+            )
+        elif self._wrap_assignments:
             responder_id = responder_id % self.scheme.capacity
         return self.scheme.assignment(responder_id)
 
@@ -646,17 +693,28 @@ class ConcurrentRangingSession:
         estimated_drift_ppm = true_drift_ppm + float(
             rng.normal(0.0, self.cfo_error_ppm)
         )
-        # The anchor's reply time must exclude its RPM slot delay, which
-        # the initiator knows from the anchor's (decoded) identity.  The
-        # secret time hop needs no correction here: it delays the
-        # arrival and the reported reply time equally, so plain TWR
-        # cancels it.
+        # ``capture.rx_timestamp_s`` marks the first path of the
+        # earliest arrival — the anchor's reply *after* its RPM slot
+        # delay — so the reply interval fed to TWR must contain that
+        # same delay for it to cancel: the full ``t_tx - t_rx`` the
+        # anchor reports.  The historical code subtracted the slot
+        # delay from the reply side; with the anchor pinned to slot 0
+        # (every fixed-window experiment) that is a no-op, and the
+        # flag keeps those paths byte-identical.  Swarm rounds, whose
+        # anchor may sit in any slot, take the corrected branch —
+        # without it every distance in the round inherits a
+        # ``slot * slot_duration * c / 2`` bias.  The secret time hop
+        # needs no correction either way: it delays the arrival and
+        # the reported reply time equally, so plain TWR cancels it.
         anchor_assignment = self._assignment(anchor_source)
+        anchor_reply_tx_s = anchor_message.t_tx_local_s
+        if not self.decode_with_anchor_slot:
+            anchor_reply_tx_s -= anchor_assignment.extra_delay_s
         d_twr = twr_distance_compensated(
             t_tx_init_local,
             capture.rx_timestamp_s,
             anchor_message.t_rx_local_s,
-            anchor_message.t_tx_local_s - anchor_assignment.extra_delay_s,
+            anchor_reply_tx_s,
             relative_drift_ppm=estimated_drift_ppm,
         )
 
@@ -671,6 +729,7 @@ class ConcurrentRangingSession:
             round_index=round_index,
             active=active,
             t_tx_init_local_s=t_tx_init_local,
+            anchor_source=anchor_source,
         )
 
     def finish_round(
@@ -690,7 +749,12 @@ class ConcurrentRangingSession:
         """
         active = pending.active
         classified = list(classified)
-        ranging = self.scheme.decode_responses(classified, pending.d_twr_m)
+        anchor_slot = 0
+        if self.decode_with_anchor_slot and pending.anchor_source is not None:
+            anchor_slot = self._assignment(pending.anchor_source).slot
+        ranging = self.scheme.decode_responses(
+            classified, pending.d_twr_m, anchor_slot=anchor_slot
+        )
 
         defense_report: DefenseReport | None = None
         if self.defense is not None:
@@ -855,11 +919,39 @@ class ConcurrentRangingSession:
         fault_notes = fault_notes or {}
         decoded: Dict[int, float] = {}
         leftovers: List[float] = []
-        for rid, distance in zip(ranging.responder_ids, ranging.distances_m):
-            if rid is not None and rid in truth and rid not in decoded:
-                decoded[rid] = distance
-            else:
-                leftovers.append(distance)
+        if self._scheme_ids is not None:
+            # Decoded IDs are *scheme* IDs (0..capacity-1); translate
+            # each back to the first unclaimed polled responder whose
+            # global identity reduces to it.  A decoded ID no polled
+            # responder carries is a mis-decode and matches by distance
+            # below, exactly like an unknown ID on the default path.
+            capacity = self.scheme.capacity
+            candidates: Dict[int, List[int]] = {}
+            for local in truth:
+                candidates.setdefault(
+                    self._scheme_ids[local] % capacity, []
+                ).append(local)
+            for rid, distance in zip(
+                ranging.responder_ids, ranging.distances_m
+            ):
+                local_id = None
+                if rid is not None:
+                    for candidate in candidates.get(rid, ()):
+                        if candidate not in decoded:
+                            local_id = candidate
+                            break
+                if local_id is None:
+                    leftovers.append(distance)
+                else:
+                    decoded[local_id] = distance
+        else:
+            for rid, distance in zip(
+                ranging.responder_ids, ranging.distances_m
+            ):
+                if rid is not None and rid in truth and rid not in decoded:
+                    decoded[rid] = distance
+                else:
+                    leftovers.append(distance)
 
         outcomes = []
         for responder_id, true_distance in truth.items():

@@ -33,6 +33,7 @@ from repro.experiments import (
     fig8_combined,
     sect5_precision,
     security_study,
+    swarm_scale,
     table1_pulse_id,
 )
 
@@ -70,6 +71,14 @@ CASES = {
         lambda: security_study.run(
             trials=4, rounds=6, seed=41, intensities=(1.0,)
         )
+    ),
+    # The exact configuration CI's swarm-smoke gate runs (--quick): the
+    # sharded many-agent path end to end — swarm event loop -> batched
+    # classification -> anchor-slot decode -> localization.  Every
+    # pinned metric is byte-deterministic in (seed, counts, epochs) and
+    # invariant in --workers and --shards.
+    "swarm_scale(trials=3, seed=71, counts=(12, 100, 500))": (
+        lambda: swarm_scale.run(trials=3, seed=71, counts=(12, 100, 500))
     ),
 }
 

@@ -8,7 +8,10 @@ pure throughput knob, never a statistics knob.
 import pytest
 
 from repro.experiments import (
+    ablation_amplitude,
+    ablation_bank,
     ablation_detectors,
+    ablation_upsampling,
     fig2_cir,
     fig4_detection,
     fig6_pulse_id,
@@ -256,3 +259,50 @@ class TestBatchedClassification:
         resolved = metrics.gauge("runtime.batch_size").value
         assert resolved > 1
         assert metrics.counter("runtime.batches").value < 8
+
+
+class TestPortedAblations:
+    """The three straggler ablations, newly on the standard run API."""
+
+    def test_ablation_bank_serial_parallel(self):
+        serial = ablation_bank.run(trials=10, seed=41, workers=1)
+        parallel = ablation_bank.run(trials=10, seed=41, workers=2)
+        assert serial.as_dict() == parallel.as_dict()
+
+    def test_ablation_amplitude_serial_parallel(self):
+        serial = ablation_amplitude.run(trials=4, seed=53, workers=1)
+        parallel = ablation_amplitude.run(trials=4, seed=53, workers=2)
+        assert serial.as_dict() == parallel.as_dict()
+
+    def test_ablation_upsampling_serial_parallel(self):
+        serial = ablation_upsampling.run(trials=6, seed=61, workers=1)
+        parallel = ablation_upsampling.run(trials=6, seed=61, workers=2)
+        assert serial.as_dict() == parallel.as_dict()
+
+    def test_metric_names_preserved(self):
+        """The ports keep every historical comparison name."""
+        bank = ablation_bank.run(trials=5, seed=41)
+        assert {"accuracy_3_shapes", "accuracy_64_shapes"} <= set(
+            bank.as_dict()
+        )
+        amp = ablation_amplitude.run(trials=3, seed=53)
+        assert {
+            "plain_rmse_overlapping",
+            "ls_rmse_overlapping",
+            "plain_rmse_separated",
+        } <= set(amp.as_dict())
+        ups = ablation_upsampling.run(trials=5, seed=61)
+        assert {
+            "toa_std_1x_ps", "toa_std_8x_ps", "improvement_1x_to_8x"
+        } <= set(ups.as_dict())
+
+    def test_legacy_positional_calls_warn_and_work(self):
+        for module, args in (
+            (ablation_bank, (5, 41)),
+            (ablation_amplitude, (3, 53)),
+            (ablation_upsampling, (5, 61)),
+        ):
+            with pytest.warns(DeprecationWarning):
+                legacy = module.run(*args)
+            modern = module.run(trials=args[0], seed=args[1])
+            assert legacy.as_dict() == modern.as_dict()
