@@ -14,20 +14,32 @@ Measures what serving costs on top of the raw engine and writes
   :mod:`repro.serve.loadgen` replay: sustained ok/second, latency
   quantiles, flush-cause split, backpressure counters, and the
   exactly-once accounting verdict.
+* **multiprocess** — the same replay against the in-process deployment
+  and a K-worker :class:`~repro.serve.supervisor.RangingServer` (both
+  through :class:`~repro.serve.client.AsyncRangingClient`), plus one
+  worker-kill/recovery pass that SIGKILLs a worker mid-load and checks
+  that supervision restarts it with zero lost requests.
 
 Gates (non-zero exit, so CI can run this as the serve smoke job):
 
 * any streaming/offline divergence,
-* a broken accounting invariant (lost or duplicated requests),
+* a broken accounting invariant (lost or duplicated requests) in any
+  replay, including the worker-kill pass,
 * sustained streaming throughput below
   ``THROUGHPUT_FLOOR_RATIO`` x the offline single-thread baseline
   (the >20 % regression budget: batching + sharding must keep the
-  service within striking distance of the raw engine).
+  service within striking distance of the raw engine),
+* a kill pass that never restarted a worker,
+* K-worker throughput below ``MP_SPEEDUP_FLOOR`` x the single-process
+  deployment — enforced only on machines with at least
+  ``MP_GATE_MIN_CORES`` cores (fork parallelism cannot beat one core's
+  engine on a one-core box; there the ratio is report-only).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py
     PYTHONPATH=src python benchmarks/bench_serve.py --quick --out /tmp/b.json
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick --mp-only
 """
 
 from __future__ import annotations
@@ -35,6 +47,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -45,6 +58,7 @@ from repro.constants import CIR_SAMPLING_PERIOD_S as TS
 from repro.core.batch import detect_batch
 from repro.core.detection import SearchAndSubtractConfig
 from repro.serve import (
+    AsyncRangingClient,
     EngineConfig,
     RangingRequest,
     RangingService,
@@ -56,6 +70,12 @@ from repro.signal.templates import TemplateBank
 #: Streaming must sustain at least this fraction of the offline
 #: single-thread engine throughput (i.e. at most a 20 % regression).
 THROUGHPUT_FLOOR_RATIO = 0.8
+
+#: K workers must beat the single-process deployment by at least this
+#: factor — but only where the hardware can express it.
+MP_SPEEDUP_FLOOR = 2.0
+MP_GATE_MIN_CORES = 4
+MP_WORKERS = 4
 
 
 def bench_offline(pool, bank, config, batch_size, repeats):
@@ -94,11 +114,13 @@ def bench_offline(pool, bank, config, batch_size, repeats):
 
 async def _check_equivalence(pool, engine, batch_size, reference):
     """Pool through a single-shard service vs the offline reference."""
-    service = RangingService(
-        engine,
+    service = RangingService.build(
         ServeConfig(
-            n_shards=1, batch_size=batch_size, max_batch_delay_s=0.01
-        ),
+            n_shards=1,
+            batch_size=batch_size,
+            max_batch_delay_s=0.01,
+            engine=engine,
+        )
     )
     await service.start()
     try:
@@ -122,15 +144,15 @@ async def _check_equivalence(pool, engine, batch_size, reference):
 
 async def _bench_streaming(pool, engine, args):
     """Saturating replay: sustained throughput and service metrics."""
-    service = RangingService(
-        engine,
+    service = RangingService.build(
         ServeConfig(
             n_shards=args.shards,
             batch_size=args.batch_size,
             max_batch_delay_s=0.005,
             queue_depth=args.queue_depth,
             default_deadline_s=None,  # measure throughput, not shedding
-        ),
+            engine=engine,
+        )
     )
     await service.start()
     try:
@@ -172,6 +194,126 @@ async def _bench_streaming(pool, engine, args):
     }
 
 
+def _deployment_config(engine, args, workers, **overrides):
+    options = {
+        "n_shards": args.shards,
+        "batch_size": args.batch_size,
+        "max_batch_delay_s": 0.005,
+        "queue_depth": args.queue_depth,
+        "default_deadline_s": None,
+        "engine": engine,
+        "workers": workers,
+    }
+    options.update(overrides)
+    return ServeConfig(**options)
+
+
+async def _replay_deployment(pool, config, args):
+    """One loadgen replay through a client-built deployment."""
+    async with AsyncRangingClient(config) as client:
+        report = await run_load(
+            client,
+            pool,
+            LoadgenConfig(
+                sessions=args.sessions,
+                rate=args.rate,
+                duration_s=args.duration,
+                seed=1,
+            ),
+        )
+    summary = report.as_dict()
+    summary["workers"] = config.workers
+    return summary
+
+
+async def _bench_kill_recovery(pool, engine, args):
+    """SIGKILL one of two workers mid-load; supervision must recover.
+
+    Fast heartbeats keep the detect-and-restart turnaround well inside
+    the replay window; the gate is the loadgen's exactly-once verdict
+    (``sent == accounted``: the killed worker's in-flight requests were
+    re-homed, not lost) plus at least one observed restart.
+    """
+    config = _deployment_config(
+        engine,
+        args,
+        workers=2,
+        heartbeat_interval_s=0.1,
+        heartbeat_timeout_s=0.5,
+    )
+    duration = max(1.0, min(args.duration, 3.0))
+    client = AsyncRangingClient(config)
+    await client.start()
+    try:
+
+        async def _assassin():
+            await asyncio.sleep(duration / 3.0)
+            client.deployment.worker_processes[0].kill()
+
+        killer = asyncio.ensure_future(_assassin())
+        report = await run_load(
+            client,
+            pool,
+            LoadgenConfig(
+                sessions=args.sessions,
+                rate=args.rate,
+                duration_s=duration,
+                seed=2,
+            ),
+        )
+        await killer
+        restarts = client.deployment.restarts
+    finally:
+        await client.close(drain=True)
+    summary = report.as_dict()
+    summary["restarts"] = restarts
+    return summary
+
+
+def bench_multiprocess(pool, engine, args):
+    """Single-process vs K-worker throughput, plus the kill pass."""
+    cores = os.cpu_count() or 1
+    single = asyncio.run(
+        _replay_deployment(pool, _deployment_config(engine, args, 0), args)
+    )
+    print(
+        f"mp single: {single['throughput_rps']:.0f} ok/s "
+        f"(workers=0, p99 {1e3 * single['latency_p99_s']:.1f} ms)"
+    )
+    multi = asyncio.run(
+        _replay_deployment(
+            pool, _deployment_config(engine, args, MP_WORKERS), args
+        )
+    )
+    print(
+        f"mp fleet : {multi['throughput_rps']:.0f} ok/s "
+        f"(workers={MP_WORKERS}, "
+        f"p99 {1e3 * multi['latency_p99_s']:.1f} ms)"
+    )
+    speedup = (
+        multi["throughput_rps"] / single["throughput_rps"]
+        if single["throughput_rps"] > 0
+        else float("inf")
+    )
+    gate_active = cores >= MP_GATE_MIN_CORES
+    kill = asyncio.run(_bench_kill_recovery(pool, engine, args))
+    print(
+        f"mp kill  : {kill['ok']}/{kill['sent']} ok, "
+        f"restarts={kill['restarts']}, "
+        f"accounting_ok={kill['accounting_ok']}"
+    )
+    return {
+        "workers": MP_WORKERS,
+        "cores": cores,
+        "single_process": single,
+        "multi_process": multi,
+        "speedup": speedup,
+        "speedup_floor": MP_SPEEDUP_FLOOR,
+        "speedup_gate_active": gate_active,
+        "kill_recovery": kill,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -184,6 +326,16 @@ def main(argv=None) -> int:
         default="BENCH_serve.json",
         help="output JSON path (default: %(default)s)",
     )
+    parser.add_argument(
+        "--skip-mp",
+        action="store_true",
+        help="skip the multi-process section",
+    )
+    parser.add_argument(
+        "--mp-only",
+        action="store_true",
+        help="run only the multi-process section (plus its baseline)",
+    )
     parser.add_argument("--sessions", type=int, default=None)
     parser.add_argument("--rate", type=float, default=None)
     parser.add_argument("--duration", type=float, default=None)
@@ -192,6 +344,8 @@ def main(argv=None) -> int:
     parser.add_argument("--queue-depth", type=int, default=128)
     parser.add_argument("--cir-length", type=int, default=None)
     args = parser.parse_args(argv)
+    if args.skip_mp and args.mp_only:
+        parser.error("--skip-mp and --mp-only are mutually exclusive")
 
     cir_length = args.cir_length or (257 if args.quick else 509)
     if args.sessions is None:
@@ -222,60 +376,106 @@ def main(argv=None) -> int:
     if args.rate is None:
         args.rate = 2.0 * offline["items_per_s"]
 
-    divergences = asyncio.run(
-        _check_equivalence(pool, engine, args.batch_size, reference)
-    )
-    print(f"equiv   : {divergences}/{len(pool)} divergences vs offline")
-
-    streaming = asyncio.run(_bench_streaming(pool, engine, args))
-    print(
-        f"streaming: {streaming['throughput_rps']:.0f} ok/s sustained "
-        f"({streaming['shards']} shards, B={streaming['batch_size']}, "
-        f"p99 {1e3 * streaming['latency_p99_s']:.1f} ms, "
-        f"rejected {streaming['rejected']})"
-    )
-
-    ratio = (
-        streaming["throughput_rps"] / offline["items_per_s"]
-        if offline["items_per_s"] > 0
-        else float("inf")
-    )
     report = {
         "benchmark": "serve",
         "quick": bool(args.quick),
         "cir_length": cir_length,
         "offline": offline,
-        "divergences": divergences,
-        "streaming": streaming,
-        "streaming_vs_offline_ratio": ratio,
         "throughput_floor_ratio": THROUGHPUT_FLOOR_RATIO,
     }
+    failed = False
+
+    if not args.mp_only:
+        divergences = asyncio.run(
+            _check_equivalence(pool, engine, args.batch_size, reference)
+        )
+        print(f"equiv   : {divergences}/{len(pool)} divergences vs offline")
+
+        streaming = asyncio.run(_bench_streaming(pool, engine, args))
+        print(
+            f"streaming: {streaming['throughput_rps']:.0f} ok/s sustained "
+            f"({streaming['shards']} shards, B={streaming['batch_size']}, "
+            f"p99 {1e3 * streaming['latency_p99_s']:.1f} ms, "
+            f"rejected {streaming['rejected']})"
+        )
+
+        ratio = (
+            streaming["throughput_rps"] / offline["items_per_s"]
+            if offline["items_per_s"] > 0
+            else float("inf")
+        )
+        report["divergences"] = divergences
+        report["streaming"] = streaming
+        report["streaming_vs_offline_ratio"] = ratio
+
+        if divergences:
+            print(
+                f"ERROR: {divergences} streaming/offline divergences",
+                file=sys.stderr,
+            )
+            failed = True
+        if not streaming["accounting_ok"]:
+            acked = (
+                streaming["ok"]
+                + streaming["rejected"]
+                + streaming["shed"]
+                + streaming["errors"]
+            )
+            print(
+                "ERROR: accounting broken — "
+                f"sent {streaming['sent']} != acked {acked}",
+                file=sys.stderr,
+            )
+            failed = True
+        if ratio < THROUGHPUT_FLOOR_RATIO:
+            print(
+                f"ERROR: streaming sustained only {ratio:.2f}x the "
+                f"offline baseline (floor {THROUGHPUT_FLOOR_RATIO})",
+                file=sys.stderr,
+            )
+            failed = True
+
+    if not args.skip_mp:
+        multiprocess = bench_multiprocess(pool, engine, args)
+        report["multiprocess"] = multiprocess
+        for label in ("single_process", "multi_process", "kill_recovery"):
+            if not multiprocess[label]["accounting_ok"]:
+                print(
+                    f"ERROR: {label} replay lost requests "
+                    f"(sent {multiprocess[label]['sent']} != accounted "
+                    f"{multiprocess[label]['accounted']})",
+                    file=sys.stderr,
+                )
+                failed = True
+        if multiprocess["kill_recovery"]["restarts"] < 1:
+            print(
+                "ERROR: worker-kill pass observed no restart — "
+                "supervision never recovered the killed worker",
+                file=sys.stderr,
+            )
+            failed = True
+        if (
+            multiprocess["speedup_gate_active"]
+            and multiprocess["speedup"] < MP_SPEEDUP_FLOOR
+        ):
+            print(
+                f"ERROR: {MP_WORKERS} workers sustained only "
+                f"{multiprocess['speedup']:.2f}x the single-process "
+                f"deployment (floor {MP_SPEEDUP_FLOOR}x on "
+                f"{multiprocess['cores']} cores)",
+                file=sys.stderr,
+            )
+            failed = True
+        elif not multiprocess["speedup_gate_active"]:
+            print(
+                f"mp speedup {multiprocess['speedup']:.2f}x is "
+                f"report-only on {multiprocess['cores']} core(s) "
+                f"(gate needs >= {MP_GATE_MIN_CORES})"
+            )
+
     out_path = Path(args.out)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path} (streaming/offline ratio {ratio:.2f})")
-
-    failed = False
-    if divergences:
-        print(
-            f"ERROR: {divergences} streaming/offline divergences",
-            file=sys.stderr,
-        )
-        failed = True
-    if not streaming["accounting_ok"]:
-        print(
-            "ERROR: accounting broken — "
-            f"sent {streaming['sent']} != acked "
-            f"{streaming['ok'] + streaming['rejected'] + streaming['shed'] + streaming['errors']}",
-            file=sys.stderr,
-        )
-        failed = True
-    if ratio < THROUGHPUT_FLOOR_RATIO:
-        print(
-            f"ERROR: streaming sustained only {ratio:.2f}x the offline "
-            f"baseline (floor {THROUGHPUT_FLOOR_RATIO})",
-            file=sys.stderr,
-        )
-        failed = True
+    print(f"wrote {out_path}")
     return 1 if failed else 0
 
 

@@ -608,6 +608,87 @@ class SwarmScenario:
             members=tuple(members),
         )
 
+    def engine_config(self):
+        """The :class:`~repro.serve.engine.EngineConfig` matching this
+        scenario's own classifier — the bank, detector knobs, and
+        sampling period its offline ``_classify`` uses, so a service
+        built from it serves byte-identical rows."""
+        from repro.constants import CIR_SAMPLING_PERIOD_S
+        from repro.serve.engine import EngineConfig
+
+        return EngineConfig(
+            self.scheme.bank,
+            CIR_SAMPLING_PERIOD_S,
+            mode="classify",
+            config=self._detector_config,
+        )
+
+    def serve_config(self, workers: int = 0, **overrides):
+        """A ready :class:`~repro.serve.service.ServeConfig` for live
+        ingest: this scenario's engine, its batch size, and no deadline
+        shedding (every round must be served for digest parity)."""
+        from repro.serve.service import ServeConfig
+
+        options = {
+            "engine": self.engine_config(),
+            "workers": workers,
+            "batch_size": self.config.batch_size,
+            "default_deadline_s": None,
+        }
+        options.update(overrides)
+        return ServeConfig(**options)
+
+    def _classify_via_service(
+        self, service, entries: List[_PendingEntry]
+    ) -> List[list]:
+        """Live ingest: stream the epoch's rounds through a client.
+
+        ``service`` is a :class:`~repro.serve.client.RangingClient`
+        (anything with a ``submit_many``) over a deployment built from
+        :meth:`serve_config`.  Sessions are keyed per initiator so one
+        initiator's rounds stay FIFO on one shard/worker; defense/fault
+        context rides the request ``annotations`` end to end.  A round
+        the service cannot serve raises — digest parity with the
+        replayed-pool path requires every round's responses, so a
+        degraded answer must not be silently substituted.
+        """
+        from repro.constants import CIR_SAMPLING_PERIOD_S
+        from repro.serve.request import RangingRequest
+
+        requests = []
+        for entry in entries:
+            period = float(entry.pending.sampling_period_s)
+            if period != CIR_SAMPLING_PERIOD_S:
+                raise ValueError(
+                    f"round sampling period {period} does not match the "
+                    f"served engine's {CIR_SAMPLING_PERIOD_S}"
+                )
+            requests.append(
+                RangingRequest(
+                    session_id=f"swarm-{entry.initiator}",
+                    sequence=entry.epoch,
+                    cir=entry.pending.cir,
+                    noise_std=entry.pending.noise_std,
+                    annotations={
+                        "epoch": entry.epoch,
+                        "initiator": entry.initiator,
+                        "polled": len(entry.polled),
+                        "members": len(entry.members),
+                    },
+                )
+            )
+        outcomes = service.submit_many(requests)
+        rows: List[list] = []
+        for entry, outcome in zip(entries, outcomes):
+            if not outcome.ok:
+                raise RuntimeError(
+                    f"swarm round (epoch {entry.epoch}, initiator "
+                    f"{entry.initiator}) failed through the service: "
+                    f"{outcome.status}: {outcome.error}"
+                )
+            rows.append(list(outcome.responses))
+        return rows
+
     def _classify(self, entries: List[_PendingEntry]) -> List[list]:
         """Classification for every pending round, in entry order."""
         if self.config.serial_classifier:
@@ -716,8 +797,17 @@ class SwarmScenario:
 
     # -- the loop -----------------------------------------------------------
 
-    def run(self, n_epochs: int) -> SwarmResult:
-        """Run ``n_epochs`` scheduling beats and aggregate the result."""
+    def run(self, n_epochs: int, service=None) -> SwarmResult:
+        """Run ``n_epochs`` scheduling beats and aggregate the result.
+
+        With ``service`` (a :class:`~repro.serve.client.RangingClient`
+        over a deployment built from :meth:`serve_config`), each
+        epoch's rounds are classified **live through the serving
+        stack** instead of by the in-simulator batched classifier; the
+        result — events, stats, and :meth:`SwarmResult.digest` — is
+        byte-identical to the replayed-pool path, which
+        ``tests/test_serve_mp.py`` pins.
+        """
         if n_epochs < 1:
             raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
         config = self.config
@@ -782,7 +872,10 @@ class SwarmScenario:
             # 4. Deterministic cross-shard merge: order by initiator,
             #    then classify and finish.
             entries.sort(key=lambda e: e.initiator)
-            rows = self._classify(entries)
+            if service is not None:
+                rows = self._classify_via_service(service, entries)
+            else:
+                rows = self._classify(entries)
             for entry, classified in zip(entries, rows):
                 self._finish_round(entry, classified, epoch_events, stats)
             empty_rounds += sum(

@@ -49,6 +49,7 @@ __all__ = [
     "DefensePlan",
     "DefenseReport",
     "TimeHoppingConfig",
+    "screen_responses",
     "screen_round",
 ]
 
@@ -316,6 +317,77 @@ class DefensePlan:
         if self.time_hopping is None:
             return 0.0
         return self.time_hopping.hop_offset_s(round_index, responder_id)
+
+
+def screen_responses(
+    plan: DefensePlan,
+    cir: np.ndarray,
+    responses,
+) -> List[DefenseFlag]:
+    """The session-free subset of the defense screen, for the serve layer.
+
+    The streaming service sees bare CIRs and decoded responses — no
+    capture timestamps, no RPM assignment, no responder identities — so
+    only the anomaly checks that need nothing but the CIR apply: the
+    template-score-margin (``min_confidence``) and tail-to-peak energy
+    (``max_tail_peak_ratio``) checks.  Returns the flags raised;
+    deciding what to do with them is the caller's business (the service
+    *annotates* outcomes rather than mutating them, preserving
+    streaming == offline equality).
+    """
+    anomaly = plan.anomaly
+    flags: List[DefenseFlag] = []
+    if anomaly is None or not len(responses):
+        return flags
+    if anomaly.min_confidence > 1.0:
+        for response in responses:
+            confidence = getattr(response, "confidence", None)
+            if (
+                confidence is not None
+                and confidence < anomaly.min_confidence
+            ):
+                flags.append(
+                    DefenseFlag(
+                        responder_id=None,
+                        reason="low_confidence",
+                        value=float(confidence),
+                    )
+                )
+    if anomaly.max_tail_peak_ratio is not None:
+        samples = np.asarray(cir)
+
+        def _index_of(response) -> float:
+            index = getattr(response, "index", None)
+            if index is None:
+                index = getattr(
+                    getattr(response, "response", None), "index", 0.0
+                )
+            return float(index)
+
+        positions = range(len(responses))
+        if anomaly.tail_check_peak_only:
+            global_peak = int(np.argmax(np.abs(samples)))
+            positions = [
+                min(
+                    range(len(responses)),
+                    key=lambda p: abs(
+                        _index_of(responses[p]) - global_peak
+                    ),
+                )
+            ]
+        for position in positions:
+            ratio = anomaly.tail_peak_ratio(
+                samples, int(round(_index_of(responses[position])))
+            )
+            if ratio > anomaly.max_tail_peak_ratio:
+                flags.append(
+                    DefenseFlag(
+                        responder_id=None,
+                        reason="tail_energy",
+                        value=ratio,
+                    )
+                )
+    return flags
 
 
 def screen_round(

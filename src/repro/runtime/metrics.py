@@ -266,6 +266,23 @@ class MetricsRegistry:
                 for sample in entry[4]:
                     histogram._absorb(float(sample))
 
+    @classmethod
+    def merged(
+        cls,
+        snapshots: Sequence[dict],
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ) -> "MetricsRegistry":
+        """One registry folding several :meth:`snapshot` dicts together.
+
+        The multi-process serving supervisor uses this to present the
+        parent's own metrics plus every worker's latest heartbeat
+        snapshot as a single coherent ``/metrics`` view.
+        """
+        registry = cls(quantiles=quantiles)
+        for snapshot in snapshots:
+            registry.merge_snapshot(snapshot)
+        return registry
+
     # -- reporting ----------------------------------------------------------
 
     def _derived_lines(self) -> list:

@@ -1,0 +1,308 @@
+"""The public client of the serving stack (sync + asyncio).
+
+:class:`AsyncRangingClient` (and its blocking wrapper
+:class:`RangingClient`) is **the** way into ``repro.serve``: hand it a
+:class:`~repro.serve.service.ServeConfig` and it builds the right
+deployment — the in-process
+:class:`~repro.serve.service.RangingService` when ``workers == 0``, the
+supervised multi-process
+:class:`~repro.serve.supervisor.RangingServer` when ``workers >= 1`` —
+behind one submit surface.  Loadgen, the CLI, the live swarm-ingest
+path, and the test suites all go through it, so the single-process and
+multi-process deployments stay behaviourally interchangeable by
+construction.
+
+Both rejection causes (:class:`~repro.serve.request.RateLimitedError`,
+:class:`~repro.serve.request.ServiceOverloadedError`) carry
+``retry_after_s``; :meth:`AsyncRangingClient.submit_retrying` honours it
+with bounded attempts, which is the polite-client loop every built-in
+caller uses.  Note that in the multi-process deployment a rejection can
+surface on the *awaited future* rather than at ``enqueue`` time (the
+worker's own admission control answered with a retry-after frame) — the
+retrying helper handles both.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.runtime.metrics import MetricsRegistry
+from repro.serve.request import (
+    RangingOutcome,
+    RangingRequest,
+    ServiceRejectedError,
+)
+from repro.serve.service import RangingService, ServeConfig
+from repro.serve.supervisor import RangingServer
+
+__all__ = ["AsyncRangingClient", "RangingClient"]
+
+#: Floor on retry sleeps so a zero hint cannot busy-spin the loop.
+_MIN_RETRY_SLEEP_S = 0.001
+
+
+class AsyncRangingClient:
+    """Asyncio client that owns (or wraps) a serving deployment.
+
+    Parameters
+    ----------
+    config:
+        Deployment description; ``config.workers`` picks in-process vs
+        multi-process.  Mutually exclusive with ``service``.
+    service:
+        An already-started deployment (``RangingService`` or
+        ``RangingServer``) to submit through without owning its
+        lifecycle — ``close`` then leaves it running.
+    metrics:
+        Optional registry handed to an owned deployment.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        service: Union[RangingService, RangingServer, None] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if (config is None) == (service is None):
+            raise ValueError(
+                "pass exactly one of config= (client owns the "
+                "deployment) or service= (client wraps a running one)"
+            )
+        self._config = config
+        self._owned = service is None
+        self._deployment: Union[RangingService, RangingServer, None] = (
+            service
+        )
+        self._metrics = metrics
+        self._sequences: Dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "AsyncRangingClient":
+        if self._owned:
+            assert self._config is not None
+            if self._config.workers >= 1:
+                self._deployment = RangingServer(
+                    self._config, metrics=self._metrics
+                )
+            else:
+                self._deployment = RangingService.build(
+                    self._config, metrics=self._metrics
+                )
+            await self._deployment.start()
+        return self
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop an owned deployment (no-op when wrapping an external one)."""
+        if self._owned and self._deployment is not None:
+            await self._deployment.stop(drain=drain)
+
+    async def __aenter__(self) -> "AsyncRangingClient":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # -- submission ----------------------------------------------------------
+
+    @property
+    def deployment(self) -> Union[RangingService, RangingServer]:
+        if self._deployment is None:
+            raise RuntimeError("client is not started")
+        return self._deployment
+
+    def enqueue(
+        self, request: RangingRequest
+    ) -> "asyncio.Future[RangingOutcome]":
+        """Admit without awaiting; same exceptions as the deployment."""
+        return self.deployment.enqueue(request)
+
+    async def submit(self, request: RangingRequest) -> RangingOutcome:
+        """One request, one awaited terminal outcome (no retries)."""
+        return await self.deployment.submit(request)
+
+    async def submit_retrying(
+        self, request: RangingRequest, max_attempts: int = 8
+    ) -> RangingOutcome:
+        """Submit with bounded retry-after-honouring retries.
+
+        Retries on both rejection causes, whether they surface at
+        admission or on the awaited future (worker-side admission in
+        the multi-process deployment).  The final attempt's rejection
+        propagates.
+        """
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        for attempt in range(max_attempts):
+            try:
+                return await self.deployment.submit(request)
+            except ServiceRejectedError as error:
+                if attempt == max_attempts - 1:
+                    raise
+                await asyncio.sleep(
+                    max(error.retry_after_s, _MIN_RETRY_SLEEP_S)
+                )
+        raise AssertionError("unreachable")
+
+    async def range(
+        self,
+        session_id: str,
+        cir: "np.ndarray",
+        noise_std: float = 0.0,
+        deadline_s: Optional[float] = None,
+        annotations: Optional[Mapping[str, Any]] = None,
+    ) -> RangingOutcome:
+        """Convenience submit with an auto-assigned per-session sequence."""
+        sequence = self._sequences.get(session_id, 0)
+        self._sequences[session_id] = sequence + 1
+        return await self.submit_retrying(
+            RangingRequest(
+                session_id=session_id,
+                sequence=sequence,
+                cir=cir,
+                noise_std=noise_std,
+                deadline_s=deadline_s,
+                annotations=annotations,
+            )
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.deployment.metrics
+
+    @property
+    def pending(self) -> int:
+        return self.deployment.pending
+
+    def healthz(self) -> Dict[str, object]:
+        return self.deployment.healthz()
+
+
+class RangingClient:
+    """Blocking facade over :class:`AsyncRangingClient`.
+
+    Runs a private event loop on a daemon thread and bridges every call
+    with ``run_coroutine_threadsafe`` — the entry point for synchronous
+    callers (scripts, notebooks, the swarm simulator's live-ingest
+    path).  Use as a context manager::
+
+        with RangingClient(ServeConfig(engine=..., workers=4)) as client:
+            outcome = client.range("session-0", cir, noise_std=0.1)
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        metrics: Optional[MetricsRegistry] = None,
+        start_timeout_s: float = 60.0,
+    ) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-serve-client",
+            daemon=True,
+        )
+        self._thread.start()
+        self._async = AsyncRangingClient(config, metrics=metrics)
+        self._closed = False
+        try:
+            self._call(self._async.start(), timeout=start_timeout_s)
+        except BaseException:
+            self._shutdown_loop()
+            raise
+
+    def _call(self, coro, timeout: Optional[float] = None):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            timeout
+        )
+
+    def _shutdown_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self, request: RangingRequest, timeout: Optional[float] = None
+    ) -> RangingOutcome:
+        """One request, blocking until its terminal outcome."""
+        return self._call(self._async.submit(request), timeout=timeout)
+
+    def submit_many(
+        self,
+        requests: Iterable[RangingRequest],
+        max_attempts: int = 8,
+        timeout: Optional[float] = None,
+    ) -> List[RangingOutcome]:
+        """Submit a batch concurrently (with retries), preserving order."""
+        request_list = list(requests)
+
+        async def _many() -> List[RangingOutcome]:
+            return list(
+                await asyncio.gather(
+                    *(
+                        self._async.submit_retrying(request, max_attempts)
+                        for request in request_list
+                    )
+                )
+            )
+
+        return self._call(_many(), timeout=timeout)
+
+    def range(
+        self,
+        session_id: str,
+        cir: "np.ndarray",
+        noise_std: float = 0.0,
+        deadline_s: Optional[float] = None,
+        annotations: Optional[Mapping[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> RangingOutcome:
+        """Blocking convenience submit with auto per-session sequencing."""
+        return self._call(
+            self._async.range(
+                session_id,
+                cir,
+                noise_std=noise_std,
+                deadline_s=deadline_s,
+                annotations=annotations,
+            ),
+            timeout=timeout,
+        )
+
+    # -- lifecycle / introspection -------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._call(self._async.close(drain=drain), timeout=120.0)
+        finally:
+            self._shutdown_loop()
+
+    def __enter__(self) -> "RangingClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._async.metrics
+
+    def healthz(self) -> Dict[str, object]:
+        return self._call(self._async_healthz())
+
+    async def _async_healthz(self) -> Dict[str, object]:
+        return self._async.healthz()

@@ -5,8 +5,13 @@ A deliberately tiny HTTP/1.1 responder on :func:`asyncio.start_server`
 scrape observes a consistent snapshot of the registry.  ``/metrics``
 serves the registry in Prometheus text exposition format
 (:meth:`~repro.runtime.metrics.MetricsRegistry.render_prometheus`);
-``/healthz`` serves a small JSON liveness document from
-:meth:`~repro.serve.service.RangingService.healthz`.
+``/healthz`` serves a small JSON liveness document from the
+deployment's ``healthz()``.  Any deployment with a ``metrics`` registry
+and a ``healthz()`` method works — the in-process
+:class:`~repro.serve.service.RangingService` and the multi-process
+:class:`~repro.serve.supervisor.RangingServer` (whose ``metrics``
+property merges parent and worker snapshots per scrape) are served
+identically.
 
 Scrape-rate safety is a stated requirement: histogram snapshots are
 bounded reservoirs (see :class:`~repro.runtime.metrics.Histogram`), so
@@ -18,9 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional
-
-from repro.serve.service import RangingService
+from typing import Any, Optional
 
 __all__ = ["MetricsServer"]
 
@@ -28,15 +31,17 @@ _MAX_REQUEST_BYTES = 8192
 
 
 class MetricsServer:
-    """Serve ``/metrics`` and ``/healthz`` for one :class:`RangingService`.
+    """Serve ``/metrics`` and ``/healthz`` for one deployment.
 
+    ``service`` is any object exposing a ``metrics`` registry and a
+    ``healthz()`` dict — ``RangingService`` or ``RangingServer``.
     ``port=0`` binds an ephemeral port (read it back from :attr:`port`
     after :meth:`start`), which is what the tests and the loadgen use.
     """
 
     def __init__(
         self,
-        service: RangingService,
+        service: Any,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:

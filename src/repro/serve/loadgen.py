@@ -1,10 +1,13 @@
 """Load generator: replay CIR streams against the ranging service.
 
 ``python -m repro.serve.loadgen --sessions 1000 --rate 2000 --duration 60``
-stands up a :class:`~repro.serve.service.RangingService` in-process,
-replays CIR ranging requests from many concurrent initiator sessions at
-a configurable aggregate rate, and reports a latency/throughput/
-accounting summary.  Two replay sources:
+stands up a deployment through
+:class:`~repro.serve.client.AsyncRangingClient` (in-process by default;
+``--workers K`` forks a multi-process
+:class:`~repro.serve.supervisor.RangingServer`; ``--rate-limit R`` arms
+the per-session token bucket), replays CIR ranging requests from many
+concurrent initiator sessions at a configurable aggregate rate, and
+reports a latency/throughput/accounting summary.  Two replay sources:
 
 ``synthetic``
     A pool of netsim-style CIRs (bank pulses at fractional positions
@@ -38,10 +41,16 @@ import numpy as np
 
 from repro.constants import CIR_SAMPLING_PERIOD_S
 from repro.core.detection import SearchAndSubtractConfig
+from repro.serve.client import AsyncRangingClient
 from repro.serve.engine import EngineConfig
 from repro.serve.http import MetricsServer
-from repro.serve.request import RangingRequest, ServiceOverloadedError
-from repro.serve.service import RangingService, ServeConfig
+from repro.serve.ratelimit import RateLimitConfig
+from repro.serve.request import (
+    RangingOutcome,
+    RangingRequest,
+    ServiceRejectedError,
+)
+from repro.serve.service import ServeConfig
 from repro.signal.sampling import place_pulse
 from repro.signal.templates import TemplateBank
 
@@ -82,7 +91,12 @@ class LoadgenConfig:
 
 @dataclass
 class LoadgenReport:
-    """What a load run produced, with the accounting verdict."""
+    """What a load run produced, with the accounting verdict.
+
+    Records are tallied from :class:`RangingOutcome` objects (and the
+    two rejection exception types) by :meth:`record` — the loadgen has
+    no response shape of its own.
+    """
 
     sent: int = 0
     ok: int = 0
@@ -90,12 +104,39 @@ class LoadgenReport:
     error: int = 0
     cancelled: int = 0
     rejected: int = 0
+    rate_limited: int = 0
     duration_s: float = 0.0
     latencies_s: List[float] = field(default_factory=list)
 
+    def record(self, outcome: RangingOutcome) -> None:
+        """Tally one terminal outcome."""
+        if outcome.status == "ok":
+            self.ok += 1
+            self.latencies_s.append(outcome.latency_s)
+        elif outcome.status == "shed":
+            self.shed += 1
+        elif outcome.status == "cancelled":
+            self.cancelled += 1
+        else:
+            self.error += 1
+
+    def record_rejection(self, error: ServiceRejectedError) -> None:
+        """Tally one admission refusal (backpressure vs rate limit)."""
+        if error.reason == "rate_limit":
+            self.rate_limited += 1
+        else:
+            self.rejected += 1
+
     @property
     def accounted(self) -> int:
-        return self.ok + self.shed + self.error + self.cancelled + self.rejected
+        return (
+            self.ok
+            + self.shed
+            + self.error
+            + self.cancelled
+            + self.rejected
+            + self.rate_limited
+        )
 
     @property
     def accounting_ok(self) -> bool:
@@ -117,6 +158,7 @@ class LoadgenReport:
             "error": self.error,
             "cancelled": self.cancelled,
             "rejected": self.rejected,
+            "rate_limited": self.rate_limited,
             "accounted": self.accounted,
             "accounting_ok": self.accounting_ok,
             "duration_s": self.duration_s,
@@ -181,7 +223,7 @@ def fig8_pool(
 
 
 async def _session_task(
-    service: RangingService,
+    service,
     session_id: str,
     pool: Sequence[Tuple[np.ndarray, float]],
     start_offset: float,
@@ -211,32 +253,31 @@ async def _session_task(
         report.sent += 1
         try:
             result = await service.submit(request)
-        except ServiceOverloadedError as error:
-            # Backpressure: honour the retry-after hint before the next
-            # attempt instead of hammering the saturated shard.
-            report.rejected += 1
+        except ServiceRejectedError as error:
+            # Rejected (backpressure or rate limit): honour the
+            # retry-after hint before the next attempt instead of
+            # hammering the saturated shard / empty bucket.
+            report.record_rejection(error)
             next_at = max(
                 next_at + interval, loop.time() + error.retry_after_s
             )
             continue
-        if result.status == "ok":
-            report.ok += 1
-            report.latencies_s.append(result.latency_s)
-        elif result.status == "shed":
-            report.shed += 1
-        elif result.status == "cancelled":
-            report.cancelled += 1
-        else:
-            report.error += 1
+        report.record(result)
         next_at += interval
 
 
 async def run_load(
-    service: RangingService,
+    service,
     pool: Sequence[Tuple[np.ndarray, float]],
     config: LoadgenConfig,
 ) -> LoadgenReport:
-    """Replay ``pool`` against a *started* service; returns the report."""
+    """Replay ``pool`` against a started deployment; returns the report.
+
+    ``service`` is anything with an async ``submit`` —
+    :class:`~repro.serve.client.AsyncRangingClient` (the normal entry),
+    a :class:`~repro.serve.service.RangingService`, or a
+    :class:`~repro.serve.supervisor.RangingServer`.
+    """
     if not pool:
         raise ValueError("the CIR pool is empty")
     report = LoadgenReport()
@@ -289,6 +330,24 @@ def add_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
     )
     parser.add_argument("--templates", type=int, default=3)
     parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0: in-process service, >=1: forked "
+        "multi-process RangingServer)",
+    )
+    parser.add_argument(
+        "--rate-limit", type=float, default=None,
+        help="per-session token-bucket rate in requests/second "
+        "(default: no rate limiting)",
+    )
+    parser.add_argument(
+        "--rate-limit-burst", type=float, default=8.0,
+        help="token-bucket burst capacity per session",
+    )
+    parser.add_argument(
+        "--backend", default=None,
+        help="array backend override for the engine (e.g. numpy)",
+    )
     parser.add_argument(
         "--batch-size", default="auto",
         help="micro-batch size per shard (int or 'auto')",
@@ -343,32 +402,42 @@ async def _amain(args: argparse.Namespace) -> Dict[str, object]:
         if args.batch_size == "auto"
         else int(args.batch_size)
     )
-    service = RangingService(
-        EngineConfig(
+    config = ServeConfig(
+        n_shards=args.shards,
+        batch_size=batch_size,
+        max_batch_delay_s=args.batch_delay_ms / 1000.0,
+        queue_depth=args.queue_depth,
+        engine=EngineConfig(
             bank,
             CIR_SAMPLING_PERIOD_S,
             mode=args.mode,
             config=SearchAndSubtractConfig(),
             cir_length=cir_length,
         ),
-        ServeConfig(
-            n_shards=args.shards,
-            batch_size=batch_size,
-            max_batch_delay_s=args.batch_delay_ms / 1000.0,
-            queue_depth=args.queue_depth,
+        workers=args.workers,
+        rate_limit=(
+            None
+            if args.rate_limit is None
+            else RateLimitConfig(
+                args.rate_limit, burst=args.rate_limit_burst
+            )
         ),
+        backend=args.backend,
     )
-    await service.start()
+    client = AsyncRangingClient(config)
+    await client.start()
     endpoint = None
     if args.port is not None:
-        endpoint = await MetricsServer(service, port=args.port).start()
+        endpoint = await MetricsServer(
+            client.deployment, port=args.port
+        ).start()
         print(
             f"metrics: http://127.0.0.1:{endpoint.port}/metrics",
             file=sys.stderr,
         )
     try:
         report = await run_load(
-            service,
+            client,
             pool,
             LoadgenConfig(
                 sessions=args.sessions,
@@ -382,10 +451,20 @@ async def _amain(args: argparse.Namespace) -> Dict[str, object]:
                 seed=args.seed,
             ),
         )
+        counters = client.metrics.snapshot()["counters"]
     finally:
         if endpoint is not None:
             await endpoint.stop()
-        await service.stop(drain=True)
+        await client.close(drain=True)
+
+    def _count(name: str) -> float:
+        # In-process metrics live under serve.*; the multi-process
+        # parent adds server.* — sum both so one summary shape covers
+        # both deployments.
+        return counters.get(f"serve.{name}", 0) + counters.get(
+            f"server.{name}", 0
+        )
+
     summary = report.as_dict()
     summary["config"] = {
         "sessions": args.sessions,
@@ -395,20 +474,23 @@ async def _amain(args: argparse.Namespace) -> Dict[str, object]:
         "cir_length": cir_length,
         "mode": args.mode,
         "shards": args.shards,
-        "batch_size": service.batch_size,
+        "workers": args.workers,
+        "rate_limit_rps": args.rate_limit,
+        "backend": args.backend,
+        "batch_size": getattr(
+            client.deployment, "batch_size", batch_size
+        ),
         "batch_delay_ms": args.batch_delay_ms,
         "queue_depth": args.queue_depth,
     }
     summary["metrics"] = {
-        "rejected": service.metrics.counter("serve.rejected").value,
-        "shed": service.metrics.counter("serve.shed").value,
-        "flush_full": service.metrics.counter("serve.flush_full").value,
-        "flush_deadline": service.metrics.counter(
-            "serve.flush_deadline"
-        ).value,
-        "batch_fallbacks": service.metrics.counter(
-            "serve.batch_fallbacks"
-        ).value,
+        "rejected": _count("rejected"),
+        "rate_limited": _count("rate_limited"),
+        "shed": _count("shed"),
+        "flush_full": _count("flush_full"),
+        "flush_deadline": _count("flush_deadline"),
+        "batch_fallbacks": _count("batch_fallbacks"),
+        "worker_restarts": _count("worker_restarts"),
     }
     return summary
 

@@ -1,0 +1,123 @@
+"""Per-session token-bucket rate limiting ahead of the shard queues.
+
+Backpressure (bounded shard queues) protects the *service* from the
+aggregate; it cannot protect well-behaved sessions from one abusive
+peer, because a single session hammering its shard fills queue slots
+everyone on that shard needs.  The :class:`SessionRateLimiter` sits in
+front of admission: each session gets its own token bucket (``burst``
+capacity, refilled at ``rate_rps`` tokens per second), and a session
+with an empty bucket is refused with an exact retry-after hint *before*
+it can touch a queue.  The refusal is :class:`~repro.serve.request.
+RateLimitedError` — deliberately a different type and a different
+counter than queue backpressure, so ``/metrics`` distinguishes "the
+service is saturated" from "someone is abusing it".
+
+State is O(active sessions) with LRU eviction at ``max_sessions``: an
+evicted session that returns simply starts with a fresh (full) bucket,
+which errs on the side of admitting — correct for a limiter whose job
+is abuse containment, not exact global accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+__all__ = ["RateLimitConfig", "SessionRateLimiter"]
+
+
+@dataclass(frozen=True)
+class RateLimitConfig:
+    """Token-bucket parameters applied to every session uniformly.
+
+    Attributes
+    ----------
+    rate_rps:
+        Steady-state tokens (requests) per second per session.
+    burst:
+        Bucket capacity — how many requests a session may send
+        back-to-back after an idle stretch.
+    max_sessions:
+        LRU bound on tracked buckets; the least recently *seen*
+        session is evicted first.
+    """
+
+    rate_rps: float
+    burst: float = 8.0
+    max_sessions: int = 65536
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rate_rps, (int, float)) or isinstance(
+            self.rate_rps, bool
+        ):
+            raise TypeError(
+                f"rate_rps must be a number, got "
+                f"{type(self.rate_rps).__name__}"
+            )
+        if self.rate_rps <= 0.0:
+            raise ValueError(f"rate_rps must be > 0, got {self.rate_rps}")
+        if self.burst < 1.0:
+            raise ValueError(
+                f"burst must be >= 1 (a full bucket must admit at least "
+                f"one request), got {self.burst}"
+            )
+        if self.max_sessions < 1:
+            raise ValueError(
+                f"max_sessions must be >= 1, got {self.max_sessions}"
+            )
+
+
+class SessionRateLimiter:
+    """LRU-bounded map of per-session token buckets.
+
+    Not thread-safe by itself — callers are the asyncio event loop of a
+    service/server, which serialises admission anyway.  ``clock`` is
+    injectable (defaults to :func:`time.monotonic`) so tests can drive
+    refill deterministically.
+    """
+
+    def __init__(
+        self,
+        config: RateLimitConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self._clock = clock
+        #: session_id -> (tokens, last_refill_timestamp); insertion
+        #: order doubles as recency order (move_to_end on every touch).
+        self._buckets: "OrderedDict[str, Tuple[float, float]]" = (
+            OrderedDict()
+        )
+
+    def check(self, session_id: str, now: Optional[float] = None) -> float:
+        """Try to take one token for ``session_id``.
+
+        Returns ``0.0`` when admitted (a token was consumed), otherwise
+        the seconds until the bucket next holds a full token — the
+        caller surfaces that as the 429's ``retry_after_s``.
+        """
+        if now is None:
+            now = self._clock()
+        config = self.config
+        entry = self._buckets.get(session_id)
+        if entry is None:
+            tokens = config.burst
+            if len(self._buckets) >= config.max_sessions:
+                self._buckets.popitem(last=False)
+        else:
+            tokens, last = entry
+            tokens = min(
+                config.burst, tokens + (now - last) * config.rate_rps
+            )
+        if tokens >= 1.0:
+            self._buckets[session_id] = (tokens - 1.0, now)
+            self._buckets.move_to_end(session_id)
+            return 0.0
+        self._buckets[session_id] = (tokens, now)
+        self._buckets.move_to_end(session_id)
+        return (1.0 - tokens) / config.rate_rps
+
+    def __len__(self) -> int:
+        return len(self._buckets)

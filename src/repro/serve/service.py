@@ -38,35 +38,49 @@ registry and the completion bookkeeping never race.
 from __future__ import annotations
 
 import asyncio
+import warnings
 import zlib
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Union
 
 from repro.constants import CIR_LENGTH_PRF64
+from repro.core.backend import resolve_backend
+from repro.protocol.defense import DefensePlan, screen_responses
 from repro.runtime.executor import choose_batch_size
 from repro.runtime.metrics import MetricsRegistry
 from repro.serve.batcher import STOP, MicroBatcher
 from repro.serve.engine import EngineConfig, ShardEngine
+from repro.serve.ratelimit import RateLimitConfig, SessionRateLimiter
 from repro.serve.request import (
+    RangingOutcome,
     RangingRequest,
-    RangingResult,
+    RateLimitedError,
     ServiceOverloadedError,
 )
+from repro.serve.wire import DEFAULT_MAX_FRAME_BYTES
 
 __all__ = ["ServeConfig", "RangingService"]
 
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Service behaviour knobs.
+    """**The** deployment configuration of the serving stack.
+
+    One dataclass describes everything from a single in-process
+    :class:`RangingService` to a supervised multi-process
+    :class:`~repro.serve.supervisor.RangingServer` fleet — the
+    :class:`~repro.serve.client.RangingClient` picks which to build
+    from ``workers`` alone.  Everything validates eagerly in
+    ``__post_init__`` so a bad deployment fails at configuration time,
+    not mid-traffic.
 
     Parameters
     ----------
     n_shards:
-        Worker shards (and engine threads).  Sessions hash across them;
-        more shards raise engine parallelism and reduce head-of-line
-        blocking between sessions.
+        Worker shards (and engine threads) *per process*.  Sessions
+        hash across them; more shards raise engine parallelism and
+        reduce head-of-line blocking between sessions.
     batch_size:
         Micro-batch flush threshold per shard, or ``"auto"`` to size it
         from the engine workload shape via
@@ -82,7 +96,37 @@ class ServeConfig:
         Latency budget applied to requests that carry none.  ``None``
         disables shedding for such requests.
     retry_after_s:
-        The hint carried by rejections.
+        The hint carried by backpressure rejections (rate-limit
+        rejections compute their own exact hint).
+    engine:
+        The :class:`~repro.serve.engine.EngineConfig` to range with —
+        what used to be ``RangingService``'s separate first argument.
+        Required to *build* a deployment; optional here so behaviour
+        knobs can be described before the bank exists.
+    workers:
+        Worker *processes*.  ``0`` (default) runs the classic
+        in-process service; ``>= 1`` means a multi-process
+        :class:`~repro.serve.supervisor.RangingServer` deployment with
+        this many forked workers, each running its own
+        ``RangingService`` with ``n_shards`` shards.
+    rate_limit:
+        Optional per-session token bucket
+        (:class:`~repro.serve.ratelimit.RateLimitConfig`) enforced
+        ahead of the shard queues; ``None`` disables rate limiting.
+    backend:
+        Array-backend override for the engine (``"numpy"`` etc.);
+        ``None`` keeps the engine's own choice.  Validated eagerly.
+    defense:
+        Optional :class:`~repro.protocol.defense.DefensePlan` whose
+        CIR-only anomaly checks *annotate* served outcomes
+        (``annotations["defense"]``) — never mutate them, so streaming
+        results stay byte-equal to offline runs.
+    heartbeat_interval_s / heartbeat_timeout_s:
+        Worker liveness cadence (multi-process only): workers beacon
+        every interval; a worker silent past the timeout is killed and
+        restarted with its pending requests re-homed.
+    max_frame_bytes:
+        Wire-protocol frame-size bound (multi-process only).
     """
 
     n_shards: int = 4
@@ -91,6 +135,14 @@ class ServeConfig:
     queue_depth: int = 256
     default_deadline_s: Optional[float] = 1.0
     retry_after_s: float = 0.05
+    engine: Optional[EngineConfig] = None
+    workers: int = 0
+    rate_limit: Optional[RateLimitConfig] = None
+    backend: Optional[str] = None
+    defense: Optional[DefensePlan] = None
+    heartbeat_interval_s: float = 0.25
+    heartbeat_timeout_s: float = 2.0
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -123,6 +175,80 @@ class ServeConfig:
             raise ValueError(
                 f"retry_after_s must be >= 0, got {self.retry_after_s}"
             )
+        if self.engine is not None and not isinstance(
+            self.engine, EngineConfig
+        ):
+            raise TypeError(
+                "engine must be an EngineConfig or None, got "
+                f"{type(self.engine).__name__}"
+            )
+        if not isinstance(self.workers, int) or isinstance(
+            self.workers, bool
+        ):
+            raise TypeError(
+                f"workers must be an int, got {type(self.workers).__name__}"
+            )
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.rate_limit is not None and not isinstance(
+            self.rate_limit, RateLimitConfig
+        ):
+            raise TypeError(
+                "rate_limit must be a RateLimitConfig or None, got "
+                f"{type(self.rate_limit).__name__}"
+            )
+        if self.backend is not None:
+            resolve_backend(self.backend)  # raises if unknown/unavailable
+        if self.defense is not None and not isinstance(
+            self.defense, DefensePlan
+        ):
+            raise TypeError(
+                "defense must be a DefensePlan or None, got "
+                f"{type(self.defense).__name__}"
+            )
+        if not self.heartbeat_interval_s > 0:
+            raise ValueError(
+                "heartbeat_interval_s must be positive, got "
+                f"{self.heartbeat_interval_s}"
+            )
+        if not self.heartbeat_timeout_s > self.heartbeat_interval_s:
+            raise ValueError(
+                "heartbeat_timeout_s must exceed heartbeat_interval_s, "
+                f"got {self.heartbeat_timeout_s} <= "
+                f"{self.heartbeat_interval_s}"
+            )
+        if self.max_frame_bytes < 1024:
+            raise ValueError(
+                "max_frame_bytes must be >= 1024, got "
+                f"{self.max_frame_bytes}"
+            )
+
+    def resolved_engine(self) -> EngineConfig:
+        """The engine to deploy, with the ``backend`` override applied."""
+        if self.engine is None:
+            raise ValueError(
+                "ServeConfig.engine is required to build a deployment "
+                "(pass engine=EngineConfig(...))"
+            )
+        if self.backend is None or self.backend == self.engine.backend:
+            return self.engine
+        return EngineConfig(
+            bank=self.engine.bank,
+            sampling_period_s=self.engine.sampling_period_s,
+            mode=self.engine.mode,
+            config=self.engine.config,
+            cir_length=self.engine.cir_length,
+            backend=self.backend,
+        )
+
+    def worker_local(self) -> "ServeConfig":
+        """This config as seen *inside* one worker process.
+
+        Workers run plain in-process services: no nested workers, and
+        no rate limiting (admission control lives in the parent, which
+        sees every session; a worker sees only its slice).
+        """
+        return replace(self, workers=0, rate_limit=None)
 
 
 @dataclass
@@ -130,10 +256,18 @@ class _Envelope:
     """One in-flight request plus its service-side bookkeeping."""
 
     request: RangingRequest
-    future: "asyncio.Future[RangingResult]"
+    future: "asyncio.Future[RangingOutcome]"
     enqueued_at: float
     deadline: Optional[float]  # absolute loop time, None = never shed
     shard: int
+
+    def annotations(self) -> Dict[str, Any]:
+        """The request's annotations, copied for the outcome to own."""
+        return (
+            dict(self.request.annotations)
+            if self.request.annotations
+            else {}
+        )
 
 
 def _shard_of(session_id: str, n_shards: int) -> int:
@@ -142,18 +276,65 @@ def _shard_of(session_id: str, n_shards: int) -> int:
 
 
 class RangingService:
-    """Micro-batching, sharded, backpressured ranging service."""
+    """Micro-batching, sharded, backpressured ranging service.
+
+    Build one with :meth:`build` from a :class:`ServeConfig` whose
+    ``engine`` is set::
+
+        service = RangingService.build(
+            ServeConfig(engine=EngineConfig(bank, period), n_shards=4)
+        )
+
+    The pre-redesign two-argument signature
+    ``RangingService(engine_config, serve_config)`` still works behind
+    a :class:`DeprecationWarning` shim.  For ``workers >= 1`` use
+    :class:`~repro.serve.supervisor.RangingServer` (or, better, the
+    :class:`~repro.serve.client.RangingClient`, which picks for you).
+    """
 
     def __init__(
         self,
-        engine: EngineConfig,
-        config: ServeConfig = ServeConfig(),
+        engine: Union[EngineConfig, ServeConfig, None] = None,
+        config: Optional[ServeConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        self.engine = engine
+        if isinstance(engine, EngineConfig):
+            warnings.warn(
+                "RangingService(engine, config) is deprecated; use "
+                "RangingService.build(ServeConfig(engine=..., ...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = replace(config or ServeConfig(), engine=engine)
+        elif isinstance(engine, ServeConfig):
+            if config is not None:
+                raise TypeError(
+                    "pass either a ServeConfig or the deprecated "
+                    "(EngineConfig, ServeConfig) pair, not two configs"
+                )
+            config = engine
+        elif engine is not None:
+            raise TypeError(
+                "first argument must be a ServeConfig (or, deprecated, "
+                f"an EngineConfig), got {type(engine).__name__}"
+            )
+        elif config is None:
+            raise TypeError("RangingService needs a ServeConfig")
+        if config.workers >= 1:
+            raise ValueError(
+                f"ServeConfig.workers={config.workers} describes a "
+                "multi-process deployment; build a RangingServer (or a "
+                "RangingClient) instead of an in-process RangingService"
+            )
         self.config = config
+        self.engine = config.resolved_engine()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.batch_size = self._resolve_batch_size()
+        self._limiter = (
+            SessionRateLimiter(config.rate_limit)
+            if config.rate_limit is not None
+            else None
+        )
         self._queues: List["asyncio.Queue[object]"] = []
         self._engines: List[ShardEngine] = []
         self._tasks: List["asyncio.Task"] = []
@@ -162,6 +343,15 @@ class RangingService:
         self._pending = 0
         self._started_at: Optional[float] = None
         self._closed = True
+
+    @classmethod
+    def build(
+        cls,
+        config: ServeConfig,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "RangingService":
+        """The one way to construct a service from the unified config."""
+        return cls(config, metrics=metrics)
 
     def _resolve_batch_size(self) -> int:
         if self.config.batch_size != "auto":
@@ -249,11 +439,12 @@ class RangingService:
 
     def enqueue(
         self, request: RangingRequest
-    ) -> "asyncio.Future[RangingResult]":
+    ) -> "asyncio.Future[RangingOutcome]":
         """Accept a request (or refuse it) without awaiting its result.
 
         Returns the future that resolves to the request's
-        :class:`RangingResult`; raises
+        :class:`RangingOutcome`; raises :class:`RateLimitedError` when
+        the session's token bucket is empty,
         :class:`ServiceOverloadedError` when the target shard is at its
         high-watermark, and ``RuntimeError`` when the service is not
         accepting (never started, stopping, or stopped).
@@ -262,6 +453,13 @@ class RangingService:
             raise RuntimeError("service is not accepting requests")
         metrics = self.metrics
         metrics.counter("serve.requests").inc()
+        if self._limiter is not None:
+            # Rate limiting fires before the queue check: an abusive
+            # session is bounced before it can claim queue slots.
+            retry_after = self._limiter.check(request.session_id)
+            if retry_after > 0.0:
+                metrics.counter("serve.rate_limited").inc()
+                raise RateLimitedError(retry_after, request.session_id)
         shard = _shard_of(request.session_id, self.config.n_shards)
         queue = self._queues[shard]
         if queue.full():
@@ -288,7 +486,7 @@ class RangingService:
         metrics.gauge("serve.queue_depth").set(self._pending)
         return envelope.future
 
-    async def submit(self, request: RangingRequest) -> RangingResult:
+    async def submit(self, request: RangingRequest) -> RangingOutcome:
         """Accept a request and await its terminal result.
 
         Cancelling this coroutine cancels the underlying future; the
@@ -368,17 +566,38 @@ class RangingService:
         if fallbacks:
             metrics.counter("serve.batch_fallbacks").inc(fallbacks)
         finished = loop.time()
+        defense = self.config.defense
         for envelope, (ok, payload) in zip(live, outcomes):
             if envelope.future.done():
                 metrics.counter("serve.cancelled").inc()
                 continue
             latency = finished - envelope.enqueued_at
             request = envelope.request
+            annotations = envelope.annotations()
             if ok:
+                if defense is not None:
+                    # Annotate-only: the defense screen never removes
+                    # responses at this layer, so streaming results
+                    # stay byte-equal to the offline engines.
+                    flags = screen_responses(defense, request.cir, payload)
+                    if flags:
+                        metrics.counter("serve.defense_flagged").inc(
+                            len(flags)
+                        )
+                        annotations["defense"] = {
+                            "flags": [
+                                {
+                                    "responder_id": flag.responder_id,
+                                    "reason": flag.reason,
+                                    "value": flag.value,
+                                }
+                                for flag in flags
+                            ]
+                        }
                 metrics.counter("serve.completed").inc()
                 metrics.histogram("serve.latency_s").observe(latency)
                 envelope.future.set_result(
-                    RangingResult(
+                    RangingOutcome(
                         session_id=request.session_id,
                         sequence=request.sequence,
                         status="ok",
@@ -387,12 +606,13 @@ class RangingService:
                         shard=envelope.shard,
                         batch_size=len(live),
                         flush_cause=cause,
+                        annotations=annotations,
                     )
                 )
             else:
                 metrics.counter("serve.errors").inc()
                 envelope.future.set_result(
-                    RangingResult(
+                    RangingOutcome(
                         session_id=request.session_id,
                         sequence=request.sequence,
                         status="error",
@@ -401,6 +621,7 @@ class RangingService:
                         batch_size=len(live),
                         flush_cause=cause,
                         error=str(payload),
+                        annotations=annotations,
                     )
                 )
 
@@ -417,12 +638,13 @@ class RangingService:
         metrics.counter(f"serve.{status}").inc()
         request = envelope.request
         envelope.future.set_result(
-            RangingResult(
+            RangingOutcome(
                 session_id=request.session_id,
                 sequence=request.sequence,
                 status=status,
                 latency_s=latency,
                 shard=envelope.shard,
+                annotations=envelope.annotations(),
             )
         )
 

@@ -1,0 +1,677 @@
+"""Multi-process serving: a supervising parent over forked worker shards.
+
+:class:`RangingServer` is the multi-process counterpart of the
+in-process :class:`~repro.serve.service.RangingService`.  The parent
+process owns **admission** (per-session rate limiting, per-worker
+in-flight caps) and **supervision** (heartbeat liveness, restart,
+re-homing); the K forked worker processes own **compute** — each runs a
+plain ``RangingService`` (``n_shards`` micro-batching shards on its own
+thread pool) and talks to the parent over one ``socketpair`` carrying
+the length-prefixed frames of :mod:`repro.serve.wire`.
+
+Routing reuses the service's session key: ``crc32(session_id) %
+workers`` picks the worker, and inside the worker ``crc32(session_id) %
+n_shards`` picks the shard — a session's requests stay FIFO end to end
+because exactly one worker, one shard, and one ordered byte stream ever
+carry them.
+
+**Supervision and exactly-once accounting.**  Workers beacon a
+HEARTBEAT frame (pending count + metrics snapshot) every
+``heartbeat_interval_s``.  A worker whose process died or whose last
+beacon is older than ``heartbeat_timeout_s`` is SIGKILLed and respawned;
+every request the parent had routed to it that has not yet reached a
+terminal state is **re-homed** — re-sent, same correlation id, to the
+replacement.  This preserves the exactly-once terminal-status invariant:
+a dead worker never answered those requests (its in-flight responses
+died with its socket), so the replacement's answer is the first and
+only one; in the false-positive case (a live-but-slow worker killed
+mid-answer) the parent's pending table resolves each id at most once
+and counts any late duplicate as an orphan.  ``sent == ok + shed +
+error + cancelled`` therefore holds across kills, which
+``tests/test_serve_mp.py`` and the bench's worker-kill pass assert.
+
+**Fork requirement.**  Workers are created with the ``fork`` start
+method: the socketpair fd and the (numpy-heavy) engine configuration
+transfer by inheritance, with no pickling of template banks.  On
+platforms without ``fork`` (Windows) construction fails with an explicit
+error — multi-process serving is a POSIX deployment feature.
+
+The parent's own metrics live under ``server.*`` (admission, routing,
+supervision); worker heartbeats carry the familiar ``serve.*`` metrics,
+and :attr:`RangingServer.metrics` merges parent + latest worker
+snapshots into one registry for ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import signal
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.runtime.metrics import MetricsRegistry
+from repro.serve.ratelimit import SessionRateLimiter
+from repro.serve.request import (
+    RangingOutcome,
+    RangingRequest,
+    RateLimitedError,
+    ServiceOverloadedError,
+    ServiceRejectedError,
+)
+from repro.serve.service import RangingService, ServeConfig, _shard_of
+from repro.serve.wire import (
+    KIND_CONTROL,
+    KIND_ERROR,
+    KIND_HEARTBEAT,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    KIND_RETRY_AFTER,
+    Frame,
+    FrameDecoder,
+    WireError,
+    encode_frame,
+    outcome_from_payload,
+    outcome_to_payload,
+    request_from_payload,
+    request_to_payload,
+)
+
+__all__ = ["RangingServer", "worker_main"]
+
+#: How long stop(drain=True) waits for in-flight requests before
+#: force-completing the stragglers as ``cancelled``.
+DRAIN_TIMEOUT_S = 30.0
+
+_READ_CHUNK = 1 << 16
+
+
+def _status_counter(status: str) -> str:
+    """Parent-side counter name for one terminal status."""
+    return {
+        "ok": "server.completed",
+        "shed": "server.shed",
+        "cancelled": "server.cancelled",
+        "error": "server.errors",
+    }.get(status, "server.unknown_status")
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+async def _pump(outbox: "asyncio.Queue", writer: asyncio.StreamWriter) -> None:
+    """Single-writer task: serialize every outgoing frame onto the pipe."""
+    try:
+        while True:
+            frame = await outbox.get()
+            if frame is None:
+                return
+            writer.write(frame)
+            await writer.drain()
+    except (ConnectionError, BrokenPipeError):
+        return  # peer vanished; the reader side handles the fallout
+
+
+async def _worker_amain(
+    sock: socket.socket, worker_index: int, config: ServeConfig
+) -> None:
+    reader, writer = await asyncio.open_connection(sock=sock)
+    service = RangingService.build(config.worker_local())
+    await service.start()
+    outbox: "asyncio.Queue" = asyncio.Queue()
+    writer_task = asyncio.ensure_future(_pump(outbox, writer))
+    max_bytes = config.max_frame_bytes
+
+    def _heartbeat_frame() -> bytes:
+        return encode_frame(
+            KIND_HEARTBEAT,
+            {
+                "worker": worker_index,
+                "pending": service.pending,
+                "metrics": service.metrics.snapshot(),
+            },
+            max_frame_bytes=max_bytes,
+        )
+
+    async def _beacon() -> None:
+        while True:
+            await outbox.put(_heartbeat_frame())
+            await asyncio.sleep(config.heartbeat_interval_s)
+
+    beacon_task = asyncio.ensure_future(_beacon())
+
+    inflight: Set["asyncio.Task"] = set()
+
+    async def _respond(request_id: int, future: "asyncio.Future") -> None:
+        outcome: RangingOutcome = await future
+        outcome.worker = worker_index
+        await outbox.put(
+            encode_frame(
+                KIND_RESPONSE,
+                outcome_to_payload(outcome, request_id),
+                max_frame_bytes=max_bytes,
+            )
+        )
+
+    def _handle_request(frame: Frame) -> None:
+        request, request_id = request_from_payload(frame.payload)
+        try:
+            future = service.enqueue(request)
+        except ServiceRejectedError as error:
+            payload: Dict[str, Any] = {
+                "id": request_id,
+                "reason": error.reason,
+                "retry_after_s": error.retry_after_s,
+                "message": str(error),
+                "session_id": request.session_id,
+                "shard": getattr(error, "shard", -1),
+                "queue_depth": getattr(error, "queue_depth", 0),
+            }
+            outbox.put_nowait(
+                encode_frame(
+                    KIND_RETRY_AFTER, payload, max_frame_bytes=max_bytes
+                )
+            )
+            return
+        task = asyncio.ensure_future(_respond(request_id, future))
+        inflight.add(task)
+        task.add_done_callback(inflight.discard)
+
+    drain = False
+    try:
+        decoder = FrameDecoder(max_bytes)
+        running = True
+        while running:
+            data = await reader.read(_READ_CHUNK)
+            if not data:
+                break  # parent gone: abandon, do not drain
+            for frame in decoder.feed(data):
+                if frame.kind == KIND_REQUEST:
+                    _handle_request(frame)
+                elif frame.kind == KIND_CONTROL:
+                    if frame.payload.get("op") == "stop":
+                        drain = bool(frame.payload.get("drain", True))
+                        running = False
+                        break
+                # Other kinds are parent-bound; ignore defensively.
+    except (WireError, ConnectionError):
+        drain = False
+    finally:
+        beacon_task.cancel()
+        if drain:
+            await service.stop(drain=True)
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
+            # Final metrics beacon so the parent's merged view is exact.
+            await outbox.put(_heartbeat_frame())
+        else:
+            for task in inflight:
+                task.cancel()
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
+            await service.stop(drain=False)
+        await outbox.put(None)
+        await writer_task
+        writer.close()
+
+
+def worker_main(
+    sock: socket.socket,
+    siblings: Sequence[socket.socket],
+    worker_index: int,
+    config: ServeConfig,
+) -> None:
+    """Entry point of one forked worker process.
+
+    ``siblings`` are the parent-side socket ends this fork inherited;
+    closing them here keeps EOF semantics crisp (a closed parent end
+    must read as EOF in exactly one worker).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    for other in siblings:
+        try:
+            other.close()
+        except OSError:
+            pass
+    asyncio.run(_worker_amain(sock, worker_index, config))
+
+
+# ---------------------------------------------------------------------------
+# Parent process
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _PendingRequest:
+    """Parent-side record of one accepted, not-yet-terminal request."""
+
+    request: RangingRequest
+    future: "asyncio.Future[RangingOutcome]"
+    worker: int
+    enqueued_at: float
+
+
+@dataclass
+class _WorkerHandle:
+    """Everything the parent holds about one live worker process."""
+
+    index: int
+    process: "multiprocessing.process.BaseProcess"
+    sock: socket.socket
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    outbox: "asyncio.Queue" = field(default_factory=asyncio.Queue)
+    writer_task: Optional["asyncio.Task"] = None
+    reader_task: Optional["asyncio.Task"] = None
+    pending_ids: Set[int] = field(default_factory=set)
+    last_beat: float = 0.0
+    snapshot: Dict[str, Any] = field(default_factory=dict)
+    worker_pending: int = 0
+
+
+class RangingServer:
+    """Supervised multi-process deployment of the ranging service.
+
+    Same ingress surface as :class:`RangingService` (``start`` /
+    ``enqueue`` / ``submit`` / ``stop`` / ``healthz`` / ``metrics`` /
+    ``pending``), so :class:`~repro.serve.client.RangingClient` and the
+    ``/metrics`` endpoint treat both interchangeably.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if config.workers < 1:
+            raise ValueError(
+                f"RangingServer needs ServeConfig.workers >= 1, got "
+                f"{config.workers}; use RangingService for in-process "
+                "serving"
+            )
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "multi-process serving requires the 'fork' start method "
+                "(fd and engine inheritance); this platform offers only "
+                f"{multiprocessing.get_all_start_methods()}"
+            )
+        config.resolved_engine()  # fail now if the engine is missing/bad
+        self.config = config
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._limiter = (
+            SessionRateLimiter(config.rate_limit)
+            if config.rate_limit is not None
+            else None
+        )
+        self._ctx = multiprocessing.get_context("fork")
+        self._handles: List[_WorkerHandle] = []
+        self._pending: Dict[int, _PendingRequest] = {}
+        self._next_id = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._supervisor_task: Optional["asyncio.Task"] = None
+        self._started_at: Optional[float] = None
+        self._closed = True
+        self._restarts = 0
+        self._last_snapshots: List[Dict[str, Any]] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "RangingServer":
+        if not self._closed:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._closed = False
+        self._started_at = self._loop.time()
+        self._pending = {}
+        self._handles = []
+        for index in range(self.config.workers):
+            self._handles.append(await self._spawn(index))
+        self._supervisor_task = asyncio.ensure_future(self._supervise())
+        metrics = self._metrics
+        metrics.gauge("server.workers").set(self.config.workers)
+        metrics.gauge("server.pending").set(0)
+        return self
+
+    async def _spawn(self, index: int) -> _WorkerHandle:
+        assert self._loop is not None
+        parent_sock, child_sock = socket.socketpair()
+        siblings = [handle.sock for handle in self._handles] + [parent_sock]
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_sock, siblings, index, self.config),
+            daemon=True,
+            name=f"repro-serve-worker-{index}",
+        )
+        process.start()
+        child_sock.close()
+        reader, writer = await asyncio.open_connection(sock=parent_sock)
+        handle = _WorkerHandle(
+            index=index,
+            process=process,
+            sock=parent_sock,
+            reader=reader,
+            writer=writer,
+            last_beat=self._loop.time(),
+        )
+        handle.writer_task = asyncio.ensure_future(
+            _pump(handle.outbox, writer)
+        )
+        handle.reader_task = asyncio.ensure_future(self._read_worker(handle))
+        return handle
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop workers and the supervisor.
+
+        ``drain=True`` lets every accepted request finish (bounded by
+        :data:`DRAIN_TIMEOUT_S`; stragglers — e.g. victims of a worker
+        that dies mid-drain — complete as ``cancelled``); ``drain=False``
+        cancels everything pending immediately.  Either way every
+        accepted request reaches exactly one terminal status.
+        """
+        if self._closed and not self._handles:
+            return
+        self._closed = True
+        if self._supervisor_task is not None:
+            self._supervisor_task.cancel()
+            await asyncio.gather(
+                self._supervisor_task, return_exceptions=True
+            )
+            self._supervisor_task = None
+        if drain:
+            stop_frame = encode_frame(
+                KIND_CONTROL,
+                {"op": "stop", "drain": True},
+                max_frame_bytes=self.config.max_frame_bytes,
+            )
+            for handle in self._handles:
+                handle.outbox.put_nowait(stop_frame)
+            futures = [
+                entry.future
+                for entry in self._pending.values()
+                if not entry.future.done()
+            ]
+            if futures:
+                await asyncio.wait(futures, timeout=DRAIN_TIMEOUT_S)
+        self._cancel_pending()
+        for handle in self._handles:
+            await self._dismantle(handle, kill=not drain)
+        self._last_snapshots = [
+            handle.snapshot for handle in self._handles if handle.snapshot
+        ]
+        self._handles = []
+        self._metrics.gauge("server.pending").set(0)
+
+    def _cancel_pending(self) -> None:
+        for request_id, entry in list(self._pending.items()):
+            if not entry.future.done():
+                self._metrics.counter("server.cancelled").inc()
+                entry.future.set_result(
+                    RangingOutcome(
+                        session_id=entry.request.session_id,
+                        sequence=entry.request.sequence,
+                        status="cancelled",
+                        worker=entry.worker,
+                        annotations=(
+                            dict(entry.request.annotations)
+                            if entry.request.annotations
+                            else {}
+                        ),
+                    )
+                )
+        self._pending.clear()
+        for handle in self._handles:
+            handle.pending_ids.clear()
+
+    async def _dismantle(self, handle: _WorkerHandle, kill: bool) -> None:
+        """Tear one worker down (gracefully after drain, or SIGKILL)."""
+        assert self._loop is not None
+        if not kill and handle.reader_task is not None:
+            # Graceful path: wait briefly for the worker's final frames
+            # (responses + last metrics beacon) to arrive as EOF.
+            await asyncio.wait([handle.reader_task], timeout=5.0)
+        if kill and handle.process.is_alive():
+            handle.process.kill()
+        await self._loop.run_in_executor(
+            None, lambda: handle.process.join(5.0)
+        )
+        for task in (handle.reader_task, handle.writer_task):
+            if task is not None and not task.done():
+                task.cancel()
+        tasks = [
+            task
+            for task in (handle.reader_task, handle.writer_task)
+            if task is not None
+        ]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        handle.writer.close()
+
+    # -- ingress -------------------------------------------------------------
+
+    def enqueue(
+        self, request: RangingRequest
+    ) -> "asyncio.Future[RangingOutcome]":
+        """Admit a request and route it to its session's worker.
+
+        Raises :class:`RateLimitedError` (session over budget),
+        :class:`ServiceOverloadedError` (worker at its in-flight cap),
+        or ``RuntimeError`` (server not accepting).  Worker-side
+        admission failures surface as the same exception types on the
+        returned future.
+        """
+        if self._closed or self._loop is None:
+            raise RuntimeError("server is not accepting requests")
+        metrics = self._metrics
+        metrics.counter("server.requests").inc()
+        if self._limiter is not None:
+            retry_after = self._limiter.check(request.session_id)
+            if retry_after > 0.0:
+                metrics.counter("server.rate_limited").inc()
+                raise RateLimitedError(retry_after, request.session_id)
+        worker = _shard_of(request.session_id, self.config.workers)
+        handle = self._handles[worker]
+        capacity = self.config.queue_depth * self.config.n_shards
+        if len(handle.pending_ids) >= capacity:
+            metrics.counter("server.rejected").inc()
+            raise ServiceOverloadedError(
+                self.config.retry_after_s, worker, len(handle.pending_ids)
+            )
+        request_id = self._next_id
+        # Encode before registering so an unserializable request fails
+        # cleanly at ingress instead of leaking a pending entry.
+        frame = encode_frame(
+            KIND_REQUEST,
+            request_to_payload(request, request_id),
+            max_frame_bytes=self.config.max_frame_bytes,
+        )
+        self._next_id += 1
+        entry = _PendingRequest(
+            request=request,
+            future=self._loop.create_future(),
+            worker=worker,
+            enqueued_at=self._loop.time(),
+        )
+        self._pending[request_id] = entry
+        handle.pending_ids.add(request_id)
+        handle.outbox.put_nowait(frame)
+        metrics.counter("server.accepted").inc()
+        metrics.gauge("server.pending").set(len(self._pending))
+        return entry.future
+
+    async def submit(self, request: RangingRequest) -> RangingOutcome:
+        """Admit a request and await its terminal outcome."""
+        return await self.enqueue(request)
+
+    # -- worker stream handling ----------------------------------------------
+
+    async def _read_worker(self, handle: _WorkerHandle) -> None:
+        decoder = FrameDecoder(self.config.max_frame_bytes)
+        try:
+            while True:
+                data = await handle.reader.read(_READ_CHUNK)
+                if not data:
+                    return
+                for frame in decoder.feed(data):
+                    self._on_frame(handle, frame)
+        except (WireError, ConnectionError):
+            self._metrics.counter("server.wire_errors").inc()
+            # Leave the stream dead; supervision restarts the worker.
+
+    def _on_frame(self, handle: _WorkerHandle, frame: Frame) -> None:
+        assert self._loop is not None
+        metrics = self._metrics
+        if frame.kind == KIND_HEARTBEAT:
+            handle.last_beat = self._loop.time()
+            handle.snapshot = dict(frame.payload.get("metrics") or {})
+            handle.worker_pending = int(frame.payload.get("pending", 0))
+            metrics.counter("server.heartbeats").inc()
+            return
+        if frame.kind == KIND_RESPONSE:
+            outcome, request_id = outcome_from_payload(frame.payload)
+            entry = self._pending.pop(request_id, None)
+            handle.pending_ids.discard(request_id)
+            if entry is None or entry.future.done():
+                # A re-homed request answered twice (kill raced a live
+                # answer) — the first terminal result already counted.
+                metrics.counter("server.orphan_responses").inc()
+                return
+            metrics.counter(_status_counter(outcome.status)).inc()
+            metrics.histogram("server.latency_s").observe(
+                self._loop.time() - entry.enqueued_at
+            )
+            metrics.gauge("server.pending").set(len(self._pending))
+            entry.future.set_result(outcome)
+            return
+        if frame.kind == KIND_RETRY_AFTER:
+            payload = frame.payload
+            request_id = int(payload["id"])
+            entry = self._pending.pop(request_id, None)
+            handle.pending_ids.discard(request_id)
+            if entry is None or entry.future.done():
+                metrics.counter("server.orphan_responses").inc()
+                return
+            reason = str(payload.get("reason", "backpressure"))
+            retry_after_s = float(payload.get("retry_after_s", 0.0))
+            metrics.counter(f"server.retry_after_{reason}").inc()
+            metrics.gauge("server.pending").set(len(self._pending))
+            if reason == "rate_limit":
+                error: ServiceRejectedError = RateLimitedError(
+                    retry_after_s, str(payload.get("session_id", ""))
+                )
+            else:
+                error = ServiceOverloadedError(
+                    retry_after_s,
+                    int(payload.get("shard", -1)),
+                    int(payload.get("queue_depth", 0)),
+                )
+            entry.future.set_exception(error)
+            return
+        if frame.kind == KIND_ERROR:
+            metrics.counter("server.peer_errors").inc()
+            return
+        metrics.counter("server.unexpected_frames").inc()
+
+    # -- supervision ---------------------------------------------------------
+
+    async def _supervise(self) -> None:
+        assert self._loop is not None
+        interval = self.config.heartbeat_interval_s
+        timeout = self.config.heartbeat_timeout_s
+        while True:
+            await asyncio.sleep(interval)
+            if self._closed:
+                return
+            now = self._loop.time()
+            for index in range(len(self._handles)):
+                handle = self._handles[index]
+                dead = not handle.process.is_alive() or (
+                    now - handle.last_beat > timeout
+                )
+                if dead:
+                    await self._restart(index)
+
+    async def _restart(self, index: int) -> None:
+        """Replace one worker and re-home its unanswered requests."""
+        old = self._handles[index]
+        metrics = self._metrics
+        metrics.counter("server.worker_restarts").inc()
+        self._restarts += 1
+        await self._dismantle(old, kill=True)
+        replacement = await self._spawn(index)
+        self._handles[index] = replacement
+        rehomed = 0
+        for request_id in sorted(old.pending_ids):
+            entry = self._pending.get(request_id)
+            if entry is None or entry.future.done():
+                continue
+            frame = encode_frame(
+                KIND_REQUEST,
+                request_to_payload(entry.request, request_id),
+                max_frame_bytes=self.config.max_frame_bytes,
+            )
+            replacement.pending_ids.add(request_id)
+            replacement.outbox.put_nowait(frame)
+            rehomed += 1
+        if rehomed:
+            metrics.counter("server.rehomed").inc(rehomed)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Requests accepted but not yet terminal, across all workers."""
+        return len(self._pending)
+
+    @property
+    def restarts(self) -> int:
+        """Workers restarted by supervision since start."""
+        return self._restarts
+
+    @property
+    def worker_processes(self) -> List["multiprocessing.process.BaseProcess"]:
+        """Live worker process handles (for chaos tests and ops)."""
+        return [handle.process for handle in self._handles]
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Parent metrics merged with the latest worker snapshots.
+
+        Parent-side series use the ``server.*`` namespace and worker
+        snapshots the ``serve.*`` one, so merging never double-counts.
+        """
+        snapshots = [self._metrics.snapshot()]
+        if self._handles:
+            snapshots.extend(
+                handle.snapshot
+                for handle in self._handles
+                if handle.snapshot
+            )
+        else:
+            snapshots.extend(self._last_snapshots)
+        return MetricsRegistry.merged(snapshots)
+
+    def healthz(self) -> Dict[str, object]:
+        """Liveness summary served by the ``/healthz`` endpoint."""
+        if self._closed:
+            status = "stopped" if not self._handles else "draining"
+        else:
+            status = "ok"
+        uptime = 0.0
+        if self._loop is not None and self._started_at is not None:
+            uptime = max(0.0, self._loop.time() - self._started_at)
+        engine = self.config.resolved_engine()
+        return {
+            "status": status,
+            "uptime_s": uptime,
+            "workers": self.config.workers,
+            "alive_workers": sum(
+                1 for handle in self._handles if handle.process.is_alive()
+            ),
+            "restarts": self._restarts,
+            "shards": self.config.n_shards,
+            "queue_depth": len(self._pending),
+            "mode": engine.mode,
+        }

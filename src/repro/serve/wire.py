@@ -1,0 +1,434 @@
+"""The serving wire protocol: versioned, length-prefixed frames.
+
+Everything that crosses a process boundary in :mod:`repro.serve` — the
+parent :class:`~repro.serve.supervisor.RangingServer` talking to its
+worker processes — travels as **frames**:
+
+``magic(2) | version(1) | kind(1) | length(4, big-endian) | payload``
+
+The payload is canonical JSON (sorted keys, no whitespace) with a small
+tagged-object extension for the types JSON cannot carry natively:
+complex scalars, NumPy arrays (raw little-endian bytes, base64 — CIRs
+round-trip *bit-exact*), and the engine response dataclasses
+(:class:`~repro.core.detection.DetectedResponse` /
+:class:`~repro.core.pulse_id.ClassifiedResponse`).  Python's JSON float
+serialization is shortest-round-trip ``repr``, so every finite float
+(and ±inf — a single-template classification carries ``confidence =
+inf``) survives the wire value-exact; this is what lets the
+multi-process acceptance test demand *byte-equal* streaming results.
+
+Frame kinds
+-----------
+``REQUEST``
+    Parent → worker: one :class:`~repro.serve.request.RangingRequest`
+    plus a correlation id.  Defense/fault ``annotations`` ride along.
+``RESPONSE``
+    Worker → parent: the request's terminal
+    :class:`~repro.serve.request.RangingOutcome`.
+``RETRY_AFTER``
+    Worker → parent: 429-style refusal (the worker's own admission
+    control fired) with the ``reason`` tag — ``"backpressure"`` and
+    ``"rate_limit"`` stay distinct end to end.
+``ERROR``
+    A protocol-level error (malformed peer frame); carries no
+    correlation id when the offending frame could not be parsed.
+``HEARTBEAT``
+    Worker → parent liveness beacon: pending count plus a metrics
+    snapshot the parent folds into the merged ``/metrics`` view.  A
+    worker that stops heartbeating past the configured timeout is
+    killed and restarted.
+``CONTROL``
+    Parent → worker lifecycle commands (``stop`` with a drain flag).
+
+Robustness
+----------
+Decoding is defensive by construction: a frame with the wrong magic or
+an unknown kind raises :class:`WireError`; a version this build does
+not speak raises :class:`WireVersionError`; a declared payload length
+over the bound raises :class:`FrameTooLargeError` *before* any payload
+is buffered; a payload that is not a JSON object raises
+:class:`WireError`.  The incremental :class:`FrameDecoder` returns only
+complete frames, so arbitrarily chunked/interleaved TCP reads reassemble
+exactly — property-tested in ``tests/test_serve_wire.py``.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.detection import DetectedResponse
+from repro.core.pulse_id import ClassifiedResponse
+from repro.serve.request import RangingOutcome, RangingRequest
+
+__all__ = [
+    "WIRE_VERSION",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
+    "KIND_ERROR",
+    "KIND_HEARTBEAT",
+    "KIND_RETRY_AFTER",
+    "KIND_CONTROL",
+    "KIND_NAMES",
+    "Frame",
+    "FrameDecoder",
+    "WireError",
+    "WireVersionError",
+    "FrameTooLargeError",
+    "encode_frame",
+    "decode_frame",
+    "request_to_payload",
+    "request_from_payload",
+    "outcome_to_payload",
+    "outcome_from_payload",
+]
+
+#: Two magic bytes open every frame ("Concurrent Ranging").
+MAGIC = b"\xc7\x52"
+WIRE_VERSION = 1
+
+#: Header: magic(2) version(1) kind(1) payload-length(4, big-endian).
+_HEADER = struct.Struct(">2sBBI")
+HEADER_BYTES = _HEADER.size
+
+#: Default payload-size bound; a 509-tap complex CIR is ~11 KiB encoded,
+#: so 8 MiB leaves three orders of magnitude of headroom while still
+#: refusing a nonsense length prefix before buffering it.
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+KIND_REQUEST = 1
+KIND_RESPONSE = 2
+KIND_ERROR = 3
+KIND_HEARTBEAT = 4
+KIND_RETRY_AFTER = 5
+KIND_CONTROL = 6
+
+KIND_NAMES = {
+    KIND_REQUEST: "request",
+    KIND_RESPONSE: "response",
+    KIND_ERROR: "error",
+    KIND_HEARTBEAT: "heartbeat",
+    KIND_RETRY_AFTER: "retry_after",
+    KIND_CONTROL: "control",
+}
+
+
+class WireError(ValueError):
+    """A malformed frame: bad magic, unknown kind, or undecodable payload."""
+
+
+class WireVersionError(WireError):
+    """The peer speaks a wire version this build does not."""
+
+
+class FrameTooLargeError(WireError):
+    """A frame's declared payload exceeds the configured bound."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: its kind tag and JSON-object payload."""
+
+    kind: int
+    payload: Dict[str, Any]
+
+    @property
+    def kind_name(self) -> str:
+        return KIND_NAMES.get(self.kind, f"unknown({self.kind})")
+
+
+# -- tagged-JSON payload codec ------------------------------------------------
+
+_TAG = "__wire__"
+
+
+def _json_default(value: Any) -> Any:
+    """Tagged encodings for the non-JSON types the serving stack carries."""
+    if isinstance(value, complex):
+        return {_TAG: "complex", "re": value.real, "im": value.imag}
+    if isinstance(value, np.ndarray):
+        array = np.ascontiguousarray(value)
+        return {
+            _TAG: "ndarray",
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "data": base64.b64encode(array.tobytes()).decode("ascii"),
+        }
+    if isinstance(value, DetectedResponse):
+        return {
+            _TAG: "detected",
+            "index": float(value.index),
+            "delay_s": float(value.delay_s),
+            "amplitude": complex(value.amplitude),
+            "template_index": int(value.template_index),
+            "scores": [float(score) for score in value.scores],
+        }
+    if isinstance(value, ClassifiedResponse):
+        return {
+            _TAG: "classified",
+            "response": value.response,
+            "shape_index": int(value.shape_index),
+            "confidence": float(value.confidence),
+        }
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.complexfloating):
+        return _json_default(complex(value))
+    raise TypeError(
+        f"{type(value).__name__} is not wire-serializable"
+    )
+
+
+def _decode_tagged(obj: Dict[str, Any]) -> Any:
+    tag = obj.get(_TAG)
+    if tag is None:
+        return obj
+    try:
+        if tag == "complex":
+            return complex(obj["re"], obj["im"])
+        if tag == "ndarray":
+            raw = base64.b64decode(obj["data"], validate=True)
+            array = np.frombuffer(raw, dtype=np.dtype(obj["dtype"]))
+            return array.reshape([int(n) for n in obj["shape"]]).copy()
+        if tag == "detected":
+            return DetectedResponse(
+                index=float(obj["index"]),
+                delay_s=float(obj["delay_s"]),
+                amplitude=complex(obj["amplitude"]),
+                template_index=int(obj["template_index"]),
+                scores=tuple(float(score) for score in obj["scores"]),
+            )
+        if tag == "classified":
+            return ClassifiedResponse(
+                response=obj["response"],
+                shape_index=int(obj["shape_index"]),
+                confidence=float(obj["confidence"]),
+            )
+    except (KeyError, TypeError, ValueError, binascii.Error) as error:
+        raise WireError(f"malformed tagged object {tag!r}: {error}") from None
+    raise WireError(f"unknown wire tag {tag!r}")
+
+
+def _dumps(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(
+        payload,
+        default=_json_default,
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def _loads(raw: bytes) -> Dict[str, Any]:
+    try:
+        payload = json.loads(raw.decode("utf-8"), object_hook=_decode_tagged)
+    except WireError:
+        raise
+    except (ValueError, UnicodeDecodeError) as error:
+        raise WireError(f"undecodable frame payload: {error}") from None
+    if not isinstance(payload, dict):
+        raise WireError(
+            f"frame payload must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    return payload
+
+
+# -- frame encode / decode ----------------------------------------------------
+
+
+def encode_frame(
+    kind: int,
+    payload: Dict[str, Any],
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """One wire frame; raises :class:`FrameTooLargeError` over the bound."""
+    if kind not in KIND_NAMES:
+        raise WireError(f"unknown frame kind {kind}")
+    body = _dumps(payload)
+    if len(body) > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"{KIND_NAMES[kind]} frame payload is {len(body)} bytes "
+            f"(bound {max_frame_bytes})"
+        )
+    return _HEADER.pack(MAGIC, WIRE_VERSION, kind, len(body)) + body
+
+
+def decode_frame(
+    buffer: bytes,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Tuple[Optional[Frame], int]:
+    """Decode one frame from the head of ``buffer``.
+
+    Returns ``(frame, consumed_bytes)``; ``(None, 0)`` means the buffer
+    holds only a frame prefix — feed more bytes.  Raises a
+    :class:`WireError` subclass for anything structurally wrong, which
+    a stream consumer must treat as a poisoned peer (there is no way to
+    resynchronise a length-prefixed stream after a bad header).
+    """
+    if len(buffer) < HEADER_BYTES:
+        return None, 0
+    magic, version, kind, length = _HEADER.unpack_from(buffer)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise WireVersionError(
+            f"peer speaks wire version {version}, this build speaks "
+            f"{WIRE_VERSION}"
+        )
+    if kind not in KIND_NAMES:
+        raise WireError(f"unknown frame kind {kind}")
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{max_frame_bytes}-byte bound"
+        )
+    end = HEADER_BYTES + length
+    if len(buffer) < end:
+        return None, 0
+    return Frame(kind, _loads(bytes(buffer[HEADER_BYTES:end]))), end
+
+
+class FrameDecoder:
+    """Incremental decoder over an arbitrarily chunked byte stream.
+
+    ``feed`` buffers bytes and returns every frame completed so far —
+    zero, one, or many per call, independent of how the transport split
+    them.  Errors are sticky: once a :class:`WireError` is raised the
+    decoder refuses further input, because a length-prefixed stream
+    cannot be resynchronised after a corrupt header.
+    """
+
+    def __init__(
+        self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    ) -> None:
+        if max_frame_bytes < 1:
+            raise ValueError(
+                f"max_frame_bytes must be >= 1, got {max_frame_bytes}"
+            )
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    def feed(self, data: bytes) -> List[Frame]:
+        if self._poisoned:
+            raise WireError("decoder poisoned by an earlier malformed frame")
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            try:
+                frame, consumed = decode_frame(
+                    self._buffer, max_frame_bytes=self.max_frame_bytes
+                )
+            except WireError:
+                self._poisoned = True
+                raise
+            if frame is None:
+                return frames
+            del self._buffer[:consumed]
+            frames.append(frame)
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held back waiting for the rest of a frame."""
+        return len(self._buffer)
+
+
+# -- request / outcome payload codecs ----------------------------------------
+
+
+def request_to_payload(
+    request: RangingRequest, request_id: int
+) -> Dict[str, Any]:
+    """The REQUEST frame payload for one request + correlation id."""
+    payload: Dict[str, Any] = {
+        "id": int(request_id),
+        "session_id": request.session_id,
+        "sequence": int(request.sequence),
+        "cir": np.asarray(request.cir),
+        "noise_std": float(request.noise_std),
+        "deadline_s": (
+            None if request.deadline_s is None else float(request.deadline_s)
+        ),
+    }
+    if request.annotations:
+        payload["annotations"] = dict(request.annotations)
+    return payload
+
+
+def request_from_payload(
+    payload: Dict[str, Any]
+) -> Tuple[RangingRequest, int]:
+    """Rebuild ``(request, correlation_id)`` from a REQUEST payload."""
+    try:
+        cir = payload["cir"]
+        if not isinstance(cir, np.ndarray):
+            raise WireError("request 'cir' did not decode to an array")
+        request = RangingRequest(
+            session_id=str(payload["session_id"]),
+            sequence=int(payload["sequence"]),
+            cir=cir,
+            noise_std=float(payload["noise_std"]),
+            deadline_s=(
+                None
+                if payload.get("deadline_s") is None
+                else float(payload["deadline_s"])
+            ),
+            annotations=payload.get("annotations"),
+        )
+        return request, int(payload["id"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireError(f"malformed request payload: {error}") from None
+
+
+def outcome_to_payload(
+    outcome: RangingOutcome, request_id: int
+) -> Dict[str, Any]:
+    """The RESPONSE frame payload for one outcome + correlation id."""
+    return {
+        "id": int(request_id),
+        "session_id": outcome.session_id,
+        "sequence": int(outcome.sequence),
+        "status": outcome.status,
+        "responses": list(outcome.responses),
+        "latency_s": float(outcome.latency_s),
+        "shard": int(outcome.shard),
+        "batch_size": int(outcome.batch_size),
+        "flush_cause": outcome.flush_cause,
+        "error": outcome.error,
+        "worker": int(outcome.worker),
+        "annotations": outcome.annotations,
+    }
+
+
+def outcome_from_payload(
+    payload: Dict[str, Any]
+) -> Tuple[RangingOutcome, int]:
+    """Rebuild ``(outcome, correlation_id)`` from a RESPONSE payload."""
+    try:
+        outcome = RangingOutcome(
+            session_id=str(payload["session_id"]),
+            sequence=int(payload["sequence"]),
+            status=str(payload["status"]),
+            responses=list(payload["responses"]),
+            latency_s=float(payload["latency_s"]),
+            shard=int(payload["shard"]),
+            batch_size=int(payload["batch_size"]),
+            flush_cause=str(payload["flush_cause"]),
+            error=payload.get("error"),
+            worker=int(payload.get("worker", -1)),
+            annotations=dict(payload.get("annotations") or {}),
+        )
+        return outcome, int(payload["id"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireError(f"malformed outcome payload: {error}") from None

@@ -1,0 +1,332 @@
+"""Wire-protocol tests: framing, the tagged-JSON codec, and fuzzing.
+
+The multi-process serving path stands on two properties pinned here:
+
+* **Reassembly** — the incremental :class:`FrameDecoder` reconstructs
+  exactly the encoded frame sequence from *any* chunking of the byte
+  stream (property-tested with hypothesis-driven splits).
+* **Value-exactness** — requests and outcomes round-trip through the
+  codec with bit-equal CIRs, exact floats (including the ``inf``
+  confidence of single-template classification), tuple-typed scores,
+  and annotations intact; this is what lets the acceptance suite demand
+  byte-equal streaming results across process boundaries.
+
+Malformed input — truncation, oversize, wrong version, bad magic,
+unknown kinds, undecodable payloads — must be rejected loudly, never
+silently skipped.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.detection import DetectedResponse
+from repro.core.pulse_id import ClassifiedResponse
+from repro.serve.request import RangingOutcome, RangingRequest
+from repro.serve.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    HEADER_BYTES,
+    KIND_CONTROL,
+    KIND_HEARTBEAT,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    MAGIC,
+    WIRE_VERSION,
+    Frame,
+    FrameDecoder,
+    FrameTooLargeError,
+    WireError,
+    WireVersionError,
+    decode_frame,
+    encode_frame,
+    outcome_from_payload,
+    outcome_to_payload,
+    request_from_payload,
+    request_to_payload,
+)
+
+
+def _detected(seed: int = 0) -> DetectedResponse:
+    rng = np.random.default_rng(seed)
+    return DetectedResponse(
+        index=float(rng.uniform(0, 500)),
+        delay_s=float(rng.uniform(0, 1e-6)),
+        amplitude=complex(rng.normal(), rng.normal()),
+        template_index=int(rng.integers(0, 4)),
+        scores=tuple(float(value) for value in rng.uniform(0, 1, 3)),
+    )
+
+
+def _cir(length: int = 64, seed: int = 1) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (
+        rng.normal(size=length) + 1j * rng.normal(size=length)
+    ).astype(complex)
+
+
+class TestFraming:
+    def test_round_trip_single_frame(self):
+        payload = {"op": "stop", "drain": True}
+        buffer = encode_frame(KIND_CONTROL, payload)
+        frame, consumed = decode_frame(buffer)
+        assert consumed == len(buffer)
+        assert frame == Frame(KIND_CONTROL, payload)
+        assert frame.kind_name == "control"
+
+    def test_truncated_frame_waits_for_more(self):
+        buffer = encode_frame(KIND_HEARTBEAT, {"worker": 0})
+        for cut in range(len(buffer)):
+            frame, consumed = decode_frame(buffer[:cut])
+            assert frame is None and consumed == 0
+
+    def test_bad_magic_rejected(self):
+        buffer = bytearray(encode_frame(KIND_CONTROL, {}))
+        buffer[0] ^= 0xFF
+        with pytest.raises(WireError, match="magic"):
+            decode_frame(bytes(buffer))
+
+    def test_wrong_version_rejected(self):
+        buffer = bytearray(encode_frame(KIND_CONTROL, {}))
+        buffer[2] = WIRE_VERSION + 1
+        with pytest.raises(WireVersionError):
+            decode_frame(bytes(buffer))
+
+    def test_unknown_kind_rejected(self):
+        buffer = bytearray(encode_frame(KIND_CONTROL, {}))
+        buffer[3] = 200
+        with pytest.raises(WireError, match="kind"):
+            decode_frame(bytes(buffer))
+        with pytest.raises(WireError, match="kind"):
+            encode_frame(200, {})
+
+    def test_oversized_declared_length_rejected_before_buffering(self):
+        import struct
+
+        header = struct.pack(
+            ">2sBBI", MAGIC, WIRE_VERSION, KIND_CONTROL, 1 << 30
+        )
+        with pytest.raises(FrameTooLargeError):
+            decode_frame(header)
+
+    def test_oversized_payload_rejected_at_encode(self):
+        with pytest.raises(FrameTooLargeError):
+            encode_frame(
+                KIND_CONTROL, {"blob": "x" * 4096}, max_frame_bytes=1024
+            )
+
+    def test_non_object_payload_rejected(self):
+        import struct
+
+        body = b"[1,2,3]"
+        buffer = (
+            struct.pack(
+                ">2sBBI", MAGIC, WIRE_VERSION, KIND_CONTROL, len(body)
+            )
+            + body
+        )
+        with pytest.raises(WireError, match="JSON object"):
+            decode_frame(buffer)
+
+    def test_undecodable_payload_rejected(self):
+        import struct
+
+        body = b"{not json"
+        buffer = (
+            struct.pack(
+                ">2sBBI", MAGIC, WIRE_VERSION, KIND_CONTROL, len(body)
+            )
+            + body
+        )
+        with pytest.raises(WireError, match="undecodable"):
+            decode_frame(buffer)
+
+
+class TestFrameDecoder:
+    def test_interleaved_chunks_reassemble(self):
+        frames = [
+            encode_frame(KIND_HEARTBEAT, {"worker": i, "pending": i * 3})
+            for i in range(5)
+        ]
+        stream = b"".join(frames)
+        decoder = FrameDecoder()
+        seen = []
+        # Pathological chunking: one byte at a time.
+        for i in range(len(stream)):
+            seen.extend(decoder.feed(stream[i : i + 1]))
+        assert [frame.payload["worker"] for frame in seen] == list(range(5))
+        assert decoder.buffered == 0
+
+    def test_decoder_poisoned_after_error(self):
+        good = encode_frame(KIND_CONTROL, {})
+        decoder = FrameDecoder()
+        with pytest.raises(WireError):
+            decoder.feed(b"\x00" * HEADER_BYTES)
+        with pytest.raises(WireError, match="poisoned"):
+            decoder.feed(good)
+
+    def test_decoder_frame_size_bound(self):
+        decoder = FrameDecoder(max_frame_bytes=64)
+        with pytest.raises(FrameTooLargeError):
+            decoder.feed(
+                encode_frame(KIND_CONTROL, {"blob": "y" * 256})
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_any_chunking_reassembles_exactly(self, data):
+        n_frames = data.draw(st.integers(1, 6))
+        frames = []
+        stream = b""
+        for i in range(n_frames):
+            payload = {
+                "k": i,
+                "values": data.draw(
+                    st.lists(
+                        st.floats(allow_nan=False, allow_infinity=True),
+                        max_size=8,
+                    )
+                ),
+            }
+            frames.append(payload)
+            stream += encode_frame(KIND_HEARTBEAT, payload)
+        # Draw arbitrary split points, including empty feeds.
+        cuts = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(0, len(stream)), min_size=0, max_size=12
+                )
+            )
+        )
+        decoder = FrameDecoder()
+        seen = []
+        last = 0
+        for cut in cuts + [len(stream)]:
+            seen.extend(decoder.feed(stream[last:cut]))
+            last = cut
+        assert [frame.payload for frame in seen] == frames
+        assert decoder.buffered == 0
+
+
+class TestPayloadCodec:
+    def test_request_round_trip_bit_exact(self):
+        cir = _cir(257)
+        request = RangingRequest(
+            session_id="session-0042",
+            sequence=17,
+            cir=cir,
+            noise_std=0.017,
+            deadline_s=0.25,
+            annotations={"epoch": 3, "faults": ["dropout"]},
+        )
+        buffer = encode_frame(
+            KIND_REQUEST, request_to_payload(request, 99)
+        )
+        frame, _ = decode_frame(buffer)
+        decoded, request_id = request_from_payload(frame.payload)
+        assert request_id == 99
+        assert decoded.session_id == request.session_id
+        assert decoded.sequence == request.sequence
+        assert decoded.cir.dtype == cir.dtype
+        assert decoded.cir.tobytes() == cir.tobytes()  # bit-exact
+        assert decoded.noise_std == request.noise_std
+        assert decoded.deadline_s == request.deadline_s
+        assert dict(decoded.annotations) == dict(request.annotations)
+
+    def test_request_without_optionals(self):
+        request = RangingRequest("s", 0, _cir(16))
+        decoded, _ = request_from_payload(request_to_payload(request, 0))
+        assert decoded.deadline_s is None
+        assert decoded.annotations is None
+
+    def test_outcome_round_trip_with_responses(self):
+        detected = [_detected(seed) for seed in range(3)]
+        classified = [
+            ClassifiedResponse(
+                response=_detected(9), shape_index=2, confidence=1.75
+            ),
+            # Single-template classification reports inf confidence;
+            # JSON's repr round-trip must carry it.
+            ClassifiedResponse(
+                response=_detected(10),
+                shape_index=0,
+                confidence=float("inf"),
+            ),
+        ]
+        for responses in (detected, classified):
+            outcome = RangingOutcome(
+                session_id="s",
+                sequence=4,
+                status="ok",
+                responses=list(responses),
+                latency_s=0.0123,
+                shard=1,
+                batch_size=7,
+                flush_cause="deadline",
+                worker=3,
+                annotations={"defense": {"flags": []}},
+            )
+            buffer = encode_frame(
+                KIND_RESPONSE, outcome_to_payload(outcome, 5)
+            )
+            frame, _ = decode_frame(buffer)
+            decoded, request_id = outcome_from_payload(frame.payload)
+            assert request_id == 5
+            # Dataclass equality covers every field value-exactly;
+            # scores must come back as tuples for this to hold.
+            assert decoded == outcome
+            for original, copied in zip(responses, decoded.responses):
+                assert type(copied) is type(original)
+                inner = getattr(copied, "response", copied)
+                assert isinstance(inner.scores, tuple)
+                assert isinstance(inner.amplitude, complex)
+
+    def test_error_outcome_round_trip(self):
+        outcome = RangingOutcome(
+            session_id="s",
+            sequence=1,
+            status="error",
+            error="bad CIR payload: ValueError('boom')",
+        )
+        decoded, _ = outcome_from_payload(outcome_to_payload(outcome, 1))
+        assert decoded == outcome
+
+    def test_unknown_tag_rejected(self):
+        import struct
+
+        body = b'{"x": {"__wire__": "mystery"}}'
+        buffer = (
+            struct.pack(
+                ">2sBBI", MAGIC, WIRE_VERSION, KIND_CONTROL, len(body)
+            )
+            + body
+        )
+        with pytest.raises(WireError, match="unknown wire tag"):
+            decode_frame(buffer)
+
+    def test_default_bound_fits_large_cirs(self):
+        request = RangingRequest("s", 0, _cir(4096))
+        buffer = encode_frame(
+            KIND_REQUEST, request_to_payload(request, 0)
+        )
+        assert len(buffer) < DEFAULT_MAX_FRAME_BYTES
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(allow_nan=False, allow_infinity=True),
+        st.integers(2, 48),
+        st.integers(0, 2**31),
+    )
+    def test_floats_and_arrays_value_exact(self, value, length, seed):
+        rng = np.random.default_rng(seed)
+        cir = (
+            rng.normal(size=length) + 1j * rng.normal(size=length)
+        ).astype(complex)
+        request = RangingRequest("s", 0, cir, noise_std=0.0)
+        payload = request_to_payload(request, 0)
+        payload["probe"] = value
+        frame, _ = decode_frame(encode_frame(KIND_REQUEST, payload))
+        assert frame.payload["probe"] == value or (
+            np.isnan(value) and np.isnan(frame.payload["probe"])
+        )
+        decoded, _ = request_from_payload(frame.payload)
+        assert decoded.cir.tobytes() == cir.tobytes()
